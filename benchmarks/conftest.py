@@ -1,0 +1,85 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures.  The two
+expensive artefacts — a §4 calibration and a measured oracle per cluster —
+are session-scoped so Table 2, Table 3, Fig. 5 and the ablations share them.
+
+Environment knobs:
+
+* ``REPRO_BENCH_NOISE`` — lognormal noise sigma for the simulated
+  measurements (default 0: deterministic, every adaptive measurement
+  converges after two identical repetitions).  Set e.g. ``0.015`` to
+  exercise the full confidence-interval methodology; expect a ~4x longer
+  run.
+* ``REPRO_BENCH_QUICK`` — set to 1 to use 6 message sizes instead of the
+  paper's 10 and fewer repetitions.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.clusters import GRISOU, GROS
+from repro.estimation.workflow import calibrate_platform
+from repro.selection.oracle import MeasuredOracle
+from repro.units import KiB, MiB, log_spaced_sizes
+
+NOISE_SIGMA = float(os.environ.get("REPRO_BENCH_NOISE", "0"))
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: The paper's ten log-spaced sizes from 8 KB to 4 MB (6 in quick mode).
+PAPER_SIZES = log_spaced_sizes(8 * KiB, 4 * MiB, 6 if QUICK else 10)
+MAX_REPS = 4 if QUICK else 8
+
+#: Paper §5.2: calibration uses 40 processes on Grisou, 124 on Gros.
+CALIBRATION_PROCS = {"grisou": 40, "gros": 124}
+#: Paper §5.3 / Fig. 5: evaluation process counts per cluster.
+FIG5_PROCS = {"grisou": (50, 80, 90), "gros": (80, 100, 124)}
+#: Paper Table 3 process counts.
+TABLE3_PROCS = {"grisou": 90, "gros": 100}
+
+
+def _spec(base):
+    return base.with_noise(NOISE_SIGMA)
+
+
+@pytest.fixture(scope="session")
+def grisou():
+    return _spec(GRISOU)
+
+
+@pytest.fixture(scope="session")
+def gros():
+    return _spec(GROS)
+
+
+@pytest.fixture(scope="session")
+def grisou_calibration(grisou):
+    return calibrate_platform(
+        grisou,
+        procs=CALIBRATION_PROCS["grisou"],
+        sizes=PAPER_SIZES,
+        max_reps=MAX_REPS,
+    )
+
+
+@pytest.fixture(scope="session")
+def gros_calibration(gros):
+    return calibrate_platform(
+        gros,
+        procs=CALIBRATION_PROCS["gros"],
+        sizes=PAPER_SIZES,
+        max_reps=MAX_REPS,
+    )
+
+
+@pytest.fixture(scope="session")
+def grisou_oracle(grisou):
+    return MeasuredOracle(grisou, max_reps=MAX_REPS)
+
+
+@pytest.fixture(scope="session")
+def gros_oracle(gros):
+    return MeasuredOracle(gros, max_reps=MAX_REPS)

@@ -1,0 +1,84 @@
+"""Ablation A1: implementation-derived vs traditional model structure.
+
+The paper's contribution 1 is deriving the model equations from the
+implementation (segmentation, γ-weighted per-stage fan-out) instead of the
+textbook definition.  This ablation isolates the *model structure*: both
+families get the same per-algorithm in-context parameter estimation; only
+the equations differ.  The derived family must select better.
+"""
+
+import pytest
+
+from repro.bench.runner import selection_comparison
+from repro.estimation.workflow import calibrate_platform
+from repro.selection.model_based import ModelBasedSelector
+
+from conftest import MAX_REPS, PAPER_SIZES, TABLE3_PROCS
+
+
+@pytest.fixture(scope="module")
+def traditional_calibration(grisou):
+    return calibrate_platform(
+        grisou,
+        procs=40,
+        sizes=PAPER_SIZES,
+        max_reps=MAX_REPS,
+        model_family="traditional",
+    )
+
+
+def test_ablation_model_structure(
+    benchmark, grisou, grisou_calibration, traditional_calibration, grisou_oracle
+):
+    """Prints and checks derived-vs-traditional selection quality."""
+    procs = TABLE3_PROCS["grisou"]
+
+    def compare_families():
+        rows = {}
+        for label, calibration in (
+            ("derived", grisou_calibration),
+            ("traditional", traditional_calibration),
+        ):
+            rows[label] = selection_comparison(
+                grisou,
+                calibration.platform,
+                procs,
+                PAPER_SIZES,
+                oracle=grisou_oracle,
+            )
+        return rows
+
+    rows = benchmark.pedantic(compare_families, rounds=1, iterations=1)
+
+    print()
+    print(f"Ablation A1 (grisou, P={procs}): selection degradation vs best [%]")
+    print(f"{'m':>10}  {'derived':>10}  {'traditional':>12}")
+    for derived_row, trad_row in zip(rows["derived"], rows["traditional"]):
+        print(
+            f"{derived_row.nbytes:>10}  {derived_row.model_degradation:>10.1f}"
+            f"  {trad_row.model_degradation:>12.1f}"
+        )
+
+    derived_total = sum(r.model_degradation for r in rows["derived"])
+    traditional_total = sum(r.model_degradation for r in rows["traditional"])
+    print(f"total: derived={derived_total:.1f}% traditional={traditional_total:.1f}%")
+
+    # The derived structure must not lose to the traditional one, and the
+    # derived selection stays near-optimal.
+    assert derived_total <= traditional_total + 1.0
+    assert max(r.model_degradation for r in rows["derived"]) < 20.0
+
+
+def test_traditional_structure_misranks_somewhere(
+    grisou, traditional_calibration, grisou_oracle
+):
+    """The traditional equations pick a non-optimal algorithm for at least
+    one (P, m) where the derived equations pick the best (or vice versa the
+    traditional pick degrades more) — the Fig. 1 inaccuracy made concrete."""
+    selector = ModelBasedSelector(traditional_calibration.platform)
+    procs = TABLE3_PROCS["grisou"]
+    degradations = [
+        grisou_oracle.degradation(procs, size, selector.select(procs, size))
+        for size in PAPER_SIZES
+    ]
+    assert max(degradations) > 5.0, degradations

@@ -1,0 +1,54 @@
+"""Benchmark: the efficiency claim of §5.3.
+
+*"the efficiency of the selection procedure is evident from the low
+complexity of the analytical formulas"* — a model-based decision must cost
+microseconds (pure arithmetic), i.e. many orders of magnitude less than the
+collective operation it optimises, and be in the same league as Open MPI's
+hard-coded decision function.
+
+This file measures: one model-based selection, one Open MPI fixed decision,
+and one precomputed decision-table lookup.
+"""
+
+import pytest
+
+from repro.selection.decision_table import build_decision_table
+from repro.selection.model_based import ModelBasedSelector
+from repro.selection.ompi_fixed import ompi_bcast_decision
+from repro.units import KiB, MiB
+
+from conftest import PAPER_SIZES
+
+
+@pytest.fixture(scope="module")
+def selector(grisou_calibration):
+    return ModelBasedSelector(grisou_calibration.platform)
+
+
+@pytest.fixture(scope="module")
+def table(selector):
+    return build_decision_table(selector, list(range(2, 129, 2)), PAPER_SIZES)
+
+
+def test_model_based_decision_overhead(benchmark, selector, grisou_oracle):
+    """One full model-based selection (six model evaluations + argmin)."""
+    result = benchmark(selector.select, 90, 1 * MiB)
+    assert result.algorithm in {"binary", "split_binary", "binomial", "chain", "k_chain"}
+    # The decision is vastly cheaper than the collective it optimises:
+    # compare against the measured 1 MiB broadcast time on the same cluster.
+    bcast_time = grisou_oracle.measure(90, 1 * MiB, result.algorithm)
+    assert benchmark.stats["mean"] < bcast_time * 50, (
+        "selection overhead is not negligible next to the collective"
+    )
+
+
+def test_ompi_fixed_decision_overhead(benchmark):
+    """The baseline decision function: straight-line threshold code."""
+    result = benchmark(ompi_bcast_decision, 90, 1 * MiB)
+    assert result.algorithm == "chain"
+
+
+def test_decision_table_lookup_overhead(benchmark, table, selector):
+    """The deployment path: precomputed table + bisect lookup."""
+    result = benchmark(table.select, 90, 1 * MiB)
+    assert result == selector.select(90, 1 * MiB)

@@ -1,0 +1,76 @@
+"""Extension bench: adding a new algorithm to the selection framework.
+
+What would it take for Open MPI to evaluate a candidate algorithm — say the
+scatter-allgather (Van de Geijn) broadcast that MPICH uses for large
+messages?  With the paper's framework the answer is mechanical: derive its
+model, run the §4.2 calibration experiment for it, and let the argmin
+consider it.  This bench does exactly that on the simulated Grisou and
+reports whether the newcomer ever wins.
+"""
+
+import pytest
+
+from repro.collectives.bcast import PAPER_BCAST_ALGORITHMS
+from repro.estimation.workflow import calibrate_platform
+from repro.selection.model_based import ModelBasedSelector
+
+from conftest import MAX_REPS, PAPER_SIZES, TABLE3_PROCS
+
+SEVEN = sorted(list(PAPER_BCAST_ALGORITHMS) + ["scatter_allgather"])
+
+
+@pytest.fixture(scope="module")
+def seven_algorithm_calibration(grisou):
+    return calibrate_platform(
+        grisou,
+        procs=40,
+        sizes=PAPER_SIZES,
+        max_reps=MAX_REPS,
+        algorithms=SEVEN,
+    )
+
+
+def test_extension_seventh_algorithm(
+    benchmark, grisou, seven_algorithm_calibration, grisou_oracle
+):
+    procs = TABLE3_PROCS["grisou"]
+    selector = ModelBasedSelector(seven_algorithm_calibration.platform)
+
+    def select_with_seven():
+        return [selector.select(procs, nbytes) for nbytes in PAPER_SIZES]
+
+    choices = benchmark.pedantic(select_with_seven, rounds=3, iterations=2)
+
+    print()
+    print(f"Selection with 7 candidate algorithms (grisou, P={procs}):")
+    newcomer_wins = []
+    for choice, nbytes in zip(choices, PAPER_SIZES):
+        # Oracle extended with the newcomer's measurements.
+        measured = {
+            name: grisou_oracle.measure(
+                procs, nbytes, name,
+                0 if name in ("linear", "scatter_allgather") else None,
+            )
+            for name in SEVEN
+        }
+        best = min(measured, key=measured.get)
+        degradation = 100 * (measured[choice.algorithm] - measured[best]) / measured[best]
+        print(
+            f"  m={nbytes:>8}: pick={choice.algorithm:>18} best={best:>18} "
+            f"(+{degradation:.1f}%)"
+        )
+        if choice.algorithm == "scatter_allgather":
+            newcomer_wins.append(nbytes)
+        # The enlarged selection stays near-optimal.
+        assert degradation < 25.0, (nbytes, choice.algorithm)
+
+    verdict = (
+        f"scatter-allgather selected at {newcomer_wins}"
+        if newcomer_wins
+        else "scatter-allgather never selected on this fabric"
+    )
+    print(f"  verdict: {verdict}")
+    # On this clean fabric the pipelined chain already matches the
+    # newcomer's bandwidth optimality, so the framework should (correctly)
+    # keep preferring the incumbents at the paper's sizes.
+    assert not newcomer_wins

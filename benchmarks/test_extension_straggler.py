@@ -1,0 +1,98 @@
+"""Extension bench: straggler sensitivity — the anatomy of Gros's 7297%.
+
+The paper's most dramatic number is the Open MPI chain pick degrading by
+up to 7297% on Gros.  Our clean fabric reproduces the *direction* but not
+the magnitude (~400%), because the magnitude came from a platform
+pathology: the paper's own per-algorithm fit on Gros gives the chain a β
+eight times the binary's, i.e. something on that cluster made pipeline
+forwarding pathologically slow.
+
+This bench injects that pathology explicitly: one node whose NIC egress
+runs 30x slow (a collapsed TCP congestion window).  Placed where it is a
+*leaf* of the binary/split-binary trees but an *interior* hop of the
+123-node chain, it multiplies the chain's time by an order of magnitude
+while leaving the tree algorithms untouched — pushing the Open MPI chain
+pick into four-digit degradation, the paper's Gros picture.
+"""
+
+import pytest
+
+from repro.selection.model_based import ModelBasedSelector
+from repro.selection.ompi_fixed import OmpiFixedSelector
+from repro.selection.oracle import MeasuredOracle
+from repro.topology import build_binary_tree
+from repro.units import KiB
+
+PROCS = 100
+#: Egress slowdown of the sick node (30x ~ 25 GbE negotiating sub-Gbit).
+SLOW_FACTOR = 30.0
+SIZES = (512 * KiB, 1024 * KiB, 2048 * KiB)
+
+
+def pick_slow_rank() -> int:
+    """A rank that is a binary-tree leaf but sits mid-chain."""
+    tree = build_binary_tree(PROCS)
+    leaves = set(tree.leaves())
+    candidates = [r for r in sorted(leaves) if 40 < r < 90]
+    return candidates[len(candidates) // 2]
+
+
+@pytest.fixture(scope="module")
+def sick_gros(gros):
+    return gros.with_slow_nodes({pick_slow_rank(): SLOW_FACTOR})
+
+
+def test_extension_straggler_sensitivity(
+    benchmark, gros, sick_gros, gros_calibration, gros_oracle
+):
+    sick_oracle = MeasuredOracle(sick_gros, max_reps=4)
+    model_selector = ModelBasedSelector(gros_calibration.platform)
+    ompi_selector = OmpiFixedSelector()
+
+    def run_comparison():
+        rows = []
+        for nbytes in SIZES:
+            best, best_time = sick_oracle.best(PROCS, nbytes)
+            model = model_selector.select(PROCS, nbytes)
+            ompi = ompi_selector.select(PROCS, nbytes)
+            rows.append(
+                (
+                    nbytes,
+                    best,
+                    best_time,
+                    sick_oracle.measure_selection(PROCS, nbytes, model),
+                    sick_oracle.measure_selection(PROCS, nbytes, ompi),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    print()
+    print(
+        f"Straggler study (gros + one {SLOW_FACTOR:.0f}x-slow egress node, "
+        f"P={PROCS}): degradation vs best [%]"
+    )
+    print(f"{'m':>10} {'best':>14} {'model-based':>12} {'Open MPI (chain)':>17}")
+    for nbytes, best, best_time, model_time, ompi_time in rows:
+        model_deg = 100 * (model_time - best_time) / best_time
+        ompi_deg = 100 * (ompi_time - best_time) / best_time
+        print(
+            f"{nbytes:>10} {best.algorithm:>14} {model_deg:>12.1f} {ompi_deg:>17.1f}"
+        )
+        # The tree algorithms (and hence the model-based pick, calibrated on
+        # the healthy platform) shrug the straggler off...
+        assert model_deg < 30.0
+        # ...while the hard-coded chain pick degrades catastrophically —
+        # the four-digit territory of the paper's Gros Table 3.
+        assert ompi_deg > 500.0
+
+    # The healthy-platform comparison for reference: the same chain pick was
+    # only ~moderately bad there.
+    healthy_chain = gros_oracle.measure(PROCS, SIZES[0], "chain")
+    sick_chain = sick_oracle.measure(PROCS, SIZES[0], "chain")
+    print(
+        f"chain at {SIZES[0]} B: healthy {healthy_chain * 1e3:.2f} ms -> "
+        f"sick {sick_chain * 1e3:.2f} ms ({sick_chain / healthy_chain:.1f}x)"
+    )
+    assert sick_chain > 1.5 * healthy_chain

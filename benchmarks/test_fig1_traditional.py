@@ -1,0 +1,73 @@
+"""Benchmark: regenerate the paper's Fig. 1 (traditional models vs reality).
+
+Fig. 1 shows that the classical analytical models — textbook formulas with
+ping-pong-measured Hockney parameters — do not reproduce the measured
+performance of the binary and binomial broadcast implementations at P = 90:
+the predicted curves have the wrong magnitude *and* the wrong ordering, so
+they cannot drive algorithm selection.
+
+Shape assertions: the traditional binomial prediction is off by more than
+2x somewhere in the sweep, and the traditional models order binary/binomial
+differently from the measurements in part of the range.
+"""
+
+import pytest
+
+from repro.bench.figures import ascii_plot, fig1_series, write_csv
+from repro.estimation.p2p import estimate_hockney_p2p
+
+from conftest import MAX_REPS, PAPER_SIZES
+
+
+@pytest.fixture(scope="module")
+def fig1(grisou, grisou_oracle):
+    p2p = estimate_hockney_p2p(grisou, max_reps=MAX_REPS)
+    return fig1_series(
+        grisou,
+        p2p.params,
+        procs=90,
+        sizes=PAPER_SIZES,
+        algorithms=("binary", "binomial"),
+        oracle=grisou_oracle,
+    )
+
+
+def test_fig1_traditional_models(benchmark, fig1, tmp_path_factory):
+    """Times the traditional-model evaluation; prints/saves the series."""
+    from repro.models.hockney import HockneyParams
+    from repro.models.traditional import TRADITIONAL_BCAST_MODELS
+
+    params = HockneyParams(50e-6, 1e-9)
+
+    def evaluate_models():
+        return [
+            TRADITIONAL_BCAST_MODELS[name](None).predict(90, m, 8192, params)
+            for name in ("binary", "binomial")
+            for m in PAPER_SIZES
+        ]
+
+    benchmark.pedantic(evaluate_models, rounds=20, iterations=5)
+
+    csv_path = tmp_path_factory.mktemp("fig1") / "fig1.csv"
+    write_csv(csv_path, fig1)
+    print()
+    print(ascii_plot(fig1, title="Fig.1: traditional models vs experiment (grisou, P=90)"))
+    print(f"(series written to {csv_path})")
+
+    # The traditional binomial model (whole-message log-depth formula) is
+    # far from the measured segmented implementation somewhere.
+    worst_ratio = max(
+        fig1["binomial_model"][m] / fig1["binomial_measured"][m]
+        for m in PAPER_SIZES
+    )
+    assert worst_ratio > 2.0, f"traditional binomial only {worst_ratio:.2f}x off"
+
+    # Traditional models also mis-rank the two algorithms in part of the
+    # sweep: prediction says one order, measurement the other.
+    mismatch = [
+        m
+        for m in PAPER_SIZES
+        if (fig1["binary_model"][m] < fig1["binomial_model"][m])
+        != (fig1["binary_measured"][m] < fig1["binomial_measured"][m])
+    ]
+    assert mismatch, "traditional models never mis-ranked binary vs binomial"

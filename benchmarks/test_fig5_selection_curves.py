@@ -1,0 +1,71 @@
+"""Benchmark: regenerate the paper's Fig. 5 (a-f): selection accuracy curves.
+
+Six panels — P = 50, 80, 90 on Grisou and P = 80, 100, 124 on Gros — each
+showing execution time vs message size for three selectors: the Open MPI
+fixed decision function (blue in the paper), the model-based selection
+(red) and the best measured algorithm (green).
+
+Shape assertions per panel: the model-based curve hugs the best curve
+(within 20% everywhere), while the Open MPI curve detaches from it by a
+large factor somewhere in the sweep.
+"""
+
+import pytest
+
+from repro.bench.figures import ascii_plot, fig5_series, write_csv
+from repro.bench.runner import selection_comparison
+
+from conftest import FIG5_PROCS, PAPER_SIZES
+
+
+@pytest.fixture(scope="module")
+def fig5_panels(grisou, gros, grisou_calibration, gros_calibration,
+                grisou_oracle, gros_oracle):
+    setups = {
+        "grisou": (grisou, grisou_calibration, grisou_oracle),
+        "gros": (gros, gros_calibration, gros_oracle),
+    }
+    panels = {}
+    for cluster, (spec, calibration, oracle) in setups.items():
+        for procs in FIG5_PROCS[cluster]:
+            rows = selection_comparison(
+                spec, calibration.platform, procs, PAPER_SIZES, oracle=oracle
+            )
+            panels[(cluster, procs)] = rows
+    return panels
+
+
+def test_fig5_selection_curves(benchmark, fig5_panels, tmp_path_factory):
+    """Times one panel's series assembly; prints and saves all six."""
+
+    def assemble_series():
+        return {
+            key: fig5_series(rows) for key, rows in fig5_panels.items()
+        }
+
+    benchmark.pedantic(assemble_series, rounds=5, iterations=2)
+
+    out_dir = tmp_path_factory.mktemp("fig5")
+    for (cluster, procs), rows in sorted(fig5_panels.items()):
+        series = fig5_series(rows)
+        write_csv(out_dir / f"fig5_{cluster}_p{procs}.csv", series)
+        print()
+        print(
+            ascii_plot(
+                series, title=f"Fig.5 panel: {cluster} P={procs} (MPI_Bcast)"
+            )
+        )
+    print(f"(series written to {out_dir})")
+
+    for (cluster, procs), rows in fig5_panels.items():
+        panel = f"{cluster}/P={procs}"
+        for row in rows:
+            # Red curve hugs green: model-based within 25% of best (paper:
+            # 3% Grisou / 10% Gros; see EXPERIMENTS.md for the gap discussion).
+            assert row.model_time <= 1.25 * row.best_time, (
+                panel,
+                row.nbytes,
+                row.model_degradation,
+            )
+        # Blue curve detaches somewhere: Open MPI >= 1.5x best at some size.
+        assert any(row.ompi_time > 1.5 * row.best_time for row in rows), panel

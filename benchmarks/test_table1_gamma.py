@@ -1,0 +1,68 @@
+"""Benchmark: regenerate the paper's Table 1 (estimated γ(P)).
+
+Paper values for reference (PaCT 2021, Table 1):
+
+    P   Grisou   Gros
+    3   1.114    1.084
+    4   1.219    1.170
+    5   1.283    1.254
+    6   1.451    1.339
+    7   1.540    1.424
+
+The *shape* checks encoded as assertions: γ(2) = 1, γ grows near-linearly
+with P into the 1.3-1.8 band at P = 7, and the slower-fabric cluster
+(Grisou) sits above the faster one (Gros).
+"""
+
+import pytest
+
+from repro.bench.tables import format_table1
+from repro.estimation.gamma import estimate_gamma
+
+PAPER_TABLE1 = {
+    "grisou": {3: 1.114, 4: 1.219, 5: 1.283, 6: 1.451, 7: 1.540},
+    "gros": {3: 1.084, 4: 1.170, 5: 1.254, 6: 1.339, 7: 1.424},
+}
+
+
+@pytest.fixture(scope="module")
+def gamma_estimates(grisou, gros):
+    return {
+        "grisou": estimate_gamma(grisou),
+        "gros": estimate_gamma(gros),
+    }
+
+
+def test_table1_gamma(benchmark, gamma_estimates, grisou):
+    """Times one γ(P) estimation run; prints the full Table 1."""
+    estimates = gamma_estimates
+
+    def run_gamma_estimation():
+        return estimate_gamma(grisou, max_procs=4, seed=99)
+
+    benchmark.pedantic(run_gamma_estimation, rounds=1, iterations=1)
+
+    print()
+    print(format_table1(estimates))
+    print("\nPaper Table 1 for comparison:")
+    for cluster, table in PAPER_TABLE1.items():
+        print(f"  {cluster}: " + "  ".join(f"g({p})={g}" for p, g in table.items()))
+
+    for cluster, estimate in estimates.items():
+        table = estimate.table
+        assert table[2] == 1.0
+        values = [table[p] for p in sorted(table)]
+        assert values == sorted(values), f"{cluster}: gamma not monotone"
+        assert 1.3 < table[7] < 1.8, f"{cluster}: gamma(7)={table[7]}"
+        # Near-linearity (the paper's extrapolation premise).
+        gamma_fn = estimate.function()
+        intercept, slope = gamma_fn.regression_line()
+        for procs, value in table.items():
+            assert intercept + slope * procs == pytest.approx(value, abs=0.06)
+        # Within 10% of the paper's measured values, point by point.
+        for procs, value in PAPER_TABLE1[cluster].items():
+            assert table[procs] == pytest.approx(value, rel=0.10), (
+                f"{cluster} gamma({procs})"
+            )
+    # The slower fabric exhibits the stronger serialisation effect.
+    assert estimates["grisou"].table[7] > estimates["gros"].table[7]

@@ -1,0 +1,111 @@
+"""Scenario: tune MPI_Bcast for a brand-new cluster, offline.
+
+An MPI library integrating the paper's method would, at install time on a
+new machine: (1) run the calibration experiments once, (2) precompute a
+decision table over the (P, m) grid, (3) ship the table so every MPI_Bcast
+call resolves its algorithm with a constant-time lookup.
+
+This example walks that deployment on a custom user-defined platform — a
+fat 100 GbE cluster that none of the built-in presets describe — and shows
+the artefacts (platform JSON, decision-table JSON) that persist.
+
+Run:  python examples/cluster_tuning.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro import (
+    ClusterSpec,
+    ModelBasedSelector,
+    PlatformModel,
+    build_decision_table,
+    calibrate_platform,
+)
+from repro.clusters.presets import DEFAULT_NOISE_SIGMA
+from repro.selection.decision_table import DecisionTable
+from repro.sim.network import NetworkParams
+from repro.units import KiB, MiB, format_bytes, gbit_per_s_to_byte_time, log_spaced_sizes
+
+
+def define_cluster() -> ClusterSpec:
+    """A 32-node, 100 GbE cluster with RDMA-like latencies."""
+    return ClusterSpec(
+        name="fat-ethernet",
+        nodes=32,
+        procs_per_node=1,
+        network=NetworkParams(
+            latency=6e-6,
+            byte_time_out=gbit_per_s_to_byte_time(100.0),
+            byte_time_in=gbit_per_s_to_byte_time(100.0),
+            per_message_overhead=0.4e-6,
+            send_overhead=0.3e-6,
+            recv_overhead=0.3e-6,
+            eager_limit=16 * KiB,
+            control_latency=5e-6,
+            shm_latency=0.4e-6,
+            shm_byte_time=0.02e-9,
+        ),
+        noise_sigma=DEFAULT_NOISE_SIGMA,
+    )
+
+
+def main() -> None:
+    cluster = define_cluster()
+    workdir = Path(tempfile.mkdtemp(prefix="repro-tuning-"))
+    print(f"New platform: {cluster.describe()}")
+    print(f"Artefacts in: {workdir}")
+
+    # 1. One-off calibration at install time.
+    print("\n[1/3] Calibrating...")
+    calibration = calibrate_platform(cluster, procs=16)
+    platform_path = workdir / "fat-ethernet.platform.json"
+    calibration.platform.save(platform_path)
+    print(f"      platform model -> {platform_path.name}")
+
+    # 2. Precompute the decision surface.
+    print("[2/3] Building the decision table...")
+    platform = PlatformModel.load(platform_path)  # as the library would
+    selector = ModelBasedSelector(platform)
+    table = build_decision_table(
+        selector,
+        proc_points=list(range(2, cluster.max_procs + 1, 2)),
+        size_points=log_spaced_sizes(1 * KiB, 8 * MiB, 14),
+    )
+    table_path = workdir / "fat-ethernet.decisions.json"
+    table.save(table_path)
+    entries = len(table.proc_points) * len(table.size_points)
+    size_kib = table_path.stat().st_size / 1024
+    print(f"      {entries} entries ({size_kib:.1f} KiB JSON) -> {table_path.name}")
+
+    # 3. What MPI_Bcast would do at run time.
+    print("[3/3] Runtime lookups (DecisionTable.select):")
+    runtime_table = DecisionTable.load(table_path)
+    for procs, nbytes in [(8, 4 * KiB), (24, 256 * KiB), (32, 8 * MiB)]:
+        choice = runtime_table.select(procs, nbytes)
+        print(f"      P={procs:>3} m={format_bytes(nbytes):>7} -> {choice.describe()}")
+
+    # Show where the decision boundaries fall on this platform.
+    print("\nDecision surface (rows = P, columns = message size):")
+    header = " ".join(f"{format_bytes(m):>7}" for m in table.size_points[::2])
+    print(f"{'P':>4} {header}")
+    abbrev = {
+        "linear": "lin",
+        "chain": "chn",
+        "k_chain": "kch",
+        "binary": "bin",
+        "split_binary": "spl",
+        "binomial": "bnm",
+    }
+    for i in range(0, len(table.proc_points), 4):
+        procs = table.proc_points[i]
+        row = " ".join(
+            f"{abbrev[table.choices[i][j].algorithm]:>7}"
+            for j in range(0, len(table.size_points), 2)
+        )
+        print(f"{procs:>4} {row}")
+
+
+if __name__ == "__main__":
+    main()

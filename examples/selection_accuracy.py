@@ -1,0 +1,54 @@
+"""Scenario: reproduce the paper's Table 3 on the Grisou preset.
+
+Compares, for each message size, the measured-best broadcast algorithm,
+the model-based selection, and the Open MPI 3.1 fixed decision function —
+the experiment behind the paper's Table 3 and Fig. 5.
+
+Uses a reduced configuration (P=48, 7 sizes) so it completes in about a
+minute; the full-scale version is ``pytest
+benchmarks/test_table3_selection.py --benchmark-only`` or
+``repro-mpi table3 --cluster grisou -P 90``.
+
+Run:  python examples/selection_accuracy.py
+"""
+
+from repro import GRISOU, calibrate_platform
+from repro.bench.runner import selection_comparison
+from repro.bench.tables import format_table3
+from repro.units import KiB, MiB, log_spaced_sizes
+
+PROCS = 48
+SIZES = log_spaced_sizes(8 * KiB, 4 * MiB, 7)
+
+
+def main() -> None:
+    cluster = GRISOU
+    print(f"Platform: {cluster.describe()}")
+
+    print(f"\nCalibrating at P=24 (half the evaluation size, like the paper)...")
+    calibration = calibrate_platform(cluster, procs=24, max_reps=6)
+
+    print(f"Measuring all algorithms at P={PROCS} and comparing selections...")
+    rows = selection_comparison(
+        cluster, calibration.platform, PROCS, SIZES, max_reps=6
+    )
+
+    print()
+    print(format_table3(rows, title=f"P={PROCS}, MPI_Bcast, {cluster.name}"))
+
+    model_total = sum(row.model_degradation for row in rows)
+    ompi_total = sum(row.ompi_degradation for row in rows)
+    print(
+        f"\nAccumulated degradation vs best over the sweep: "
+        f"model-based {model_total:.0f}%, Open MPI fixed {ompi_total:.0f}%"
+    )
+    worst = max(rows, key=lambda row: row.ompi_degradation)
+    print(
+        f"Worst Open MPI pick: {worst.ompi.describe()} at "
+        f"{worst.nbytes // 1024} KB (+{worst.ompi_degradation:.0f}% vs "
+        f"{worst.best.algorithm})"
+    )
+
+
+if __name__ == "__main__":
+    main()

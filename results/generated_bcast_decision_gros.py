@@ -1,0 +1,656 @@
+def select_bcast(communicator_size, message_size):
+    """Generated decision function (floor semantics on both axes).
+
+    Grid: 31 communicator sizes x 10 message sizes.
+    """
+    if communicator_size >= 122:
+        if message_size >= 4194304:
+            return ('split_binary', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 118:
+        if message_size >= 4194304:
+            return ('split_binary', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 114:
+        if message_size >= 4194304:
+            return ('split_binary', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 110:
+        if message_size >= 4194304:
+            return ('split_binary', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 106:
+        if message_size >= 4194304:
+            return ('split_binary', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 102:
+        if message_size >= 4194304:
+            return ('split_binary', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 98:
+        if message_size >= 4194304:
+            return ('split_binary', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 94:
+        if message_size >= 4194304:
+            return ('split_binary', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 90:
+        if message_size >= 4194304:
+            return ('split_binary', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 86:
+        if message_size >= 4194304:
+            return ('split_binary', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 82:
+        if message_size >= 4194304:
+            return ('split_binary', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 78:
+        if message_size >= 4194304:
+            return ('split_binary', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 74:
+        if message_size >= 4194304:
+            return ('split_binary', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 70:
+        if message_size >= 4194304:
+            return ('split_binary', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 66:
+        if message_size >= 4194304:
+            return ('chain', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 62:
+        if message_size >= 4194304:
+            return ('chain', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 58:
+        if message_size >= 4194304:
+            return ('chain', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 54:
+        if message_size >= 4194304:
+            return ('chain', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 50:
+        if message_size >= 4194304:
+            return ('chain', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 46:
+        if message_size >= 4194304:
+            return ('chain', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 42:
+        if message_size >= 4194304:
+            return ('chain', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 38:
+        if message_size >= 4194304:
+            return ('chain', 8192)
+        if message_size >= 2097152:
+            return ('split_binary', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 34:
+        if message_size >= 4194304:
+            return ('chain', 8192)
+        if message_size >= 2097152:
+            return ('chain', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 30:
+        if message_size >= 4194304:
+            return ('chain', 8192)
+        if message_size >= 2097152:
+            return ('chain', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 26:
+        if message_size >= 4194304:
+            return ('chain', 8192)
+        if message_size >= 2097152:
+            return ('chain', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 22:
+        if message_size >= 4194304:
+            return ('chain', 8192)
+        if message_size >= 2097152:
+            return ('chain', 8192)
+        if message_size >= 1048576:
+            return ('split_binary', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 18:
+        if message_size >= 4194304:
+            return ('chain', 8192)
+        if message_size >= 2097152:
+            return ('chain', 8192)
+        if message_size >= 1048576:
+            return ('chain', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 14:
+        if message_size >= 4194304:
+            return ('chain', 8192)
+        if message_size >= 2097152:
+            return ('chain', 8192)
+        if message_size >= 1048576:
+            return ('chain', 8192)
+        if message_size >= 524288:
+            return ('split_binary', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 10:
+        if message_size >= 4194304:
+            return ('chain', 8192)
+        if message_size >= 2097152:
+            return ('chain', 8192)
+        if message_size >= 1048576:
+            return ('chain', 8192)
+        if message_size >= 524288:
+            return ('chain', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binary', 8192)
+    if communicator_size >= 6:
+        if message_size >= 4194304:
+            return ('chain', 8192)
+        if message_size >= 2097152:
+            return ('chain', 8192)
+        if message_size >= 1048576:
+            return ('chain', 8192)
+        if message_size >= 524288:
+            return ('chain', 8192)
+        if message_size >= 262144:
+            return ('split_binary', 8192)
+        if message_size >= 131072:
+            return ('split_binary', 8192)
+        if message_size >= 65536:
+            return ('split_binary', 8192)
+        if message_size >= 32768:
+            return ('split_binary', 8192)
+        if message_size >= 16384:
+            return ('binary', 8192)
+        if True:
+            return ('binomial', 8192)
+    if True:
+        if message_size >= 4194304:
+            return ('linear', 0)
+        if message_size >= 2097152:
+            return ('linear', 0)
+        if message_size >= 1048576:
+            return ('linear', 0)
+        if message_size >= 524288:
+            return ('linear', 0)
+        if message_size >= 262144:
+            return ('linear', 0)
+        if message_size >= 131072:
+            return ('linear', 0)
+        if message_size >= 65536:
+            return ('linear', 0)
+        if message_size >= 32768:
+            return ('linear', 0)
+        if message_size >= 16384:
+            return ('linear', 0)
+        if True:
+            return ('linear', 0)

@@ -1,0 +1,23 @@
+"""Shared experiment harness for the benchmark suite and the CLI.
+
+:mod:`repro.bench.runner` orchestrates the paper's experiments (selection
+comparisons, model-vs-measurement curves); :mod:`repro.bench.tables`
+formats them as the paper's Tables 1-3; :mod:`repro.bench.figures`
+produces the data series of Figs. 1 and 5 with CSV output and ASCII plots.
+"""
+
+from repro.bench.runner import SelectionRow, selection_comparison
+from repro.bench.tables import format_table1, format_table2, format_table3
+from repro.bench.figures import ascii_plot, fig1_series, fig5_series, write_csv
+
+__all__ = [
+    "SelectionRow",
+    "ascii_plot",
+    "fig1_series",
+    "fig5_series",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "selection_comparison",
+    "write_csv",
+]

@@ -1,0 +1,121 @@
+"""Data series for the paper's figures, with CSV export and ASCII plots.
+
+Figures are regenerated as *data* (CSV rows plus a quick terminal plot) —
+the repository carries no plotting dependency; any spreadsheet or
+matplotlib one-liner turns the CSV into the paper's graphs.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.bench.runner import SelectionRow
+from repro.clusters.spec import ClusterSpec
+from repro.models.hockney import HockneyParams
+from repro.models.traditional import TRADITIONAL_BCAST_MODELS
+from repro.selection.oracle import MeasuredOracle
+from repro.units import KiB, format_bytes
+
+
+def fig1_series(
+    spec: ClusterSpec,
+    p2p_params: HockneyParams,
+    procs: int,
+    sizes: Sequence[int],
+    *,
+    algorithms: Sequence[str] = ("binary", "binomial"),
+    segment_size: int = 8 * KiB,
+    oracle: MeasuredOracle | None = None,
+) -> dict[str, dict[int, float]]:
+    """Fig. 1: traditional model estimates vs experimental curves.
+
+    Returns ``{"<alg>_model": {m: seconds}, "<alg>_measured": {...}}`` for
+    each requested algorithm, using the traditional (definition-based)
+    models parameterised by ping-pong-measured Hockney parameters — the
+    combination the paper shows to be far from reality.
+    """
+    if oracle is None:
+        oracle = MeasuredOracle(spec, segment_size=segment_size)
+    series: dict[str, dict[int, float]] = {}
+    for name in algorithms:
+        model = TRADITIONAL_BCAST_MODELS[name](None)
+        series[f"{name}_model"] = {
+            m: model.predict(procs, m, segment_size, p2p_params) for m in sizes
+        }
+        series[f"{name}_measured"] = {
+            m: oracle.measure(procs, m, name) for m in sizes
+        }
+    return series
+
+
+def fig5_series(rows: Sequence[SelectionRow]) -> dict[str, dict[int, float]]:
+    """Fig. 5: the three curves (Open MPI, model-based, best) of one panel."""
+    return {
+        "ompi": {row.nbytes: row.ompi_time for row in rows},
+        "model_based": {row.nbytes: row.model_time for row in rows},
+        "best": {row.nbytes: row.best_time for row in rows},
+    }
+
+
+def write_csv(
+    path: str | Path, series: Mapping[str, Mapping[int, float]]
+) -> None:
+    """Write ``{series: {x: y}}`` as a wide CSV (one row per x)."""
+    xs = sorted({x for ys in series.values() for x in ys})
+    names = list(series)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["message_bytes"] + names)
+        for x in xs:
+            writer.writerow(
+                [x] + [series[name].get(x, "") for name in names]
+            )
+
+
+def ascii_plot(
+    series: Mapping[str, Mapping[int, float]],
+    *,
+    width: int = 68,
+    title: str = "",
+) -> str:
+    """Log-log scatter of several series on a shared terminal canvas.
+
+    Each series gets a marker letter; overlapping points show the later
+    series' marker.  Good enough to eyeball crossovers in CI logs.
+    """
+    points = [
+        (x, y, index)
+        for index, ys in enumerate(series.values())
+        for x, y in ys.items()
+        if x > 0 and y > 0
+    ]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [math.log10(x) for x, _, _ in points]
+    ys = [math.log10(y) for _, y, _ in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    height = 16
+    canvas = [[" "] * width for _ in range(height)]
+    markers = "abcdefghij"
+    for (x, y, index), lx, ly in zip(points, xs, ys):
+        col = round((lx - x_lo) / x_span * (width - 1))
+        row = (height - 1) - round((ly - y_lo) / y_span * (height - 1))
+        canvas[row][col] = markers[index % len(markers)]
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines = [title] if title else []
+    lines.append(f"y: {10 ** y_hi:.2e}s .. {10 ** y_lo:.2e}s (log)")
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" x: {format_bytes(round(10 ** x_lo))} .. {format_bytes(round(10 ** x_hi))} (log)"
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Experiment orchestration for the paper's evaluation section."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.clusters.spec import ClusterSpec
+from repro.estimation.workflow import PlatformModel
+from repro.selection.model_based import ModelBasedSelector
+from repro.selection.ompi_fixed import OmpiFixedSelector
+from repro.selection.oracle import MeasuredOracle, Selection
+
+
+@dataclass(frozen=True)
+class SelectionRow:
+    """One row of a Table-3-style selection comparison."""
+
+    nbytes: int
+    best: Selection
+    best_time: float
+    model: Selection
+    model_time: float
+    ompi: Selection
+    ompi_time: float
+
+    @property
+    def model_degradation(self) -> float:
+        """Model-based pick's slowdown vs the best, in percent."""
+        return 100.0 * (self.model_time - self.best_time) / self.best_time
+
+    @property
+    def ompi_degradation(self) -> float:
+        """Open MPI pick's slowdown vs the best, in percent."""
+        return 100.0 * (self.ompi_time - self.best_time) / self.best_time
+
+
+def selection_comparison(
+    spec: ClusterSpec,
+    platform: PlatformModel,
+    procs: int,
+    sizes: Sequence[int],
+    *,
+    oracle: MeasuredOracle | None = None,
+    max_reps: int = 8,
+) -> list[SelectionRow]:
+    """Compare best / model-based / Open MPI selections over ``sizes``.
+
+    This is the experiment behind Table 3 and the three curves of Fig. 5.
+    Passing a shared ``oracle`` lets several configurations reuse the
+    (memoised) measurements.
+    """
+    if oracle is None:
+        oracle = MeasuredOracle(spec, max_reps=max_reps)
+    model_selector = ModelBasedSelector(platform)
+    ompi_selector = OmpiFixedSelector()
+
+    rows: list[SelectionRow] = []
+    for nbytes in sizes:
+        best, best_time = oracle.best(procs, nbytes)
+        model = model_selector.select(procs, nbytes)
+        ompi = ompi_selector.select(procs, nbytes)
+        rows.append(
+            SelectionRow(
+                nbytes=nbytes,
+                best=best,
+                best_time=best_time,
+                model=model,
+                model_time=oracle.measure_selection(procs, nbytes, model),
+                ompi=ompi,
+                ompi_time=oracle.measure_selection(procs, nbytes, ompi),
+            )
+        )
+    return rows

@@ -1,0 +1,79 @@
+"""Formatting of the paper's tables from experiment results."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.bench.runner import SelectionRow
+from repro.estimation.alphabeta import AlphaBeta
+from repro.estimation.gamma import GammaEstimate
+from repro.units import format_bytes
+
+
+def format_table1(estimates: Mapping[str, GammaEstimate]) -> str:
+    """Table 1: estimated γ(P) per cluster.
+
+    ``estimates`` maps cluster names to their γ estimates; clusters become
+    columns, exactly like the paper's layout.
+    """
+    clusters = list(estimates)
+    procs = sorted(
+        {p for estimate in estimates.values() for p in estimate.table if p > 2}
+    )
+    header = ["P"] + clusters
+    rows = [
+        [str(p)] + [f"{estimates[c].table.get(p, float('nan')):.3f}" for c in clusters]
+        for p in procs
+    ]
+    return _render([header] + rows, title="Table 1: estimated gamma(P)")
+
+
+def format_table2(per_cluster: Mapping[str, Mapping[str, AlphaBeta]]) -> str:
+    """Table 2: per-algorithm α and β per cluster."""
+    blocks = []
+    for cluster, estimates in per_cluster.items():
+        header = ["Collective algorithm", "alpha (s)", "beta (s/byte)"]
+        rows = [
+            [
+                estimate.algorithm,
+                f"{estimate.alpha:.2e}",
+                f"{estimate.beta:.2e}",
+            ]
+            for estimate in estimates.values()
+        ]
+        blocks.append(
+            _render([header] + rows, title=f"Table 2 ({cluster}): broadcast")
+        )
+    return "\n\n".join(blocks)
+
+
+def format_table3(rows: Sequence[SelectionRow], title: str) -> str:
+    """Table 3: best vs model-based vs Open MPI selection, with degradation."""
+    header = ["m", "Best", "Model-based (%)", "Open MPI (%)"]
+    body = [
+        [
+            format_bytes(row.nbytes),
+            row.best.algorithm,
+            f"{row.model.algorithm} ({row.model_degradation:.0f})",
+            f"{row.ompi.algorithm} ({row.ompi_degradation:.0f})",
+        ]
+        for row in rows
+    ]
+    return _render([header] + body, title=title)
+
+
+def _render(rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """Monospace table rendering with column auto-sizing."""
+    widths = [
+        max(len(str(row[col])) for row in rows) for col in range(len(rows[0]))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(rows):
+        lines.append(
+            "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

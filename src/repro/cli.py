@@ -1,0 +1,329 @@
+"""Command-line front end: ``repro-mpi`` (or ``python -m repro``).
+
+Subcommands mirror the paper's workflow:
+
+* ``clusters`` — list the simulated platforms;
+* ``calibrate`` — run the §4 estimation procedure, write a JSON platform
+  model;
+* ``predict`` / ``select`` — evaluate a calibration at one ``(P, m)``;
+* ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables;
+* ``fig5`` — regenerate one panel of Fig. 5 (CSV + ASCII plot);
+* ``reduce-table`` — the future-work extension: MPI_Reduce selection;
+* ``decision-table`` — precompute and save a deployment decision table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.figures import ascii_plot, fig5_series, write_csv
+from repro.bench.runner import selection_comparison
+from repro.bench.tables import format_table1, format_table2, format_table3
+from repro.clusters import PRESETS, get_preset
+from repro.errors import ReproError
+from repro.estimation.gamma import estimate_gamma
+from repro.estimation.workflow import PlatformModel, calibrate_platform
+from repro.selection.decision_table import build_decision_table
+from repro.selection.model_based import ModelBasedSelector
+from repro.units import KiB, MiB, format_bytes, format_seconds, log_spaced_sizes
+
+#: The paper's size sweep, reused by table3/fig5 commands.
+PAPER_SIZES = log_spaced_sizes(8 * KiB, 4 * MiB, 10)
+
+
+def parse_size(text: str) -> int:
+    """Parse ``"8K"``, ``"4M"``, ``"512"`` into bytes."""
+    text = text.strip().upper().removesuffix("B").removesuffix("I")
+    multiplier = 1
+    if text.endswith("K"):
+        multiplier, text = KiB, text[:-1]
+    elif text.endswith("M"):
+        multiplier, text = MiB, text[:-1]
+    try:
+        return int(float(text) * multiplier)
+    except ValueError:
+        raise ReproError(f"cannot parse size {text!r}") from None
+
+
+def _cmd_clusters(_args) -> int:
+    for spec in PRESETS.values():
+        print(spec.describe())
+    return 0
+
+
+def _cmd_calibrate(args) -> int:
+    spec = get_preset(args.cluster)
+    result = calibrate_platform(
+        spec,
+        procs=args.procs,
+        max_reps=args.max_reps,
+        seed=args.seed,
+    )
+    result.platform.save(args.output)
+    print(f"calibrated {spec.name}; platform model written to {args.output}")
+    gamma = result.platform.gamma
+    print("gamma:", {p: round(g, 3) for p, g in sorted(gamma.table.items())})
+    for name in result.platform.algorithms:
+        params = result.platform.parameters[name]
+        print(f"  {name:13s} {params}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    platform = PlatformModel.load(args.calibration)
+    nbytes = parse_size(args.message)
+    predictions = platform.predict_all(args.procs, nbytes)
+    for name in sorted(predictions, key=predictions.get):
+        print(f"  {name:13s} {format_seconds(predictions[name])}")
+    return 0
+
+
+def _cmd_select(args) -> int:
+    platform = PlatformModel.load(args.calibration)
+    selector = ModelBasedSelector(platform)
+    nbytes = parse_size(args.message)
+    choice, predicted = selector.select_with_prediction(args.procs, nbytes)
+    print(
+        f"P={args.procs} m={format_bytes(nbytes)}: {choice.describe()} "
+        f"(predicted {format_seconds(predicted)})"
+    )
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    estimates = {}
+    for name in args.clusters.split(","):
+        spec = get_preset(name.strip())
+        estimates[spec.name] = estimate_gamma(spec, seed=args.seed)
+    print(format_table1(estimates))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    blocks = {}
+    for name in args.clusters.split(","):
+        spec = get_preset(name.strip())
+        result = calibrate_platform(spec, max_reps=args.max_reps, seed=args.seed)
+        blocks[spec.name] = result.alpha_beta
+    print(format_table2(blocks))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    spec = get_preset(args.cluster)
+    if args.calibration:
+        platform = PlatformModel.load(args.calibration)
+    else:
+        platform = calibrate_platform(
+            spec, max_reps=args.max_reps, seed=args.seed
+        ).platform
+    rows = selection_comparison(spec, platform, args.procs, PAPER_SIZES)
+    print(
+        format_table3(rows, title=f"P={args.procs}, MPI_Bcast, {spec.name}")
+    )
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    spec = get_preset(args.cluster)
+    if args.calibration:
+        platform = PlatformModel.load(args.calibration)
+    else:
+        platform = calibrate_platform(
+            spec, max_reps=args.max_reps, seed=args.seed
+        ).platform
+    rows = selection_comparison(spec, platform, args.procs, PAPER_SIZES)
+    series = fig5_series(rows)
+    if args.csv:
+        write_csv(args.csv, series)
+        print(f"wrote {args.csv}")
+    print(
+        ascii_plot(
+            series, title=f"Fig.5 panel: {spec.name} P={args.procs} (MPI_Bcast)"
+        )
+    )
+    return 0
+
+
+def _cmd_reduce_table(args) -> int:
+    from repro.estimation.reduce_calibration import calibrate_reduce, time_reduce
+    from repro.models.reduce_models import DERIVED_REDUCE_MODELS
+    from repro.selection.ompi_fixed import OmpiFixedSelector
+
+    spec = get_preset(args.cluster)
+    platform, _estimates = calibrate_reduce(
+        spec, max_reps=args.max_reps, seed=args.seed
+    )
+    model_selector = ModelBasedSelector(platform)
+    ompi_selector = OmpiFixedSelector(operation="reduce")
+    print(f"P={args.procs}, MPI_Reduce, {spec.name}")
+    print(f"{'m':>10} {'best':>20} {'model (deg%)':>24} {'Open MPI (deg%)':>30}")
+    for nbytes in PAPER_SIZES:
+        times = {
+            name: time_reduce(spec, name, args.procs, nbytes, 8 * KiB,
+                              seed=args.seed)
+            for name in DERIVED_REDUCE_MODELS
+        }
+        best = min(times, key=times.get)
+        model = model_selector.select(args.procs, nbytes)
+        ompi = ompi_selector.select(args.procs, nbytes)
+        model_time = time_reduce(
+            spec, model.algorithm, args.procs, nbytes, model.segment_size,
+            seed=args.seed,
+        )
+        ompi_time = time_reduce(
+            spec, ompi.algorithm, args.procs, nbytes, ompi.segment_size,
+            seed=args.seed,
+        )
+        model_deg = 100 * (model_time - times[best]) / times[best]
+        ompi_deg = 100 * (ompi_time - times[best]) / times[best]
+        print(
+            f"{format_bytes(nbytes):>10} {best:>20} "
+            f"{model.algorithm:>16} ({model_deg:4.0f}) "
+            f"{ompi.describe():>22} ({ompi_deg:5.0f})"
+        )
+    return 0
+
+
+def _cmd_decision_table(args) -> int:
+    platform = PlatformModel.load(args.calibration)
+    selector = ModelBasedSelector(platform)
+    procs = range(args.min_procs, args.max_procs + 1, args.procs_step)
+    table = build_decision_table(selector, list(procs), PAPER_SIZES)
+    table.save(args.output)
+    print(f"decision table with {len(table.proc_points)}x"
+          f"{len(table.size_points)} entries written to {args.output}")
+    if args.emit_c or args.emit_python:
+        from repro.selection.codegen import generate_c, generate_python
+
+        if args.emit_c:
+            with open(args.emit_c, "w") as handle:
+                handle.write(generate_c(table))
+            print(f"C decision function written to {args.emit_c}")
+        if args.emit_python:
+            with open(args.emit_python, "w") as handle:
+                handle.write(generate_python(table))
+            print(f"Python decision function written to {args.emit_python}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.models.report import render_report
+
+    platform = PlatformModel.load(args.calibration)
+    text = render_report(platform)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mpi",
+        description="Model-based selection of MPI collective algorithms "
+        "(PaCT 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("clusters", help="list simulated cluster presets").set_defaults(
+        func=_cmd_clusters
+    )
+
+    calibrate = sub.add_parser("calibrate", help="run the full §4 calibration")
+    calibrate.add_argument("--cluster", required=True)
+    calibrate.add_argument("--output", required=True)
+    calibrate.add_argument("--procs", type=int, default=None)
+    calibrate.add_argument("--max-reps", type=int, default=8)
+    calibrate.add_argument("--seed", type=int, default=0)
+    calibrate.set_defaults(func=_cmd_calibrate)
+
+    predict = sub.add_parser("predict", help="predict all algorithms at (P, m)")
+    predict.add_argument("--calibration", required=True)
+    predict.add_argument("-P", "--procs", type=int, required=True)
+    predict.add_argument("-m", "--message", required=True)
+    predict.set_defaults(func=_cmd_predict)
+
+    select = sub.add_parser("select", help="model-based selection at (P, m)")
+    select.add_argument("--calibration", required=True)
+    select.add_argument("-P", "--procs", type=int, required=True)
+    select.add_argument("-m", "--message", required=True)
+    select.set_defaults(func=_cmd_select)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1 (gamma)")
+    table1.add_argument("--clusters", default="grisou,gros")
+    table1.add_argument("--seed", type=int, default=0)
+    table1.set_defaults(func=_cmd_table1)
+
+    table2 = sub.add_parser("table2", help="regenerate Table 2 (alpha/beta)")
+    table2.add_argument("--clusters", default="grisou,gros")
+    table2.add_argument("--max-reps", type=int, default=8)
+    table2.add_argument("--seed", type=int, default=0)
+    table2.set_defaults(func=_cmd_table2)
+
+    table3 = sub.add_parser("table3", help="regenerate Table 3 (selection)")
+    table3.add_argument("--cluster", required=True)
+    table3.add_argument("-P", "--procs", type=int, required=True)
+    table3.add_argument("--calibration", default=None)
+    table3.add_argument("--max-reps", type=int, default=8)
+    table3.add_argument("--seed", type=int, default=0)
+    table3.set_defaults(func=_cmd_table3)
+
+    fig5 = sub.add_parser("fig5", help="regenerate one Fig. 5 panel")
+    fig5.add_argument("--cluster", required=True)
+    fig5.add_argument("-P", "--procs", type=int, required=True)
+    fig5.add_argument("--calibration", default=None)
+    fig5.add_argument("--csv", default=None)
+    fig5.add_argument("--max-reps", type=int, default=8)
+    fig5.add_argument("--seed", type=int, default=0)
+    fig5.set_defaults(func=_cmd_fig5)
+
+    reduce_table = sub.add_parser(
+        "reduce-table", help="future-work extension: MPI_Reduce selection table"
+    )
+    reduce_table.add_argument("--cluster", required=True)
+    reduce_table.add_argument("-P", "--procs", type=int, required=True)
+    reduce_table.add_argument("--max-reps", type=int, default=6)
+    reduce_table.add_argument("--seed", type=int, default=0)
+    reduce_table.set_defaults(func=_cmd_reduce_table)
+
+    table = sub.add_parser(
+        "decision-table", help="precompute a deployment decision table"
+    )
+    table.add_argument("--calibration", required=True)
+    table.add_argument("--output", required=True)
+    table.add_argument("--min-procs", type=int, default=2)
+    table.add_argument("--max-procs", type=int, default=128)
+    table.add_argument("--procs-step", type=int, default=2)
+    table.add_argument("--emit-c", default=None,
+                       help="also write a generated C decision function")
+    table.add_argument("--emit-python", default=None,
+                       help="also write a generated Python decision function")
+    table.set_defaults(func=_cmd_decision_table)
+
+    report = sub.add_parser(
+        "report", help="render a calibration as a Markdown report"
+    )
+    report.add_argument("--calibration", required=True)
+    report.add_argument("--output", default=None)
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Cluster descriptions and world construction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import SimulationError
+from repro.mpi.communicator import MpiWorld
+from repro.sim.engine import Simulator
+from repro.sim.network import Fabric, NetworkParams
+from repro.sim.noise import LognormalNoise, NoNoise
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A simulated cluster platform.
+
+    Combines the node inventory with the fabric parameters and a default
+    noise level.  ``rank_to_node`` uses block ("by slot") placement, the
+    Open MPI default: ranks fill a node's slots before moving to the next
+    node, so e.g. Grisou's two ranks per node make ranks ``2k`` and
+    ``2k + 1`` node-local.
+    """
+
+    name: str
+    nodes: int
+    procs_per_node: int
+    network: NetworkParams
+    #: Lognormal sigma of run-to-run cost jitter (0 disables noise).
+    noise_sigma: float = 0.0
+    #: NIC ports per node; co-located ranks round-robin over ports, so a
+    #: node with as many ports as ranks has no injection contention.
+    nics_per_node: int = 1
+    #: Per-node NIC slowdown factors (straggler nodes), e.g. ``{60: 6.0}``.
+    slow_nodes: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise SimulationError(f"{self.name}: need at least one node")
+        if self.procs_per_node < 1:
+            raise SimulationError(f"{self.name}: need at least one proc per node")
+        if self.nics_per_node < 1:
+            raise SimulationError(f"{self.name}: need at least one NIC port")
+
+    @property
+    def max_procs(self) -> int:
+        """Largest process count this cluster can host."""
+        return self.nodes * self.procs_per_node
+
+    def rank_to_node(self, procs: int, mapping: str = "block") -> list[int]:
+        """Map ``procs`` ranks onto nodes.
+
+        ``"block"`` (by-slot, the Open MPI default) fills each node's slots
+        before moving on; ``"spread"`` (by-node, round-robin) puts
+        consecutive ranks on distinct nodes — used by the small-P parameter
+        estimation experiments so every link under test is a network link.
+        """
+        if not 1 <= procs <= self.max_procs:
+            raise SimulationError(
+                f"{self.name}: {procs} procs outside 1..{self.max_procs}"
+            )
+        if mapping == "block":
+            return [rank // self.procs_per_node for rank in range(procs)]
+        if mapping == "spread":
+            return [rank % self.nodes for rank in range(procs)]
+        raise SimulationError(f"unknown mapping {mapping!r}; use 'block' or 'spread'")
+
+    def make_world(
+        self,
+        procs: int,
+        seed: int = 0,
+        noise_sigma: float | None = None,
+        tracer: Tracer = NULL_TRACER,
+        mapping: str = "block",
+    ) -> MpiWorld:
+        """A fresh simulated world with ``procs`` ranks on this cluster.
+
+        Each call builds an independent simulator; pass distinct ``seed``
+        values to obtain independent noise realisations (repetitions of a
+        measurement).
+        """
+        sigma = self.noise_sigma if noise_sigma is None else noise_sigma
+        noise = LognormalNoise(sigma=sigma, seed=seed) if sigma > 0 else NoNoise()
+        placement = self.rank_to_node(procs, mapping=mapping)
+        slots_seen: dict[int, int] = {}
+        ports = []
+        for node in placement:
+            slot = slots_seen.get(node, 0)
+            slots_seen[node] = slot + 1
+            ports.append(slot % self.nics_per_node)
+        fabric = Fabric(
+            params=self.network,
+            num_nodes=max(placement) + 1,
+            noise=noise,
+            ports_per_node=self.nics_per_node,
+            degradation={
+                node: factor
+                for node, factor in self.slow_nodes.items()
+                if node <= max(placement)
+            },
+        )
+        return MpiWorld(
+            Simulator(), fabric, placement, tracer=tracer, rank_to_port=ports
+        )
+
+    def with_noise(self, sigma: float) -> "ClusterSpec":
+        """A copy of this spec with a different default noise level."""
+        return replace(self, noise_sigma=sigma)
+
+    def with_slow_nodes(self, slow_nodes: dict) -> "ClusterSpec":
+        """A copy of this spec with straggler nodes injected.
+
+        ``slow_nodes`` maps node ids to NIC slowdown factors (>= 1).  Use to
+        study algorithm sensitivity to platform pathologies — long pipelines
+        route every byte through every node, so one straggler collapses
+        them, while trees only suffer if the straggler lands on an interior
+        position.
+        """
+        return replace(self, slow_nodes=dict(slow_nodes))
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI."""
+        net = self.network
+        return (
+            f"{self.name}: {self.nodes} nodes x {self.procs_per_node} procs, "
+            f"latency {net.latency * 1e6:.1f} us, "
+            f"{8e-9 / net.byte_time_out:.0f} Gbit/s, "
+            f"eager limit {net.eager_limit} B"
+        )

@@ -1,0 +1,36 @@
+"""Simulated ports of Open MPI's tuned collective algorithms.
+
+The broadcast algorithms in :mod:`repro.collectives.bcast` mirror the control
+flow of ``ompi/mca/coll/base/coll_base_bcast.c`` (Open MPI 3.1): a generic
+pipelined tree broadcast instantiated over the virtual topologies of
+:mod:`repro.topology`, plus the two special cases (non-segmented linear and
+the two-phase split-binary).  The paper derives its analytical models from
+exactly this code structure, so the implementations here are the ground
+truth that the models in :mod:`repro.models.derived` must predict.
+
+Also provided: the linear gather used by the paper's α/β estimation
+experiments, barriers for the measurement harness, and — as the "future
+work" extension — scatter, reduce, allgather and allreduce algorithm
+families.
+"""
+
+from repro.collectives.barrier import BARRIER_ALGORITHMS
+from repro.collectives.bcast import BCAST_ALGORITHMS, BcastAlgorithm
+from repro.collectives.gather import GATHER_ALGORITHMS
+from repro.collectives.registry import (
+    CollectiveAlgorithm,
+    algorithm_names,
+    get_algorithm,
+    operations,
+)
+
+__all__ = [
+    "BARRIER_ALGORITHMS",
+    "BCAST_ALGORITHMS",
+    "GATHER_ALGORITHMS",
+    "BcastAlgorithm",
+    "CollectiveAlgorithm",
+    "algorithm_names",
+    "get_algorithm",
+    "operations",
+]

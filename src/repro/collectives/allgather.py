@@ -1,0 +1,138 @@
+"""Allgather algorithms (extension: the paper's future-work collectives).
+
+Ports of ``coll_base_allgather.c``: ring, recursive doubling (power-of-two
+communicators; falls back to ring otherwise, as Open MPI does), neighbor
+exchange (even communicators only) and Bruck.  ``nbytes`` is the per-rank
+contribution size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.mpi.communicator import Communicator
+from repro.sim.engine import SimGen
+
+#: Tag space for allgather rounds.
+TAG_ALLGATHER = 7_000
+
+
+def allgather_ring(comm: Communicator, nbytes: int) -> SimGen:
+    """Ring allgather: P-1 steps, each forwarding one block."""
+    size = comm.size
+    if size == 1:
+        return
+    rank = comm.rank
+    right = (rank + 1) % size
+    left = (rank - 1 + size) % size
+    for step in range(size - 1):
+        tag = TAG_ALLGATHER + step
+        yield from comm.sendrecv(
+            dest=right, nbytes=nbytes, source=left, sendtag=tag, recvtag=tag
+        )
+
+
+def allgather_recursive_doubling(comm: Communicator, nbytes: int) -> SimGen:
+    """Recursive doubling: log2(P) rounds with doubling payloads.
+
+    Exact only for power-of-two communicators; other sizes fall back to the
+    ring algorithm, mirroring Open MPI's guard.
+    """
+    size = comm.size
+    if size == 1:
+        return
+    if size & (size - 1):
+        yield from allgather_ring(comm, nbytes)
+        return
+    rank = comm.rank
+    distance = 1
+    round_index = 0
+    block = nbytes
+    while distance < size:
+        partner = rank ^ distance
+        tag = TAG_ALLGATHER + 100 + round_index
+        yield from comm.sendrecv(
+            dest=partner, nbytes=block, source=partner, sendtag=tag, recvtag=tag
+        )
+        block *= 2
+        distance *= 2
+        round_index += 1
+
+
+def allgather_neighbor_exchange(comm: Communicator, nbytes: int) -> SimGen:
+    """Neighbor exchange: P/2 rounds of pairwise two-block swaps.
+
+    Defined for even communicator sizes; odd sizes fall back to the ring,
+    as Open MPI does.
+    """
+    size = comm.size
+    if size == 1:
+        return
+    if size % 2:
+        yield from allgather_ring(comm, nbytes)
+        return
+    rank = comm.rank
+    even = rank % 2 == 0
+    for step in range(size // 2):
+        if step == 0:
+            partner = rank + 1 if even else rank - 1
+            block = nbytes
+        elif (step % 2 == 1) == even:
+            partner = (rank - 1 + size) % size
+            block = 2 * nbytes
+        else:
+            partner = (rank + 1) % size
+            block = 2 * nbytes
+        tag = TAG_ALLGATHER + 200 + step
+        yield from comm.sendrecv(
+            dest=partner, nbytes=block, source=partner, sendtag=tag, recvtag=tag
+        )
+
+
+def allgather_bruck(comm: Communicator, nbytes: int) -> SimGen:
+    """Bruck allgather: ceil(log2 P) rounds, any communicator size."""
+    size = comm.size
+    if size == 1:
+        return
+    rank = comm.rank
+    distance = 1
+    round_index = 0
+    while distance < size:
+        send_to = (rank - distance + size) % size
+        recv_from = (rank + distance) % size
+        block = min(distance, size - distance) * nbytes
+        tag = TAG_ALLGATHER + 300 + round_index
+        recv_request = yield from comm.irecv(recv_from, tag=tag)
+        send_request = yield from comm.isend(send_to, block, tag=tag)
+        yield from comm.waitall([send_request, recv_request])
+        distance *= 2
+        round_index += 1
+
+
+@dataclass(frozen=True)
+class AllgatherAlgorithm:
+    """Catalogue entry for one allgather algorithm."""
+
+    name: str
+    display_name: str
+    func: Callable[[Communicator, int], SimGen]
+
+    def __call__(self, comm: Communicator, nbytes: int) -> SimGen:
+        return self.func(comm, nbytes)
+
+
+#: Allgather algorithm catalogue.
+ALLGATHER_ALGORITHMS: dict[str, AllgatherAlgorithm] = {
+    algorithm.name: algorithm
+    for algorithm in (
+        AllgatherAlgorithm("ring", "Ring", allgather_ring),
+        AllgatherAlgorithm(
+            "recursive_doubling", "Recursive doubling", allgather_recursive_doubling
+        ),
+        AllgatherAlgorithm(
+            "neighbor_exchange", "Neighbor exchange", allgather_neighbor_exchange
+        ),
+        AllgatherAlgorithm("bruck", "Bruck", allgather_bruck),
+    )
+}

@@ -1,0 +1,117 @@
+"""Allreduce algorithms (extension: the paper's future-work collectives).
+
+Ports of ``coll_base_allreduce.c``: recursive doubling and the
+bandwidth-optimal ring (reduce-scatter phase followed by an allgather
+phase).  ``nbytes`` is the full vector size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.collectives.reduce import DEFAULT_OP_BYTE_TIME
+from repro.mpi.communicator import Communicator
+from repro.sim.engine import SimGen
+
+#: Tag space for allreduce rounds.
+TAG_ALLREDUCE = 8_000
+
+
+def allreduce_recursive_doubling(
+    comm: Communicator, nbytes: int, op_byte_time: float = DEFAULT_OP_BYTE_TIME
+) -> SimGen:
+    """Recursive doubling: log2 rounds of full-vector exchanges.
+
+    Non-power-of-two sizes fold the surplus ranks into the nearest power of
+    two first (they contribute, then receive the result), as Open MPI does.
+    """
+    size = comm.size
+    if size == 1:
+        return
+    rank = comm.rank
+    base = 1
+    while base * 2 <= size:
+        base *= 2
+    surplus = size - base
+
+    if rank >= base:
+        yield from comm.send(rank - base, nbytes, tag=TAG_ALLREDUCE)
+        yield from comm.recv(rank - base, tag=TAG_ALLREDUCE + 99)
+        return
+    if rank < surplus:
+        yield from comm.recv(rank + base, tag=TAG_ALLREDUCE)
+        yield from comm.compute(nbytes * op_byte_time)
+
+    distance = 1
+    round_index = 1
+    while distance < base:
+        partner = rank ^ distance
+        tag = TAG_ALLREDUCE + round_index
+        yield from comm.sendrecv(
+            dest=partner, nbytes=nbytes, source=partner, sendtag=tag, recvtag=tag
+        )
+        yield from comm.compute(nbytes * op_byte_time)
+        distance *= 2
+        round_index += 1
+
+    if rank < surplus:
+        yield from comm.send(rank + base, nbytes, tag=TAG_ALLREDUCE + 99)
+
+
+def allreduce_ring(
+    comm: Communicator, nbytes: int, op_byte_time: float = DEFAULT_OP_BYTE_TIME
+) -> SimGen:
+    """Ring allreduce: reduce-scatter then allgather, 2(P-1) steps.
+
+    Each step moves one P-th of the vector; total traffic per rank is
+    ``2 m (P-1)/P`` — the bandwidth-optimal schedule popularised by deep
+    learning frameworks, present in Open MPI as ``allreduce_intra_ring``.
+    """
+    size = comm.size
+    if size == 1:
+        return
+    rank = comm.rank
+    right = (rank + 1) % size
+    left = (rank - 1 + size) % size
+    chunk = max(1, nbytes // size)
+
+    # Phase 1: reduce-scatter — each step forwards a partial block and
+    # combines the one that arrives.
+    for step in range(size - 1):
+        tag = TAG_ALLREDUCE + 200 + step
+        yield from comm.sendrecv(
+            dest=right, nbytes=chunk, source=left, sendtag=tag, recvtag=tag
+        )
+        yield from comm.compute(chunk * op_byte_time)
+
+    # Phase 2: allgather of the reduced blocks.
+    for step in range(size - 1):
+        tag = TAG_ALLREDUCE + 400 + step
+        yield from comm.sendrecv(
+            dest=right, nbytes=chunk, source=left, sendtag=tag, recvtag=tag
+        )
+
+
+@dataclass(frozen=True)
+class AllreduceAlgorithm:
+    """Catalogue entry for one allreduce algorithm."""
+
+    name: str
+    display_name: str
+    func: Callable[[Communicator, int], SimGen]
+
+    def __call__(self, comm: Communicator, nbytes: int) -> SimGen:
+        return self.func(comm, nbytes)
+
+
+#: Allreduce algorithm catalogue.
+ALLREDUCE_ALGORITHMS: dict[str, AllreduceAlgorithm] = {
+    algorithm.name: algorithm
+    for algorithm in (
+        AllreduceAlgorithm(
+            "recursive_doubling", "Recursive doubling", allreduce_recursive_doubling
+        ),
+        AllreduceAlgorithm("ring", "Ring (reduce-scatter + allgather)", allreduce_ring),
+    )
+}

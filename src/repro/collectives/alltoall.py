@@ -1,0 +1,116 @@
+"""Alltoall algorithms (extension).
+
+Alltoall is the fourth operation studied by Pjevsivac-Grbovic et al. [8]
+(with barrier, broadcast and reduce), so the catalogue carries it too.
+Ports of ``coll_base_alltoall.c``: basic linear (all pairs at once),
+pairwise exchange (P-1 structured rounds) and Bruck's log-round algorithm
+for small messages.  ``nbytes`` is the per-pair block size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.mpi.communicator import Communicator
+from repro.sim.engine import SimGen
+
+#: Tag space for alltoall rounds.
+TAG_ALLTOALL = 10_000
+
+
+def alltoall_linear(comm: Communicator, nbytes: int) -> SimGen:
+    """Basic linear alltoall: post everything, wait for everything.
+
+    Port of ``alltoall_intra_basic_linear``: each rank posts P-1 irecvs and
+    P-1 isends and waits for the lot — maximum concurrency, maximum
+    contention.
+    """
+    size = comm.size
+    if size == 1:
+        return
+    rank = comm.rank
+    requests = []
+    for peer in range(size):
+        if peer == rank:
+            continue
+        request = yield from comm.irecv(peer, tag=TAG_ALLTOALL)
+        requests.append(request)
+    for peer in range(size):
+        if peer == rank:
+            continue
+        request = yield from comm.isend(peer, nbytes, tag=TAG_ALLTOALL)
+        requests.append(request)
+    yield from comm.waitall(requests)
+
+
+def alltoall_pairwise(comm: Communicator, nbytes: int) -> SimGen:
+    """Pairwise exchange: P-1 rounds, round ``s`` swaps with ``rank ^ s``-style
+    partners (``rank + s`` / ``rank - s`` ring arithmetic, as Open MPI does).
+
+    Port of ``alltoall_intra_pairwise``.
+    """
+    size = comm.size
+    if size == 1:
+        return
+    rank = comm.rank
+    for step in range(1, size):
+        send_to = (rank + step) % size
+        recv_from = (rank - step + size) % size
+        tag = TAG_ALLTOALL + step
+        yield from comm.sendrecv(
+            dest=send_to, nbytes=nbytes, source=recv_from, sendtag=tag, recvtag=tag
+        )
+
+
+def alltoall_bruck(comm: Communicator, nbytes: int) -> SimGen:
+    """Bruck alltoall: ``ceil(log2 P)`` rounds of bundled blocks.
+
+    Port of ``alltoall_intra_bruck``: in round ``k`` every rank ships all
+    blocks whose destination index has bit ``k`` set — about half the
+    buffer, ``ceil(P/2)`` blocks — to ``rank + 2^k``.  Fewer, larger
+    messages: the small-message algorithm.
+    """
+    size = comm.size
+    if size == 1:
+        return
+    rank = comm.rank
+    distance = 1
+    round_index = 0
+    while distance < size:
+        blocks = sum(1 for index in range(size) if index & distance)
+        send_to = (rank + distance) % size
+        recv_from = (rank - distance + size) % size
+        tag = TAG_ALLTOALL + 100 + round_index
+        yield from comm.sendrecv(
+            dest=send_to,
+            nbytes=blocks * nbytes,
+            source=recv_from,
+            sendtag=tag,
+            recvtag=tag,
+        )
+        distance *= 2
+        round_index += 1
+
+
+@dataclass(frozen=True)
+class AlltoallAlgorithm:
+    """Catalogue entry for one alltoall algorithm."""
+
+    name: str
+    display_name: str
+    func: Callable[[Communicator, int], SimGen]
+
+    def __call__(self, comm: Communicator, nbytes: int) -> SimGen:
+        return self.func(comm, nbytes)
+
+
+#: Alltoall algorithm catalogue.
+ALLTOALL_ALGORITHMS: dict[str, AlltoallAlgorithm] = {
+    algorithm.name: algorithm
+    for algorithm in (
+        AlltoallAlgorithm("linear", "Basic linear", alltoall_linear),
+        AlltoallAlgorithm("pairwise", "Pairwise exchange", alltoall_pairwise),
+        AlltoallAlgorithm("bruck", "Bruck", alltoall_bruck),
+    )
+}

@@ -1,0 +1,169 @@
+"""Barrier algorithms.
+
+The paper's γ(P) measurement (§4.1) interleaves the timed broadcast calls
+with barriers, and MPIBlib-style measurement synchronises repetitions with
+barriers, so the simulator needs faithful barriers too.  Ports of the
+algorithms in ``coll_base_barrier.c``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.mpi.communicator import Communicator
+from repro.sim.engine import SimGen
+
+#: Tag space for barrier rounds.
+TAG_BARRIER = 3_000
+#: Barrier messages are empty; the cost is pure latency/overhead.
+_BARRIER_BYTES = 0
+
+
+def barrier_linear(comm: Communicator, root: int = 0) -> SimGen:
+    """Fan-in/fan-out linear barrier (``barrier_intra_basic_linear``)."""
+    size = comm.size
+    if size == 1:
+        return
+    if comm.rank == root:
+        requests = []
+        for peer in range(size):
+            if peer != root:
+                request = yield from comm.irecv(peer, tag=TAG_BARRIER)
+                requests.append(request)
+        yield from comm.waitall(requests)
+        requests = []
+        for peer in range(size):
+            if peer != root:
+                request = yield from comm.isend(peer, _BARRIER_BYTES, tag=TAG_BARRIER + 1)
+                requests.append(request)
+        yield from comm.waitall(requests)
+    else:
+        yield from comm.send(root, _BARRIER_BYTES, tag=TAG_BARRIER)
+        yield from comm.recv(root, tag=TAG_BARRIER + 1)
+
+
+def barrier_recursive_doubling(comm: Communicator, root: int = 0) -> SimGen:
+    """Recursive-doubling barrier (``barrier_intra_recursivedoubling``).
+
+    Non-power-of-two sizes fold the surplus ranks into the largest power of
+    two below the communicator size, run log2 exchange rounds inside the
+    base group, then release the surplus ranks.
+    """
+    del root  # barriers have no root; kept for interface uniformity
+    size = comm.size
+    if size == 1:
+        return
+    rank = comm.rank
+    base = 1
+    while base * 2 <= size:
+        base *= 2
+    surplus = size - base
+
+    if rank >= base:
+        # Surplus rank: notify a base partner, wait for release.
+        partner = rank - base
+        yield from comm.send(partner, _BARRIER_BYTES, tag=TAG_BARRIER)
+        yield from comm.recv(partner, tag=TAG_BARRIER + 99)
+        return
+
+    if rank < surplus:
+        yield from comm.recv(rank + base, tag=TAG_BARRIER)
+
+    distance = 1
+    round_index = 1
+    while distance < base:
+        partner = rank ^ distance
+        yield from comm.sendrecv(
+            dest=partner,
+            nbytes=_BARRIER_BYTES,
+            source=partner,
+            sendtag=TAG_BARRIER + round_index,
+            recvtag=TAG_BARRIER + round_index,
+        )
+        distance *= 2
+        round_index += 1
+
+    if rank < surplus:
+        yield from comm.send(rank + base, _BARRIER_BYTES, tag=TAG_BARRIER + 99)
+
+
+def barrier_double_ring(comm: Communicator, root: int = 0) -> SimGen:
+    """Double-ring barrier (``barrier_intra_doublering``).
+
+    A token circulates the ring twice; the first pass establishes that
+    everyone arrived, the second releases everyone.
+    """
+    del root
+    size = comm.size
+    if size == 1:
+        return
+    rank = comm.rank
+    left = (rank + size - 1) % size
+    right = (rank + 1) % size
+    for lap in (0, 1):
+        tag = TAG_BARRIER + 10 + lap
+        if rank == 0:
+            yield from comm.send(right, _BARRIER_BYTES, tag=tag)
+            yield from comm.recv(left, tag=tag)
+        else:
+            yield from comm.recv(left, tag=tag)
+            yield from comm.send(right, _BARRIER_BYTES, tag=tag)
+
+
+def barrier_bruck(comm: Communicator, root: int = 0) -> SimGen:
+    """Bruck (dissemination) barrier (``barrier_intra_bruck``).
+
+    ``ceil(log2 P)`` rounds; in round ``k`` each rank sends to
+    ``rank + 2^k`` and receives from ``rank - 2^k`` (mod P).  Works for any
+    communicator size.
+    """
+    del root
+    size = comm.size
+    if size == 1:
+        return
+    rank = comm.rank
+    distance = 1
+    round_index = 0
+    while distance < size:
+        to = (rank + distance) % size
+        frm = (rank - distance + size) % size
+        tag = TAG_BARRIER + 20 + round_index
+        yield from comm.sendrecv(
+            dest=to, nbytes=_BARRIER_BYTES, source=frm, sendtag=tag, recvtag=tag
+        )
+        distance *= 2
+        round_index += 1
+
+
+#: Signature shared by barrier algorithms.
+BarrierFn = Callable[[Communicator], SimGen]
+
+
+@dataclass(frozen=True)
+class BarrierAlgorithm:
+    """Catalogue entry for one barrier algorithm."""
+
+    name: str
+    display_name: str
+    func: Callable[..., SimGen]
+
+    def __call__(self, comm: Communicator) -> SimGen:
+        return self.func(comm)
+
+
+#: Barrier algorithm catalogue.
+BARRIER_ALGORITHMS: dict[str, BarrierAlgorithm] = {
+    algorithm.name: algorithm
+    for algorithm in (
+        BarrierAlgorithm("linear", "Fan-in/fan-out", barrier_linear),
+        BarrierAlgorithm(
+            "recursive_doubling", "Recursive doubling", barrier_recursive_doubling
+        ),
+        BarrierAlgorithm("double_ring", "Double ring", barrier_double_ring),
+        BarrierAlgorithm("bruck", "Bruck dissemination", barrier_bruck),
+    )
+}
+
+#: The barrier the measurement harness uses between repetitions.
+DEFAULT_BARRIER = BARRIER_ALGORITHMS["recursive_doubling"]

@@ -1,0 +1,438 @@
+"""The six Open MPI broadcast algorithms, re-implemented on the simulator.
+
+Each algorithm is a generator function with signature
+``algorithm(comm, root, nbytes, segment_size)`` executed by every rank of
+the communicator.  The implementations mirror Open MPI 3.1's
+``coll_base_bcast.c``:
+
+* ``bcast_linear`` — ``bcast_intra_basic_linear``: the root posts one
+  non-blocking send of the whole message per peer and waits for all of
+  them; never segmented.
+* ``bcast_chain`` / ``bcast_k_chain`` / ``bcast_binary`` /
+  ``bcast_binomial`` — ``bcast_intra_generic`` over the chain (1 or K
+  chains), balanced-binary and binomial topologies: the root pushes each
+  segment to all children with non-blocking sends (the *non-blocking linear
+  broadcast* whose cost the paper models as ``γ(P)·(α+βm)``), interior
+  nodes run a double-buffered receive/forward pipeline.
+* ``bcast_split_binary`` — ``bcast_intra_split_bintree``: the message is
+  split in two halves pipelined down the left and right subtrees of the
+  binary tree, then mirror nodes of the two subtrees exchange halves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.mpi.communicator import Communicator
+from repro.mpi.segmentation import plan_segments
+from repro.sim.engine import SimGen
+from repro.topology import (
+    Tree,
+    build_binary_tree,
+    build_binomial_tree,
+    build_chain_tree,
+)
+
+#: Base tag for broadcast traffic; segment ``i`` uses ``TAG_BCAST + i``.
+TAG_BCAST = 1_000
+#: Tag for the split-binary exchange phase.
+TAG_BCAST_XCHG = 900_000
+
+#: Open MPI's default number of chains for the chain ("K-chain") algorithm.
+DEFAULT_CHAIN_FANOUT = 4
+
+
+def bcast_linear(
+    comm: Communicator, root: int, nbytes: int, segment_size: int = 0
+) -> SimGen:
+    """Linear-tree broadcast with non-blocking sends, never segmented.
+
+    Port of ``ompi_coll_base_bcast_intra_basic_linear``: the root isends the
+    full message to every other rank and waits for all sends; every other
+    rank receives once.  ``segment_size`` is accepted for interface
+    uniformity and ignored, like Open MPI ignores it for this algorithm.
+    """
+    del segment_size  # the linear algorithm is never segmented
+    if comm.size == 1:
+        return
+    if comm.rank == root:
+        requests = []
+        for peer in range(comm.size):
+            if peer == root:
+                continue
+            request = yield from comm.isend(peer, nbytes, tag=TAG_BCAST)
+            requests.append(request)
+        yield from comm.waitall(requests)
+    else:
+        yield from comm.recv(root, tag=TAG_BCAST)
+
+
+def _generic_tree_bcast(
+    comm: Communicator, tree: Tree, nbytes: int, segment_size: int
+) -> SimGen:
+    """Port of ``ompi_coll_base_bcast_intra_generic``.
+
+    Root: for each segment, non-blocking sends to all children, then wait
+    for that round (the per-stage *non-blocking linear broadcast*).
+    Interior: double-buffered pipeline — post the receive for segment
+    ``i+1``, wait for segment ``i``, forward it to all children, wait for
+    those sends.  Leaf: receive the segments in order.
+    """
+    plan = plan_segments(nbytes, segment_size)
+    rank = comm.rank
+    children = tree.children[rank]
+    parent = tree.parent[rank]
+
+    if rank == tree.root:
+        for index, size in enumerate(plan.sizes):
+            requests = []
+            for child in children:
+                request = yield from comm.isend(child, size, tag=TAG_BCAST + index)
+                requests.append(request)
+            yield from comm.waitall(requests)
+        return
+
+    if children:
+        previous = yield from comm.irecv(parent, tag=TAG_BCAST + 0)
+        for index in range(1, plan.num_segments):
+            upcoming = yield from comm.irecv(parent, tag=TAG_BCAST + index)
+            yield from comm.wait(previous)
+            requests = []
+            for child in children:
+                request = yield from comm.isend(
+                    child, plan.sizes[index - 1], tag=TAG_BCAST + index - 1
+                )
+                requests.append(request)
+            yield from comm.waitall(requests)
+            previous = upcoming
+        yield from comm.wait(previous)
+        last = plan.num_segments - 1
+        requests = []
+        for child in children:
+            request = yield from comm.isend(
+                child, plan.sizes[last], tag=TAG_BCAST + last
+            )
+            requests.append(request)
+        yield from comm.waitall(requests)
+        return
+
+    # Leaf: double-buffered receives, as in Open MPI.
+    previous = yield from comm.irecv(parent, tag=TAG_BCAST + 0)
+    for index in range(1, plan.num_segments):
+        upcoming = yield from comm.irecv(parent, tag=TAG_BCAST + index)
+        yield from comm.wait(previous)
+        previous = upcoming
+    yield from comm.wait(previous)
+
+
+def bcast_chain(
+    comm: Communicator, root: int, nbytes: int, segment_size: int
+) -> SimGen:
+    """Chain (pipeline) broadcast: one chain through all ranks, segmented.
+
+    Port of ``ompi_coll_base_bcast_intra_pipeline``.
+    """
+    if comm.size == 1:
+        return
+    tree = build_chain_tree(comm.size, root, chains=1)
+    yield from _generic_tree_bcast(comm, tree, nbytes, segment_size)
+
+
+def bcast_k_chain(
+    comm: Communicator,
+    root: int,
+    nbytes: int,
+    segment_size: int,
+    chains: int = DEFAULT_CHAIN_FANOUT,
+) -> SimGen:
+    """K-chain broadcast: ``chains`` parallel pipelines off the root.
+
+    Port of ``ompi_coll_base_bcast_intra_chain`` with Open MPI's default
+    fanout of 4 chains.
+    """
+    if comm.size == 1:
+        return
+    tree = build_chain_tree(comm.size, root, chains=chains)
+    yield from _generic_tree_bcast(comm, tree, nbytes, segment_size)
+
+
+def bcast_binary(
+    comm: Communicator, root: int, nbytes: int, segment_size: int
+) -> SimGen:
+    """Balanced-binary-tree broadcast, segmented.
+
+    Port of ``ompi_coll_base_bcast_intra_bintree``.
+    """
+    if comm.size == 1:
+        return
+    tree = build_binary_tree(comm.size, root)
+    yield from _generic_tree_bcast(comm, tree, nbytes, segment_size)
+
+
+def bcast_binomial(
+    comm: Communicator, root: int, nbytes: int, segment_size: int
+) -> SimGen:
+    """Binomial-tree broadcast, segmented (paper §3.1).
+
+    Port of ``ompi_coll_base_bcast_intra_binomial``.
+    """
+    if comm.size == 1:
+        return
+    tree = build_binomial_tree(comm.size, root)
+    yield from _generic_tree_bcast(comm, tree, nbytes, segment_size)
+
+
+def _split_halves(nbytes: int, segment_size: int) -> tuple[int, int]:
+    """Sizes of the two message halves, aligned to segment boundaries.
+
+    The left subtree's half gets the extra segment when the segment count
+    is odd, as in ``bcast_intra_split_bintree``.
+    """
+    plan = plan_segments(nbytes, segment_size)
+    left_segments = (plan.num_segments + 1) // 2
+    left = sum(plan.sizes[:left_segments])
+    return left, nbytes - left
+
+
+def _subtree_members(tree: Tree, subtree_root: int) -> list[int]:
+    """Ranks of the subtree rooted at ``subtree_root``, in BFS order."""
+    members = [subtree_root]
+    frontier = [subtree_root]
+    while frontier:
+        nxt: list[int] = []
+        for rank in frontier:
+            nxt.extend(tree.children[rank])
+        members.extend(nxt)
+        frontier = nxt
+    return members
+
+
+def bcast_split_binary(
+    comm: Communicator, root: int, nbytes: int, segment_size: int
+) -> SimGen:
+    """Split-binary-tree broadcast, segmented.
+
+    Port of ``ompi_coll_base_bcast_intra_split_bintree``: phase one pipelines
+    the first half of the message down the root's left subtree and the second
+    half down the right subtree; phase two pairs each node of the left
+    subtree with its mirror node in the right subtree for a half exchange
+    (this is the "large number of independent pairs of processes" whose
+    parallelism the paper credits for the algorithm's low effective α/β).
+    When the two subtrees differ in size, surplus nodes wrap around to
+    mirrors that serve at most one extra partner, keeping the exchange
+    parallel for every communicator size.
+
+    Falls back to the linear algorithm when the communicator or the message
+    cannot be split (size < 3 or fewer than two segments), as Open MPI does.
+    """
+    size = comm.size
+    if size == 1:
+        return
+    plan = plan_segments(nbytes, segment_size)
+    if size < 3 or plan.num_segments < 2:
+        yield from bcast_linear(comm, root, nbytes)
+        return
+
+    tree = build_binary_tree(size, root)
+    left_root, right_root = tree.children[root][0], tree.children[root][1]
+    left_half, right_half = _split_halves(nbytes, segment_size)
+    left_members = _subtree_members(tree, left_root)
+    right_members = _subtree_members(tree, right_root)
+    # Pair the i-th node of each subtree (BFS order puts mirrors together);
+    # when the subtrees are unbalanced (any size that is not 2^k - 1), the
+    # surplus nodes of the larger subtree wrap around, so a node of the
+    # smaller subtree serves at most ceil(larger/smaller) partners and the
+    # exchange stays parallel.
+    pair_of: dict[int, int] = {}
+    customers: dict[int, list[int]] = {}
+    for i, left_rank in enumerate(left_members):
+        partner = right_members[i % len(right_members)]
+        pair_of[left_rank] = partner
+        customers.setdefault(partner, []).append(left_rank)
+    for j, right_rank in enumerate(right_members):
+        partner = left_members[j % len(left_members)]
+        pair_of[right_rank] = partner
+        customers.setdefault(partner, []).append(right_rank)
+
+    rank = comm.rank
+    left_set = set(left_members)
+    my_half = 0 if rank in left_set else 1
+    halves = (left_half, right_half)
+
+    if rank == root:
+        # Phase 1: alternate segment sends into the two subtrees.
+        left_plan = plan_segments(left_half, segment_size)
+        right_plan = plan_segments(right_half, segment_size)
+        rounds = max(left_plan.num_segments, right_plan.num_segments)
+        for index in range(rounds):
+            requests = []
+            if index < left_plan.num_segments:
+                request = yield from comm.isend(
+                    left_root, left_plan.sizes[index], tag=TAG_BCAST + index
+                )
+                requests.append(request)
+            if index < right_plan.num_segments:
+                request = yield from comm.isend(
+                    right_root, right_plan.sizes[index], tag=TAG_BCAST + index
+                )
+                requests.append(request)
+            yield from comm.waitall(requests)
+        # The root holds both halves; it takes no part in the exchange.
+        return
+
+    # Phase 1: receive own half down the subtree (generic pipeline shape).
+    half_plan = plan_segments(halves[my_half], segment_size)
+    children = tree.children[rank]
+    parent = tree.parent[rank]
+    previous = yield from comm.irecv(parent, tag=TAG_BCAST + 0)
+    for index in range(1, half_plan.num_segments):
+        upcoming = yield from comm.irecv(parent, tag=TAG_BCAST + index)
+        yield from comm.wait(previous)
+        requests = []
+        for child in children:
+            request = yield from comm.isend(
+                child, half_plan.sizes[index - 1], tag=TAG_BCAST + index - 1
+            )
+            requests.append(request)
+        yield from comm.waitall(requests)
+        previous = upcoming
+    yield from comm.wait(previous)
+    last = half_plan.num_segments - 1
+    requests = []
+    for child in children:
+        request = yield from comm.isend(
+            child, half_plan.sizes[last], tag=TAG_BCAST + last
+        )
+        requests.append(request)
+    yield from comm.waitall(requests)
+
+    # Phase 2: exchange halves with mirror node(s) of the other subtree.
+    partner = pair_of[rank]
+    requests = [(yield from comm.irecv(partner, tag=TAG_BCAST_XCHG))]
+    for customer in customers.get(rank, ()):
+        request = yield from comm.isend(
+            customer, halves[my_half], tag=TAG_BCAST_XCHG
+        )
+        requests.append(request)
+    yield from comm.waitall(requests)
+
+
+def bcast_scatter_allgather(
+    comm: Communicator, root: int, nbytes: int, segment_size: int = 0
+) -> SimGen:
+    """Scatter-allgather (Van de Geijn) broadcast — an *extension* algorithm.
+
+    The long-message broadcast of Chan et al. / MPICH, absent from Open MPI
+    3.1's tuned set (and hence from the paper's six): a binomial scatter of
+    ``P`` blocks followed by a ring allgather.  Bandwidth-optimal — every
+    rank sends and receives ~``2 m (P-1)/P`` bytes — at the price of
+    ``P - 1`` latency-bound ring steps.  ``segment_size`` is ignored: the
+    block structure already bounds message sizes.
+
+    Included to show the selection framework absorbing a new algorithm
+    (see ``benchmarks/test_extension_seventh_algorithm.py``); not part of
+    :data:`PAPER_BCAST_ALGORITHMS`.
+    """
+    del segment_size
+    size = comm.size
+    if size == 1:
+        return
+    if size == 2 or nbytes < size:
+        # Degenerate block structure: fall back to the linear algorithm.
+        yield from bcast_linear(comm, root, nbytes)
+        return
+
+    # Block b goes to the rank with virtual rank b (root holds block 0...).
+    base, extra = divmod(nbytes, size)
+    block_of = [base + (1 if index < extra else 0) for index in range(size)]
+    tree = build_binomial_tree(size, root)
+
+    def vrank(rank: int) -> int:
+        return (rank - root) % size
+
+    def subtree_bytes(rank: int) -> int:
+        total = block_of[vrank(rank)]
+        for child in tree.children[rank]:
+            total += subtree_bytes(child)
+        return total
+
+    rank = comm.rank
+    # Phase 1: binomial scatter of the blocks.
+    if rank != root:
+        yield from comm.recv(tree.parent[rank], tag=TAG_BCAST)
+    requests = []
+    for child in tree.children[rank]:
+        request = yield from comm.isend(
+            child, subtree_bytes(child), tag=TAG_BCAST
+        )
+        requests.append(request)
+    if requests:
+        yield from comm.waitall(requests)
+
+    # Phase 2: ring allgather of the blocks.
+    right = (rank + 1) % size
+    left = (rank - 1 + size) % size
+    for step in range(size - 1):
+        send_block = block_of[(vrank(rank) - step) % size]
+        yield from comm.sendrecv(
+            dest=right,
+            nbytes=send_block,
+            source=left,
+            sendtag=TAG_BCAST_XCHG + 1 + step,
+            recvtag=TAG_BCAST_XCHG + 1 + step,
+        )
+
+
+#: Signature shared by all broadcast algorithm callables.
+BcastFn = Callable[[Communicator, int, int, int], SimGen]
+
+
+@dataclass(frozen=True)
+class BcastAlgorithm:
+    """Catalogue entry for one broadcast algorithm."""
+
+    #: Stable identifier used in tables, CLIs and the selection modules.
+    name: str
+    #: Human-readable name as the paper's tables print it.
+    display_name: str
+    #: Whether the algorithm pipelines fixed-size segments.
+    segmented: bool
+    #: The per-rank generator implementing the algorithm.
+    func: BcastFn
+
+    def __call__(
+        self, comm: Communicator, root: int, nbytes: int, segment_size: int
+    ) -> SimGen:
+        return self.func(comm, root, nbytes, segment_size)
+
+
+#: The paper's six Open MPI broadcast algorithms, in the paper's order.
+PAPER_BCAST_ALGORITHMS: tuple[str, ...] = (
+    "linear",
+    "k_chain",
+    "chain",
+    "split_binary",
+    "binary",
+    "binomial",
+)
+
+#: All broadcast algorithms, keyed by stable name: the paper's six plus the
+#: scatter-allgather extension.
+BCAST_ALGORITHMS: dict[str, BcastAlgorithm] = {
+    algorithm.name: algorithm
+    for algorithm in (
+        BcastAlgorithm("linear", "Linear tree", False, bcast_linear),
+        BcastAlgorithm("chain", "Chain tree", True, bcast_chain),
+        BcastAlgorithm("k_chain", "K-Chain tree", True, bcast_k_chain),
+        BcastAlgorithm("binary", "Binary tree", True, bcast_binary),
+        BcastAlgorithm("split_binary", "Split-binary tree", True, bcast_split_binary),
+        BcastAlgorithm("binomial", "Binomial tree", True, bcast_binomial),
+        BcastAlgorithm(
+            "scatter_allgather",
+            "Scatter-allgather (Van de Geijn)",
+            False,
+            bcast_scatter_allgather,
+        ),
+    )
+}

@@ -1,0 +1,92 @@
+"""Gather algorithms.
+
+The *linear gather without synchronisation* is the second ingredient of the
+paper's α/β estimation experiment (§4.2): every non-root rank sends one
+message of size ``m_g`` straight to the root, which drains them through its
+single NIC — hence the paper's Eq. 8, ``T = (P-1)(α + m_g β)``.
+
+The binomial gather is included as part of the "extend to other collectives"
+future-work scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.mpi.communicator import Communicator
+from repro.sim.engine import SimGen
+from repro.topology import build_in_order_binomial_tree
+
+#: Tag used by gather traffic.
+TAG_GATHER = 2_000
+
+
+def gather_linear(comm: Communicator, root: int, nbytes: int) -> SimGen:
+    """Linear gather without synchronisation.
+
+    Port of ``ompi_coll_base_gather_intra_basic_linear``: non-root ranks send
+    immediately (no handshake with the root); the root posts all receives up
+    front and waits for them, so arrival serialises only on its ingress NIC.
+    ``nbytes`` is the per-rank contribution size (the paper's ``m_g``).
+    """
+    if comm.size == 1:
+        return
+    if comm.rank == root:
+        requests = []
+        for peer in range(comm.size):
+            if peer == root:
+                continue
+            request = yield from comm.irecv(peer, tag=TAG_GATHER)
+            requests.append(request)
+        yield from comm.waitall(requests)
+    else:
+        yield from comm.send(root, nbytes, tag=TAG_GATHER)
+
+
+def gather_binomial(comm: Communicator, root: int, nbytes: int) -> SimGen:
+    """Binomial gather (extension).
+
+    Port of ``ompi_coll_base_gather_intra_binomial``: leaves send their
+    contribution to their parent; interior nodes first collect their whole
+    subtree, then forward the aggregate (subtree size × ``nbytes``) upward.
+    """
+    if comm.size == 1:
+        return
+    tree = build_in_order_binomial_tree(comm.size, root)
+    rank = comm.rank
+    requests = []
+    for child in tree.children[rank]:
+        request = yield from comm.irecv(child, tag=TAG_GATHER)
+        requests.append(request)
+    if requests:
+        yield from comm.waitall(requests)
+    if rank != root:
+        aggregate = nbytes * tree.subtree_size(rank)
+        yield from comm.send(tree.parent[rank], aggregate, tag=TAG_GATHER)
+
+
+#: Signature shared by gather algorithms.
+GatherFn = Callable[[Communicator, int, int], SimGen]
+
+
+@dataclass(frozen=True)
+class GatherAlgorithm:
+    """Catalogue entry for one gather algorithm."""
+
+    name: str
+    display_name: str
+    func: GatherFn
+
+    def __call__(self, comm: Communicator, root: int, nbytes: int) -> SimGen:
+        return self.func(comm, root, nbytes)
+
+
+#: Gather algorithm catalogue.
+GATHER_ALGORITHMS: dict[str, GatherAlgorithm] = {
+    algorithm.name: algorithm
+    for algorithm in (
+        GatherAlgorithm("linear", "Linear without synchronisation", gather_linear),
+        GatherAlgorithm("binomial", "Binomial tree", gather_binomial),
+    )
+}

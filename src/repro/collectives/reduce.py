@@ -1,0 +1,145 @@
+"""Reduce algorithms (extension: the paper's future-work collectives).
+
+Ports of the tree-based reduction algorithms in ``coll_base_reduce.c``:
+linear, chain (pipeline), binary, binomial and in-order binomial.  The
+generic segmented tree reduction mirrors the broadcast engine with data
+flowing leaf-to-root: an interior node receives each segment from every
+child, combines it (charging per-byte operator time to the rank), and
+forwards the partial result to its parent, pipelined across segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.mpi.communicator import Communicator
+from repro.mpi.segmentation import plan_segments
+from repro.sim.engine import SimGen
+from repro.topology import (
+    Tree,
+    build_binary_tree,
+    build_binomial_tree,
+    build_chain_tree,
+    build_in_order_binomial_tree,
+)
+
+#: Base tag for reduction traffic; segment ``i`` uses ``TAG_REDUCE + i``.
+TAG_REDUCE = 5_000
+
+#: Default per-byte cost of applying the reduction operator (e.g. MPI_SUM
+#: on doubles streams at several GB/s on one core).
+DEFAULT_OP_BYTE_TIME = 0.25e-9
+
+
+def _generic_tree_reduce(
+    comm: Communicator,
+    tree: Tree,
+    nbytes: int,
+    segment_size: int,
+    op_byte_time: float,
+) -> SimGen:
+    """Leaf-to-root mirror of the generic pipelined tree engine."""
+    plan = plan_segments(nbytes, segment_size)
+    rank = comm.rank
+    children = tree.children[rank]
+    parent = tree.parent[rank]
+
+    for index, size in enumerate(plan.sizes):
+        if children:
+            requests = []
+            for child in children:
+                request = yield from comm.irecv(child, tag=TAG_REDUCE + index)
+                requests.append(request)
+            yield from comm.waitall(requests)
+            # Combine own buffer with every child's contribution.
+            yield from comm.compute(len(children) * size * op_byte_time)
+        if rank != tree.root:
+            yield from comm.send(parent, size, tag=TAG_REDUCE + index)
+
+
+def reduce_linear(
+    comm: Communicator,
+    root: int,
+    nbytes: int,
+    segment_size: int = 0,
+    op_byte_time: float = DEFAULT_OP_BYTE_TIME,
+) -> SimGen:
+    """Linear reduce: every rank sends its full buffer straight to the root.
+
+    Port of ``reduce_intra_basic_linear``; never segmented.
+    """
+    del segment_size
+    if comm.size == 1:
+        return
+    if comm.rank == root:
+        requests = []
+        for peer in range(comm.size):
+            if peer != root:
+                request = yield from comm.irecv(peer, tag=TAG_REDUCE)
+                requests.append(request)
+        yield from comm.waitall(requests)
+        yield from comm.compute((comm.size - 1) * nbytes * op_byte_time)
+    else:
+        yield from comm.send(root, nbytes, tag=TAG_REDUCE)
+
+
+def _tree_reduce(builder: Callable[[int, int], Tree]):
+    def algorithm(
+        comm: Communicator,
+        root: int,
+        nbytes: int,
+        segment_size: int,
+        op_byte_time: float = DEFAULT_OP_BYTE_TIME,
+    ) -> SimGen:
+        if comm.size == 1:
+            return
+        tree = builder(comm.size, root)
+        yield from _generic_tree_reduce(
+            comm, tree, nbytes, segment_size, op_byte_time
+        )
+
+    return algorithm
+
+
+#: Chain (pipeline) reduce: ``reduce_intra_pipeline``.
+reduce_chain = _tree_reduce(lambda size, root: build_chain_tree(size, root, 1))
+#: Binary-tree reduce: ``reduce_intra_bintree``.
+reduce_binary = _tree_reduce(build_binary_tree)
+#: Binomial-tree reduce: ``reduce_intra_binomial``.
+reduce_binomial = _tree_reduce(build_binomial_tree)
+#: In-order binomial reduce (non-commutative-safe): ``reduce_intra_in_order_binary``-style.
+reduce_in_order_binomial = _tree_reduce(build_in_order_binomial_tree)
+
+
+@dataclass(frozen=True)
+class ReduceAlgorithm:
+    """Catalogue entry for one reduce algorithm."""
+
+    name: str
+    display_name: str
+    segmented: bool
+    func: Callable[..., SimGen]
+
+    def __call__(
+        self, comm: Communicator, root: int, nbytes: int, segment_size: int
+    ) -> SimGen:
+        return self.func(comm, root, nbytes, segment_size)
+
+
+#: Reduce algorithm catalogue.
+REDUCE_ALGORITHMS: dict[str, ReduceAlgorithm] = {
+    algorithm.name: algorithm
+    for algorithm in (
+        ReduceAlgorithm("linear", "Linear", False, reduce_linear),
+        ReduceAlgorithm("chain", "Chain (pipeline)", True, reduce_chain),
+        ReduceAlgorithm("binary", "Binary tree", True, reduce_binary),
+        ReduceAlgorithm("binomial", "Binomial tree", True, reduce_binomial),
+        ReduceAlgorithm(
+            "in_order_binomial",
+            "In-order binomial tree",
+            True,
+            reduce_in_order_binomial,
+        ),
+    )
+}

@@ -1,0 +1,77 @@
+"""Scatter algorithms (extension: the paper's future-work collectives).
+
+Ports of ``coll_base_scatter.c``: basic linear (the root sends each rank
+its block directly) and binomial (the root sends whole subtree blocks down
+the binomial tree, halving the payload per level).  ``nbytes`` is the
+per-rank block size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.mpi.communicator import Communicator
+from repro.sim.engine import SimGen
+from repro.topology import build_binomial_tree
+
+#: Tag used by scatter traffic.
+TAG_SCATTER = 6_000
+
+
+def scatter_linear(comm: Communicator, root: int, nbytes: int) -> SimGen:
+    """Basic linear scatter: P-1 direct sends from the root."""
+    if comm.size == 1:
+        return
+    if comm.rank == root:
+        requests = []
+        for peer in range(comm.size):
+            if peer != root:
+                request = yield from comm.isend(peer, nbytes, tag=TAG_SCATTER)
+                requests.append(request)
+        yield from comm.waitall(requests)
+    else:
+        yield from comm.recv(root, tag=TAG_SCATTER)
+
+
+def scatter_binomial(comm: Communicator, root: int, nbytes: int) -> SimGen:
+    """Binomial scatter: each hop carries the receiver's whole subtree.
+
+    The root sends ``subtree_size * nbytes`` to each child; interior nodes
+    peel off their own block and forward the rest subtree by subtree.
+    """
+    if comm.size == 1:
+        return
+    tree = build_binomial_tree(comm.size, root)
+    rank = comm.rank
+    if rank != root:
+        yield from comm.recv(tree.parent[rank], tag=TAG_SCATTER)
+    requests = []
+    for child in tree.children[rank]:
+        block = tree.subtree_size(child) * nbytes
+        request = yield from comm.isend(child, block, tag=TAG_SCATTER)
+        requests.append(request)
+    if requests:
+        yield from comm.waitall(requests)
+
+
+@dataclass(frozen=True)
+class ScatterAlgorithm:
+    """Catalogue entry for one scatter algorithm."""
+
+    name: str
+    display_name: str
+    func: Callable[[Communicator, int, int], SimGen]
+
+    def __call__(self, comm: Communicator, root: int, nbytes: int) -> SimGen:
+        return self.func(comm, root, nbytes)
+
+
+#: Scatter algorithm catalogue.
+SCATTER_ALGORITHMS: dict[str, ScatterAlgorithm] = {
+    algorithm.name: algorithm
+    for algorithm in (
+        ScatterAlgorithm("linear", "Basic linear", scatter_linear),
+        ScatterAlgorithm("binomial", "Binomial tree", scatter_binomial),
+    )
+}

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation engine."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while processes are still blocked.
+
+    This is the simulated analogue of an MPI program hanging: some rank is
+    waiting on a receive that is never matched by a send (or vice versa).
+    The ``pending`` attribute lists the stuck process names.
+    """
+
+    def __init__(self, pending: list[str]):
+        self.pending = list(pending)
+        names = ", ".join(self.pending) or "<unnamed>"
+        super().__init__(f"simulation deadlock: processes still blocked: {names}")
+
+
+class MpiError(ReproError):
+    """Raised for invalid use of the simulated MPI layer."""
+
+
+class TopologyError(ReproError):
+    """Raised when a virtual topology cannot be built or is inconsistent."""
+
+
+class EstimationError(ReproError):
+    """Raised when a parameter-estimation procedure cannot produce a result."""
+
+
+class SelectionError(ReproError):
+    """Raised when algorithm selection is asked for an unknown operation."""

@@ -1,0 +1,42 @@
+"""Estimation of analytical-model parameters (paper §4).
+
+Two estimation procedures make up the paper's second contribution:
+
+* :mod:`repro.estimation.gamma` — measures ``γ(P)``, the slowdown of the
+  non-blocking linear-tree broadcast relative to a point-to-point message,
+  from collective communication experiments (§4.1);
+* :mod:`repro.estimation.alphabeta` — measures per-algorithm Hockney
+  parameters ``α, β`` from experiments that *contain the modelled
+  algorithm* (broadcast under test + linear gather, timed on the root),
+  solved by Huber regression over the canonical linear system of the
+  paper's Fig. 4 (§4.2).
+
+Supporting machinery: :mod:`repro.estimation.statistics` (confidence-
+interval driven adaptive repetition, following MPIBlib),
+:mod:`repro.estimation.regression` (OLS and Huber IRLS),
+:mod:`repro.estimation.p2p` (classical point-to-point estimation used by the
+traditional models and the ablation), and :mod:`repro.estimation.workflow`
+(one-call calibration of a platform).
+"""
+
+from repro.estimation.alphabeta import AlphaBeta, estimate_alpha_beta
+from repro.estimation.gamma import estimate_gamma
+from repro.estimation.p2p import estimate_hockney_p2p
+from repro.estimation.regression import huber_fit, ols_fit
+from repro.estimation.statistics import SampleStats, adaptive_measure
+from repro.estimation.reduce_calibration import calibrate_reduce
+from repro.estimation.workflow import PlatformModel, calibrate_platform
+
+__all__ = [
+    "AlphaBeta",
+    "PlatformModel",
+    "SampleStats",
+    "adaptive_measure",
+    "calibrate_platform",
+    "calibrate_reduce",
+    "estimate_alpha_beta",
+    "estimate_gamma",
+    "estimate_hockney_p2p",
+    "huber_fit",
+    "ols_fit",
+]

@@ -1,0 +1,159 @@
+"""Per-algorithm estimation of the Hockney parameters (paper §4.2).
+
+This is the paper's second contribution: instead of measuring α and β once
+with ping-pongs, they are estimated *separately for each collective
+algorithm*, from communication experiments that contain the algorithm
+itself, so the fitted parameters capture the context the point-to-point
+transfers actually run in (pipelining, concurrent injection, protocol
+effects).
+
+The experiment (Eq. 7): a broadcast of ``m`` bytes with the algorithm under
+test, immediately followed by a linear-without-synchronisation gather of
+``m_g`` bytes per rank — so the experiment starts *and finishes* on the
+root, whose clock times it.  With the algorithm's model supplying its
+coefficients ``(c_α, c_β)`` and the gather contributing
+``(P-1, (P-1)·m_g)`` (Eq. 8), each message size yields one linear equation
+
+    (c_α + P - 1)·α + (c_β + (P-1)·m_g)·β = T.
+
+Dividing by the α-coefficient puts the system in the canonical form of the
+paper's Fig. 4, ``α + β·x_i = y_i``, which the Huber regressor solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.clusters.spec import ClusterSpec
+from repro.errors import EstimationError
+from repro.estimation.regression import FitResult, get_regressor
+from repro.estimation.statistics import SampleStats, adaptive_measure
+from repro.measure import time_bcast_then_gather
+from repro.models.base import BcastModel
+from repro.models.gather_models import linear_gather_coefficients
+from repro.models.hockney import HockneyParams
+from repro.units import KiB, MiB, log_spaced_sizes
+
+#: The paper's broadcast size sweep: ten log-spaced sizes, 8 KB to 4 MB.
+DEFAULT_SIZES = tuple(log_spaced_sizes(8 * KiB, 4 * MiB, 10))
+
+
+def default_gather_bytes(nbytes: int) -> int:
+    """The default ``m_g`` schedule: grows with the broadcast size.
+
+    The paper varies ``m_g`` across the experiments (``m_g ∈ {m_g1..m_gM}``,
+    with ``m_g ≠ m_s``) — and it must: for segmented algorithms the
+    per-segment size is constant, so with a *fixed* gather size every
+    canonical equation would have (nearly) the same ``x_i`` and the system
+    of Fig. 4 would be singular.  A gather size proportional to ``m``
+    spreads the ``x_i`` while staying small enough that the broadcast under
+    test still dominates the experiment.
+    """
+    return max(1 * KiB, nbytes // 64)
+
+
+#: Default gather schedule (see :func:`default_gather_bytes`).
+DEFAULT_GATHER_BYTES = default_gather_bytes
+
+
+@dataclass(frozen=True)
+class AlphaBeta:
+    """Fitted per-algorithm Hockney parameters plus fit diagnostics."""
+
+    algorithm: str
+    params: HockneyParams
+    fit: FitResult
+    #: The (x_i, y_i) canonical points the line was fitted to.
+    points: tuple[tuple[float, float], ...]
+    #: Message sizes of the experiments, in order.
+    sizes: tuple[int, ...]
+    #: Statistics of each experiment's time measurement.
+    stats: tuple[SampleStats, ...]
+
+    @property
+    def alpha(self) -> float:
+        return self.params.alpha
+
+    @property
+    def beta(self) -> float:
+        return self.params.beta
+
+
+def estimate_alpha_beta(
+    spec: ClusterSpec,
+    model: BcastModel,
+    *,
+    procs: int | None = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    segment_size: int = 8 * KiB,
+    gather_bytes: int | Callable[[int], int] = DEFAULT_GATHER_BYTES,
+    regressor: str = "huber",
+    precision: float = 0.025,
+    max_reps: int = 30,
+    seed: int = 0,
+) -> AlphaBeta:
+    """Fit α and β for ``model.algorithm`` on ``spec`` (paper §4.2).
+
+    ``procs`` defaults to half the cluster, the paper's choice ("the use of
+    larger numbers of nodes in the experiments will not change the
+    estimation").  ``gather_bytes`` may be a constant or a function of the
+    broadcast size ``m`` (the paper varies ``m_g`` with the experiment).
+    """
+    if procs is None:
+        procs = max(2, spec.max_procs // 2)
+    if not 2 <= procs <= spec.max_procs:
+        raise EstimationError(
+            f"{spec.name}: procs={procs} outside 2..{spec.max_procs}"
+        )
+    if len(sizes) < 2:
+        raise EstimationError("need at least two message sizes to fit a line")
+    fit_fn = get_regressor(regressor)
+    gather_of = gather_bytes if callable(gather_bytes) else (lambda _m: gather_bytes)
+
+    xs: list[float] = []
+    ys: list[float] = []
+    stats: list[SampleStats] = []
+    for index, nbytes in enumerate(sizes):
+        m_g = gather_of(nbytes)
+        coeffs = model.coefficients(procs, nbytes, segment_size)
+        total = coeffs + linear_gather_coefficients(procs, m_g)
+        if total.c_alpha <= 0:
+            raise EstimationError(
+                f"{model.algorithm}: degenerate experiment at m={nbytes}"
+            )
+
+        def measure_once(
+            rep_seed: int, nbytes: int = nbytes, m_g: int = m_g
+        ) -> float:
+            return time_bcast_then_gather(
+                spec,
+                model.algorithm,
+                procs,
+                nbytes,
+                segment_size,
+                m_g,
+                seed=rep_seed,
+            )
+
+        sample = adaptive_measure(
+            measure_once,
+            precision=precision,
+            max_reps=max_reps,
+            seed=seed + 104_729 * (index + 1),
+        )
+        stats.append(sample)
+        xs.append(total.c_beta / total.c_alpha)
+        ys.append(sample.mean / total.c_alpha)
+
+    fit = fit_fn(xs, ys)
+    alpha = max(fit.intercept, 0.0)
+    beta = max(fit.slope, 0.0)
+    return AlphaBeta(
+        algorithm=model.algorithm,
+        params=HockneyParams(alpha=alpha, beta=beta),
+        fit=fit,
+        points=tuple(zip(xs, ys)),
+        sizes=tuple(sizes),
+        stats=tuple(stats),
+    )

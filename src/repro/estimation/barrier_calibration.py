@@ -1,0 +1,119 @@
+"""Calibration of the barrier models (extension).
+
+Barriers carry no payload, so the two-parameter canonical system of §4.2
+degenerates: every equation has ``c_β = 0`` and only α is identifiable.
+The in-context experiment is the barrier itself, timed on the root, run at
+several communicator sizes (the x-axis that varies here is ``P``, not
+``m``); α comes from the least-squares line through the origin,
+
+    α = Σ c_i·T_i / Σ c_i²,
+
+which is the maximum-likelihood estimate under i.i.d. noise for the model
+``T_i = c_i·α``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.clusters.spec import ClusterSpec
+from repro.collectives.barrier import BARRIER_ALGORITHMS
+from repro.errors import EstimationError
+from repro.estimation.statistics import SampleStats, adaptive_measure
+from repro.estimation.workflow import PlatformModel
+from repro.measure import run_timed
+from repro.models.barrier_models import DERIVED_BARRIER_MODELS
+from repro.models.gamma import GammaFunction
+from repro.models.hockney import HockneyParams
+
+
+def time_barrier(
+    spec: ClusterSpec,
+    algorithm: str,
+    procs: int,
+    *,
+    root: int = 0,
+    seed: int = 0,
+    policy: str = "global",
+) -> float:
+    """Time one barrier (global completion by default)."""
+    entry = BARRIER_ALGORITHMS[algorithm]
+
+    def program(comm):
+        yield from entry(comm)
+
+    return run_timed(spec, program, procs, root=root, seed=seed, policy=policy)
+
+
+def estimate_barrier_alpha(
+    spec: ClusterSpec,
+    algorithm: str,
+    *,
+    proc_counts: Sequence[int],
+    precision: float = 0.025,
+    max_reps: int = 30,
+    seed: int = 0,
+) -> tuple[HockneyParams, dict[int, SampleStats]]:
+    """Fit the per-algorithm α from barriers at several sizes."""
+    if len(proc_counts) < 1:
+        raise EstimationError("need at least one communicator size")
+    model = DERIVED_BARRIER_MODELS[algorithm](GammaFunction.ideal())
+    numerator = 0.0
+    denominator = 0.0
+    stats: dict[int, SampleStats] = {}
+    for index, procs in enumerate(proc_counts):
+        if not 2 <= procs <= spec.max_procs:
+            raise EstimationError(f"{spec.name}: invalid procs {procs}")
+        count = model.coefficients(procs).c_alpha
+        if count <= 0:
+            raise EstimationError(f"{algorithm}: zero message count at P={procs}")
+
+        def measure_once(rep_seed: int, procs: int = procs) -> float:
+            return time_barrier(spec, algorithm, procs, seed=rep_seed)
+
+        sample = adaptive_measure(
+            measure_once,
+            precision=precision,
+            max_reps=max_reps,
+            seed=seed + 53_777 * (index + 1),
+        )
+        stats[procs] = sample
+        numerator += count * sample.mean
+        denominator += count * count
+    alpha = numerator / denominator
+    return HockneyParams(alpha=alpha, beta=0.0), stats
+
+
+def calibrate_barrier(
+    spec: ClusterSpec,
+    *,
+    proc_counts: Sequence[int] | None = None,
+    algorithms: Sequence[str] | None = None,
+    precision: float = 0.025,
+    max_reps: int = 30,
+    seed: int = 0,
+) -> PlatformModel:
+    """Calibrate every barrier algorithm; returns a selectable platform."""
+    if proc_counts is None:
+        top = spec.max_procs
+        proc_counts = sorted({max(2, top // 8), max(2, top // 3), max(2, top // 2)})
+    if algorithms is None:
+        algorithms = sorted(DERIVED_BARRIER_MODELS)
+    parameters: dict[str, HockneyParams] = {}
+    for index, name in enumerate(algorithms):
+        params, _stats = estimate_barrier_alpha(
+            spec,
+            name,
+            proc_counts=proc_counts,
+            precision=precision,
+            max_reps=max_reps,
+            seed=seed + 7_103 * (index + 1),
+        )
+        parameters[name] = params
+    return PlatformModel(
+        cluster=spec.name,
+        segment_size=0,
+        gamma=GammaFunction.ideal(),
+        parameters=parameters,
+        model_family="barrier_derived",
+    )

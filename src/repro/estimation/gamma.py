@@ -1,0 +1,136 @@
+"""Estimation of the platform function γ(P) (paper §4.1).
+
+γ(P) is defined (Eq. 3) as the ratio of the non-blocking linear-tree
+broadcast's execution time over ``P`` processes to the point-to-point time,
+for one segment of ``m_s`` bytes; by definition ``γ(2) = 1``.  Since the
+linear broadcast with non-blocking sends only ever pushes segments to the
+small number of children of a tree node, measuring ``P = 2..7`` covers
+every fanout that occurs on the paper's platforms; larger fanouts use the
+linear extrapolation built into :class:`~repro.models.gamma.GammaFunction`.
+
+Two measurement methods are provided:
+
+* ``"direct"`` (default) — time single linear broadcasts to *global*
+  completion (the last rank's finish), repeat to the paper's statistical
+  precision, and take ratios.  This reads Eq. 3 literally; a simulator (or
+  MPIBlib's globally synchronised timers) can observe global completion
+  directly.
+* ``"paper"`` — the paper's root-clock procedure: time ``N`` successive
+  broadcast calls separated by barriers on the root and divide by ``N``.
+  On a real cluster this is the practical approximation of the direct
+  method; in the simulator it additionally includes the barrier cost, which
+  steepens the estimated γ slightly (see EXPERIMENTS.md).
+
+Experiments use spread (one-rank-per-node) placement so every measured link
+is a network link even on multi-rank nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clusters.spec import ClusterSpec
+from repro.errors import EstimationError
+from repro.estimation.statistics import SampleStats, adaptive_measure
+from repro.measure import time_bcast, time_repeated_bcast_with_barriers
+from repro.models.gamma import GammaFunction
+from repro.units import KiB
+
+#: The paper's segment size for segmented broadcast algorithms.
+DEFAULT_SEGMENT_SIZE = 8 * KiB
+#: Largest linear-broadcast size measured; 7 covers binomial fanouts on
+#: both of the paper's clusters (max children = ceil(log2 124) = 7).
+DEFAULT_MAX_PROCS = 7
+
+METHODS = ("direct", "paper")
+
+
+@dataclass(frozen=True)
+class GammaEstimate:
+    """Result of a γ estimation run."""
+
+    #: γ(P) table for P = 2..max_procs.
+    table: dict[int, float]
+    #: Per-P statistics of the underlying T2 measurements.
+    stats: dict[int, SampleStats]
+    #: Measurement method used ("direct" or "paper").
+    method: str
+    #: Segment size the linear broadcasts carried.
+    segment_size: int
+
+    def function(self) -> GammaFunction:
+        """The γ(P) function (with linear extrapolation) from this estimate."""
+        return GammaFunction(table=self.table)
+
+
+def estimate_gamma(
+    spec: ClusterSpec,
+    *,
+    segment_size: int = DEFAULT_SEGMENT_SIZE,
+    max_procs: int = DEFAULT_MAX_PROCS,
+    method: str = "direct",
+    calls: int = 10,
+    precision: float = 0.025,
+    max_reps: int = 30,
+    seed: int = 0,
+    mapping: str = "spread",
+) -> GammaEstimate:
+    """Measure γ(P) for ``P = 2..max_procs`` on ``spec``.
+
+    ``calls`` is the paper's ``N`` (only used by the ``"paper"`` method).
+    """
+    if method not in METHODS:
+        raise EstimationError(f"unknown gamma method {method!r}; use {METHODS}")
+    if max_procs < 2:
+        raise EstimationError(f"need max_procs >= 2, got {max_procs}")
+    if max_procs > spec.max_procs:
+        raise EstimationError(
+            f"{spec.name} hosts at most {spec.max_procs} processes, "
+            f"cannot measure gamma({max_procs})"
+        )
+
+    stats: dict[int, SampleStats] = {}
+    for procs in range(2, max_procs + 1):
+        if method == "direct":
+
+            def measure_once(rep_seed: int, procs: int = procs) -> float:
+                return time_bcast(
+                    spec,
+                    "linear",
+                    procs,
+                    segment_size,
+                    0,
+                    seed=rep_seed,
+                    policy="global",
+                    mapping=mapping,
+                )
+
+        else:
+
+            def measure_once(rep_seed: int, procs: int = procs) -> float:
+                total = time_repeated_bcast_with_barriers(
+                    spec,
+                    "linear",
+                    procs,
+                    segment_size,
+                    0,
+                    calls,
+                    seed=rep_seed,
+                    mapping=mapping,
+                )
+                return total / calls
+
+        stats[procs] = adaptive_measure(
+            measure_once,
+            precision=precision,
+            max_reps=max_reps,
+            seed=seed + 1_000_003 * procs,
+        )
+
+    baseline = stats[2].mean
+    if baseline <= 0:
+        raise EstimationError("point-to-point baseline measured as non-positive")
+    table = {procs: s.mean / baseline for procs, s in stats.items()}
+    return GammaEstimate(
+        table=table, stats=stats, method=method, segment_size=segment_size
+    )

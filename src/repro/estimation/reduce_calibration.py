@@ -1,0 +1,200 @@
+"""Calibration of the reduce models (future-work extension).
+
+The paper's α/β experiment appends a gather to the broadcast so the
+experiment finishes on the root *and* so the varying gather size spreads
+the canonical x_i (for segmented algorithms the per-segment size is
+constant, so the reduce alone would give a singular system).  The dual
+construction for reductions: the reduce under test followed by a linear
+scatter of ``m_g`` bytes per rank from the root — the composite experiment
+again starts and finishes on the root, and the scatter contributes the
+same ``(P-1, (P-1)·m_g)`` coefficient row the gather does for broadcasts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.clusters.spec import ClusterSpec
+from repro.collectives.reduce import REDUCE_ALGORITHMS
+from repro.errors import EstimationError
+from repro.estimation.alphabeta import DEFAULT_SIZES, AlphaBeta
+from repro.estimation.gamma import (
+    DEFAULT_MAX_PROCS,
+    DEFAULT_SEGMENT_SIZE,
+    estimate_gamma,
+)
+from repro.estimation.regression import get_regressor
+from repro.estimation.statistics import SampleStats, adaptive_measure
+from repro.estimation.workflow import PlatformModel
+from repro.collectives.scatter import SCATTER_ALGORITHMS
+from repro.estimation.alphabeta import DEFAULT_GATHER_BYTES
+from repro.measure import run_timed
+from repro.models.base import BcastModel
+from repro.models.gather_models import linear_gather_coefficients
+from repro.models.hockney import HockneyParams
+from repro.models.reduce_models import DERIVED_REDUCE_MODELS
+
+
+def time_reduce(
+    spec: ClusterSpec,
+    algorithm: str,
+    procs: int,
+    nbytes: int,
+    segment_size: int,
+    *,
+    root: int = 0,
+    seed: int = 0,
+    policy: str = "root",
+) -> float:
+    """Time one reduction; root-timed by default (it ends on the root)."""
+    entry = REDUCE_ALGORITHMS[algorithm]
+
+    def program(comm):
+        yield from entry(comm, root, nbytes, segment_size)
+
+    return run_timed(spec, program, procs, root=root, seed=seed, policy=policy)
+
+
+def time_reduce_then_scatter(
+    spec: ClusterSpec,
+    algorithm: str,
+    procs: int,
+    nbytes: int,
+    segment_size: int,
+    scatter_bytes: int,
+    *,
+    root: int = 0,
+    seed: int = 0,
+) -> float:
+    """The reduce α/β experiment: reduce under test + linear scatter."""
+    entry = REDUCE_ALGORITHMS[algorithm]
+    scatter = SCATTER_ALGORITHMS["linear"]
+
+    def program(comm):
+        yield from entry(comm, root, nbytes, segment_size)
+        yield from scatter(comm, root, scatter_bytes)
+
+    return run_timed(spec, program, procs, root=root, seed=seed, policy="root")
+
+
+def estimate_reduce_alpha_beta(
+    spec: ClusterSpec,
+    model: BcastModel,
+    *,
+    procs: int | None = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    segment_size: int = DEFAULT_SEGMENT_SIZE,
+    scatter_bytes=DEFAULT_GATHER_BYTES,
+    regressor: str = "huber",
+    precision: float = 0.025,
+    max_reps: int = 30,
+    seed: int = 0,
+) -> AlphaBeta:
+    """Per-algorithm α/β for a reduce algorithm (§4.2 applied to reduce)."""
+    if procs is None:
+        procs = max(2, spec.max_procs // 2)
+    if not 2 <= procs <= spec.max_procs:
+        raise EstimationError(f"{spec.name}: procs={procs} outside 2..{spec.max_procs}")
+    if len(sizes) < 2:
+        raise EstimationError("need at least two message sizes to fit a line")
+    fit_fn = get_regressor(regressor)
+    scatter_of = (
+        scatter_bytes if callable(scatter_bytes) else (lambda _m: scatter_bytes)
+    )
+
+    xs: list[float] = []
+    ys: list[float] = []
+    stats: list[SampleStats] = []
+    for index, nbytes in enumerate(sizes):
+        m_g = scatter_of(nbytes)
+        # The linear scatter's root-side cost has the gather's shape:
+        # (P-1) serialised injections of m_g bytes.
+        coeffs = model.coefficients(procs, nbytes, segment_size)
+        coeffs = coeffs + linear_gather_coefficients(procs, m_g)
+        if coeffs.c_alpha <= 0:
+            raise EstimationError(
+                f"{model.algorithm}: degenerate experiment at m={nbytes}"
+            )
+
+        def measure_once(rep_seed: int, nbytes: int = nbytes, m_g: int = m_g) -> float:
+            return time_reduce_then_scatter(
+                spec, model.algorithm, procs, nbytes, segment_size, m_g,
+                seed=rep_seed,
+            )
+
+        sample = adaptive_measure(
+            measure_once,
+            precision=precision,
+            max_reps=max_reps,
+            seed=seed + 104_729 * (index + 1),
+        )
+        stats.append(sample)
+        xs.append(coeffs.c_beta / coeffs.c_alpha)
+        ys.append(sample.mean / coeffs.c_alpha)
+
+    fit = fit_fn(xs, ys)
+    return AlphaBeta(
+        algorithm=model.algorithm,
+        params=HockneyParams(alpha=max(fit.intercept, 0.0), beta=max(fit.slope, 0.0)),
+        fit=fit,
+        points=tuple(zip(xs, ys)),
+        sizes=tuple(sizes),
+        stats=tuple(stats),
+    )
+
+
+def calibrate_reduce(
+    spec: ClusterSpec,
+    *,
+    procs: int | None = None,
+    algorithms: Sequence[str] | None = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    segment_size: int = DEFAULT_SEGMENT_SIZE,
+    gamma_max_procs: int = DEFAULT_MAX_PROCS,
+    regressor: str = "huber",
+    precision: float = 0.025,
+    max_reps: int = 30,
+    seed: int = 0,
+) -> tuple[PlatformModel, dict[str, AlphaBeta]]:
+    """Full reduce calibration: γ plus per-algorithm α/β.
+
+    Returns a :class:`PlatformModel` with ``model_family="reduce_derived"``
+    ready for :class:`~repro.selection.model_based.ModelBasedSelector`.
+    """
+    if algorithms is None:
+        algorithms = sorted(DERIVED_REDUCE_MODELS)
+    gamma = estimate_gamma(
+        spec,
+        segment_size=segment_size,
+        max_procs=gamma_max_procs,
+        precision=precision,
+        max_reps=max_reps,
+        seed=seed,
+    ).function()
+
+    estimates: dict[str, AlphaBeta] = {}
+    parameters: dict[str, HockneyParams] = {}
+    for index, name in enumerate(algorithms):
+        model = DERIVED_REDUCE_MODELS[name](gamma)
+        estimate = estimate_reduce_alpha_beta(
+            spec,
+            model,
+            procs=procs,
+            sizes=sizes,
+            segment_size=segment_size,
+            regressor=regressor,
+            precision=precision,
+            max_reps=max_reps,
+            seed=seed + 3_000_017 * (index + 1),
+        )
+        estimates[name] = estimate
+        parameters[name] = estimate.params
+
+    platform = PlatformModel(
+        cluster=spec.name,
+        segment_size=segment_size,
+        gamma=gamma,
+        parameters=parameters,
+        model_family="reduce_derived",
+    )
+    return platform, estimates

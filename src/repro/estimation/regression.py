@@ -1,0 +1,130 @@
+"""Linear regression: ordinary least squares and the Huber M-estimator.
+
+The paper fits the canonical system ``α + β·x_i = y_i`` (Fig. 4) with the
+Huber regressor [25] so occasional outlier experiments (network hiccups)
+do not skew α and β.  We implement Huber as iteratively reweighted least
+squares (IRLS) with a median-absolute-deviation scale estimate — the
+textbook construction — on top of a plain OLS solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+#: Huber's standard tuning constant: 95% efficiency at the Gaussian.
+DEFAULT_EPSILON = 1.345
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of a line fit ``y ≈ intercept + slope·x``."""
+
+    intercept: float
+    slope: float
+    #: Residuals ``y_i - (intercept + slope·x_i)`` in input order.
+    residuals: tuple[float, ...]
+    #: Number of IRLS iterations performed (0 for plain OLS).
+    iterations: int
+
+    @property
+    def max_abs_residual(self) -> float:
+        return max((abs(r) for r in self.residuals), default=0.0)
+
+    def predict(self, x: float) -> float:
+        return self.intercept + self.slope * x
+
+
+def _as_arrays(xs, ys) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.ndim != 1 or y.ndim != 1 or len(x) != len(y):
+        raise EstimationError("x and y must be 1-D sequences of equal length")
+    if len(x) < 2:
+        raise EstimationError(f"need at least two points to fit a line, got {len(x)}")
+    if not (np.all(np.isfinite(x)) and np.all(np.isfinite(y))):
+        raise EstimationError("non-finite values in regression input")
+    return x, y
+
+
+def _weighted_ols(x: np.ndarray, y: np.ndarray, w: np.ndarray) -> tuple[float, float]:
+    sw = w.sum()
+    if sw <= 0:
+        raise EstimationError("all regression weights vanished")
+    mx = (w * x).sum() / sw
+    my = (w * y).sum() / sw
+    sxx = (w * (x - mx) ** 2).sum()
+    if sxx == 0:
+        raise EstimationError("degenerate regression: all x identical")
+    slope = (w * (x - mx) * (y - my)).sum() / sxx
+    intercept = my - slope * mx
+    return intercept, slope
+
+
+def ols_fit(xs, ys) -> FitResult:
+    """Ordinary least squares fit of ``y = intercept + slope·x``."""
+    x, y = _as_arrays(xs, ys)
+    intercept, slope = _weighted_ols(x, y, np.ones_like(x))
+    residuals = y - (intercept + slope * x)
+    return FitResult(intercept, slope, tuple(residuals), iterations=0)
+
+
+def huber_fit(
+    xs,
+    ys,
+    *,
+    epsilon: float = DEFAULT_EPSILON,
+    max_iterations: int = 50,
+    tolerance: float = 1e-12,
+) -> FitResult:
+    """Huber-loss robust fit of ``y = intercept + slope·x`` via IRLS.
+
+    Residuals within ``epsilon`` scaled deviations get full weight; larger
+    residuals are downweighted proportionally (the Huber ψ function).  The
+    scale is re-estimated each iteration from the median absolute deviation
+    (consistent for the Gaussian via the 0.6745 factor).
+    """
+    if epsilon <= 0:
+        raise EstimationError(f"epsilon must be positive, got {epsilon}")
+    x, y = _as_arrays(xs, ys)
+    weights = np.ones_like(x)
+    intercept, slope = _weighted_ols(x, y, weights)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        residuals = y - (intercept + slope * x)
+        mad = np.median(np.abs(residuals - np.median(residuals)))
+        scale = mad / 0.6745
+        if scale <= 0:
+            # Perfect fit (deterministic data): nothing to robustify.
+            break
+        threshold = epsilon * scale
+        magnitude = np.abs(residuals)
+        # Full weight within the threshold; proportional downweight beyond.
+        # (np.divide with a where-mask avoids evaluating 1/0 for the exact
+        # zero residuals that land in the full-weight branch anyway.)
+        weights = np.ones_like(magnitude)
+        outliers = magnitude > threshold
+        np.divide(threshold, magnitude, out=weights, where=outliers)
+        new_intercept, new_slope = _weighted_ols(x, y, weights)
+        change = abs(new_intercept - intercept) + abs(new_slope - slope)
+        intercept, slope = new_intercept, new_slope
+        reference = abs(intercept) + abs(slope)
+        if change <= tolerance * max(reference, 1e-30):
+            break
+    residuals = y - (intercept + slope * x)
+    return FitResult(intercept, slope, tuple(residuals), iterations=iterations)
+
+
+REGRESSORS = {"ols": ols_fit, "huber": huber_fit}
+
+
+def get_regressor(name: str):
+    """Look up a regression function by name (``"ols"`` or ``"huber"``)."""
+    try:
+        return REGRESSORS[name]
+    except KeyError:
+        known = ", ".join(sorted(REGRESSORS))
+        raise EstimationError(f"unknown regressor {name!r}; known: {known}") from None

@@ -1,0 +1,283 @@
+"""One-call platform calibration and the resulting platform model.
+
+:func:`calibrate_platform` runs the paper's full §4 procedure on a cluster:
+
+1. estimate γ(P) from non-blocking linear broadcast experiments (§4.1);
+2. for each broadcast algorithm, estimate α and β from broadcast+gather
+   experiments solved by Huber regression (§4.2).
+
+The result, a :class:`PlatformModel`, is everything the runtime selector
+needs: it predicts any algorithm's time for any ``(P, m)`` in microseconds
+of arithmetic, and serialises to/from JSON so a calibration can be done
+once per cluster and shipped with the MPI library — the deployment model
+the paper proposes.
+
+For the ablation studies the calibration can swap the model family
+(``"derived"`` vs ``"traditional"``) and the estimation method
+(``"collective"`` in-context experiments vs classical ``"p2p"``
+ping-pongs).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.clusters.spec import ClusterSpec
+from repro.errors import EstimationError
+from repro.estimation.alphabeta import (
+    DEFAULT_GATHER_BYTES,
+    DEFAULT_SIZES,
+    AlphaBeta,
+    estimate_alpha_beta,
+)
+from repro.estimation.gamma import (
+    DEFAULT_MAX_PROCS,
+    DEFAULT_SEGMENT_SIZE,
+    GammaEstimate,
+    estimate_gamma,
+)
+from repro.estimation.p2p import P2pEstimate, estimate_hockney_p2p
+from repro.models.base import BcastModel
+from repro.models.derived import DERIVED_BCAST_MODELS
+from repro.models.gamma import GammaFunction
+from repro.models.hockney import HockneyParams
+from repro.models.barrier_models import DERIVED_BARRIER_MODELS
+from repro.models.reduce_models import DERIVED_REDUCE_MODELS
+from repro.models.traditional import TRADITIONAL_BCAST_MODELS
+
+MODEL_FAMILIES = {
+    "derived": DERIVED_BCAST_MODELS,
+    "traditional": TRADITIONAL_BCAST_MODELS,
+    "reduce_derived": DERIVED_REDUCE_MODELS,
+    "barrier_derived": DERIVED_BARRIER_MODELS,
+}
+
+#: Which collective operation each model family describes.
+FAMILY_OPERATION = {
+    "derived": "bcast",
+    "traditional": "bcast",
+    "reduce_derived": "reduce",
+    "barrier_derived": "barrier",
+}
+
+ESTIMATION_METHODS = ("collective", "p2p")
+
+
+@dataclass(frozen=True)
+class PlatformModel:
+    """A calibrated set of analytical models for one cluster.
+
+    ``parameters`` maps algorithm names to their fitted Hockney parameters;
+    ``gamma`` is the platform function; ``model_family`` selects which model
+    equations to evaluate.
+    """
+
+    cluster: str
+    segment_size: int
+    gamma: GammaFunction
+    parameters: dict[str, HockneyParams]
+    model_family: str = "derived"
+    _models: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.model_family not in MODEL_FAMILIES:
+            raise EstimationError(
+                f"unknown model family {self.model_family!r}; "
+                f"known: {sorted(MODEL_FAMILIES)}"
+            )
+
+    @property
+    def algorithms(self) -> list[str]:
+        """Algorithms this platform model can predict, sorted by name."""
+        return sorted(self.parameters)
+
+    @property
+    def operation(self) -> str:
+        """The collective operation this platform model describes."""
+        return FAMILY_OPERATION[self.model_family]
+
+    def model_for(self, algorithm: str) -> BcastModel:
+        """The (cached) model instance for ``algorithm``."""
+        model = self._models.get(algorithm)
+        if model is None:
+            family = MODEL_FAMILIES[self.model_family]
+            try:
+                model = family[algorithm](self.gamma)
+            except KeyError:
+                known = ", ".join(sorted(family))
+                raise EstimationError(
+                    f"no {self.model_family} model for {algorithm!r}; known: {known}"
+                ) from None
+            self._models[algorithm] = model
+        return model
+
+    def predict(
+        self,
+        algorithm: str,
+        procs: int,
+        nbytes: int,
+        segment_size: int | None = None,
+    ) -> float:
+        """Predicted broadcast time of ``algorithm`` at ``(procs, nbytes)``."""
+        try:
+            params = self.parameters[algorithm]
+        except KeyError:
+            known = ", ".join(self.algorithms)
+            raise EstimationError(
+                f"no parameters for {algorithm!r}; calibrated: {known}"
+            ) from None
+        seg = self.segment_size if segment_size is None else segment_size
+        return self.model_for(algorithm).predict(procs, nbytes, seg, params)
+
+    def predict_all(self, procs: int, nbytes: int) -> dict[str, float]:
+        """Predictions of every calibrated algorithm at ``(procs, nbytes)``."""
+        return {
+            name: self.predict(name, procs, nbytes) for name in self.algorithms
+        }
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "cluster": self.cluster,
+            "segment_size": self.segment_size,
+            "model_family": self.model_family,
+            "gamma": {str(p): g for p, g in sorted(self.gamma.table.items())},
+            "parameters": {
+                name: {"alpha": p.alpha, "beta": p.beta}
+                for name, p in sorted(self.parameters.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlatformModel":
+        return cls(
+            cluster=data["cluster"],
+            segment_size=int(data["segment_size"]),
+            model_family=data.get("model_family", "derived"),
+            gamma=GammaFunction(
+                {int(p): float(g) for p, g in data["gamma"].items()}
+            ),
+            parameters={
+                name: HockneyParams(float(v["alpha"]), float(v["beta"]))
+                for name, v in data["parameters"].items()
+            },
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the calibration to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PlatformModel":
+        """Read a calibration from a JSON file."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """A :class:`PlatformModel` plus the raw estimates behind it."""
+
+    platform: PlatformModel
+    gamma_estimate: GammaEstimate
+    alpha_beta: dict[str, AlphaBeta]
+    p2p_estimate: P2pEstimate | None
+
+
+def calibrate_platform(
+    spec: ClusterSpec,
+    *,
+    procs: int | None = None,
+    algorithms: Sequence[str] | None = None,
+    model_family: str = "derived",
+    estimation: str = "collective",
+    gamma_method: str = "direct",
+    segment_size: int = DEFAULT_SEGMENT_SIZE,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    gather_bytes=DEFAULT_GATHER_BYTES,
+    gamma_max_procs: int = DEFAULT_MAX_PROCS,
+    regressor: str = "huber",
+    precision: float = 0.025,
+    max_reps: int = 30,
+    seed: int = 0,
+) -> CalibrationResult:
+    """Run the paper's full calibration procedure on ``spec``.
+
+    With the defaults this is exactly §4: γ from collective experiments,
+    then per-algorithm α/β from broadcast+gather experiments fitted by
+    Huber regression.  ``estimation="p2p"`` replaces step 2 with one
+    ping-pong fit shared by all algorithms (the ablation baseline).
+    """
+    if estimation not in ESTIMATION_METHODS:
+        raise EstimationError(
+            f"unknown estimation method {estimation!r}; use {ESTIMATION_METHODS}"
+        )
+    family = MODEL_FAMILIES[model_family]  # validates the family name
+    if algorithms is None:
+        # Default to the paper's six broadcast algorithms; extension models
+        # (e.g. scatter_allgather) are opt-in via an explicit list.
+        from repro.collectives.bcast import PAPER_BCAST_ALGORITHMS
+
+        algorithms = sorted(
+            name for name in family if name in PAPER_BCAST_ALGORITHMS
+        )
+
+    gamma_estimate = estimate_gamma(
+        spec,
+        segment_size=segment_size,
+        max_procs=gamma_max_procs,
+        method=gamma_method,
+        precision=precision,
+        max_reps=max_reps,
+        seed=seed,
+    )
+    gamma = gamma_estimate.function()
+
+    alpha_beta: dict[str, AlphaBeta] = {}
+    parameters: dict[str, HockneyParams] = {}
+    p2p_estimate: P2pEstimate | None = None
+
+    if estimation == "p2p":
+        p2p_estimate = estimate_hockney_p2p(
+            spec,
+            sizes=sizes,
+            regressor=regressor,
+            precision=precision,
+            max_reps=max_reps,
+            seed=seed,
+        )
+        parameters = {name: p2p_estimate.params for name in algorithms}
+    else:
+        for index, name in enumerate(algorithms):
+            model = family[name](gamma)
+            estimate = estimate_alpha_beta(
+                spec,
+                model,
+                procs=procs,
+                sizes=sizes,
+                segment_size=segment_size,
+                gather_bytes=gather_bytes,
+                regressor=regressor,
+                precision=precision,
+                max_reps=max_reps,
+                seed=seed + 2_000_017 * (index + 1),
+            )
+            alpha_beta[name] = estimate
+            parameters[name] = estimate.params
+
+    platform = PlatformModel(
+        cluster=spec.name,
+        segment_size=segment_size,
+        gamma=gamma,
+        parameters=parameters,
+        model_family=model_family,
+    )
+    return CalibrationResult(
+        platform=platform,
+        gamma_estimate=gamma_estimate,
+        alpha_beta=alpha_beta,
+        p2p_estimate=p2p_estimate,
+    )

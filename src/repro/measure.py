@@ -1,0 +1,235 @@
+"""Timed communication experiments on simulated clusters.
+
+Every estimation procedure and benchmark boils down to: build a fresh
+simulated world, run one MPI program on all ranks, and read off a time.
+This module defines those programs and timing conventions:
+
+* ``policy="global"`` — time until the last rank completes (MPIBlib's
+  *global* measurement; used for algorithm comparison, Table 3 / Fig. 5);
+* ``policy="root"`` — time measured on the root's clock (the paper's α/β
+  experiments start and finish on the root precisely so its clock suffices).
+
+Repetition/statistics live in :mod:`repro.estimation.statistics`; functions
+here run exactly one simulation per call and are deterministic given
+``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.clusters.spec import ClusterSpec
+from repro.collectives.barrier import DEFAULT_BARRIER, BarrierAlgorithm
+from repro.collectives.bcast import BCAST_ALGORITHMS, BcastAlgorithm
+from repro.collectives.gather import GATHER_ALGORITHMS, GatherAlgorithm
+from repro.errors import SimulationError
+from repro.mpi.communicator import Communicator
+from repro.sim.engine import SimGen
+from repro.sim.trace import NULL_TRACER, Tracer
+
+#: Timing conventions supported by :func:`run_timed`.
+POLICIES = ("global", "root")
+
+
+def run_timed(
+    spec: ClusterSpec,
+    program: Callable[[Communicator], SimGen],
+    procs: int,
+    *,
+    root: int = 0,
+    seed: int = 0,
+    policy: str = "global",
+    tracer: Tracer = NULL_TRACER,
+    mapping: str = "block",
+) -> float:
+    """Run ``program`` on ``procs`` ranks; return the elapsed simulated time.
+
+    All ranks start at simulated time zero (a perfectly synchronised start,
+    the ideal the paper's barrier-separated repetitions approximate).
+    """
+    if policy not in POLICIES:
+        raise SimulationError(f"unknown timing policy {policy!r}; use {POLICIES}")
+    world = spec.make_world(procs, seed=seed, tracer=tracer, mapping=mapping)
+
+    def body(comm: Communicator) -> SimGen:
+        yield from program(comm)
+        return comm.now
+
+    processes = world.run(body)
+    finish_times = [p.value for p in processes]
+    if not world.quiescent():
+        raise SimulationError("run left unmatched messages or receives behind")
+    return finish_times[root] if policy == "root" else max(finish_times)
+
+
+# -- broadcast ---------------------------------------------------------------
+
+
+def time_bcast(
+    spec: ClusterSpec,
+    algorithm: BcastAlgorithm | str,
+    procs: int,
+    nbytes: int,
+    segment_size: int,
+    *,
+    root: int = 0,
+    seed: int = 0,
+    policy: str = "global",
+    tracer: Tracer = NULL_TRACER,
+    mapping: str = "block",
+) -> float:
+    """Time one broadcast with the given algorithm."""
+    algorithm = _bcast(algorithm)
+
+    def program(comm: Communicator) -> SimGen:
+        yield from algorithm(comm, root, nbytes, segment_size)
+
+    return run_timed(
+        spec, program, procs, root=root, seed=seed, policy=policy,
+        tracer=tracer, mapping=mapping,
+    )
+
+
+def time_bcast_then_gather(
+    spec: ClusterSpec,
+    algorithm: BcastAlgorithm | str,
+    procs: int,
+    nbytes: int,
+    segment_size: int,
+    gather_bytes: int,
+    *,
+    root: int = 0,
+    seed: int = 0,
+) -> float:
+    """The paper's α/β communication experiment (§4.2), timed on the root.
+
+    Broadcast of ``nbytes`` with the algorithm under test, followed by a
+    linear-without-synchronisation gather of ``gather_bytes`` per rank onto
+    the root; starts and finishes on the root so the root clock times it.
+    """
+    algorithm = _bcast(algorithm)
+    gather = GATHER_ALGORITHMS["linear"]
+
+    def program(comm: Communicator) -> SimGen:
+        yield from algorithm(comm, root, nbytes, segment_size)
+        yield from gather(comm, root, gather_bytes)
+
+    return run_timed(spec, program, procs, root=root, seed=seed, policy="root")
+
+
+def time_repeated_bcast_with_barriers(
+    spec: ClusterSpec,
+    algorithm: BcastAlgorithm | str,
+    procs: int,
+    nbytes: int,
+    segment_size: int,
+    calls: int,
+    *,
+    root: int = 0,
+    seed: int = 0,
+    barrier: BarrierAlgorithm = DEFAULT_BARRIER,
+    mapping: str = "block",
+) -> float:
+    """The paper's γ experiment kernel (§4.1): returns ``T1(P, N)``.
+
+    ``calls`` successive broadcasts separated by barriers, timed on the
+    root from the first call to the completion of the last barrier.
+    """
+    if calls < 1:
+        raise SimulationError(f"need at least one call, got {calls}")
+    algorithm = _bcast(algorithm)
+
+    def program(comm: Communicator) -> SimGen:
+        for _ in range(calls):
+            yield from algorithm(comm, root, nbytes, segment_size)
+            yield from barrier(comm)
+
+    return run_timed(
+        spec, program, procs, root=root, seed=seed, policy="root", mapping=mapping
+    )
+
+
+def time_repeated_barrier(
+    spec: ClusterSpec,
+    procs: int,
+    calls: int,
+    *,
+    root: int = 0,
+    seed: int = 0,
+    barrier: BarrierAlgorithm = DEFAULT_BARRIER,
+) -> float:
+    """Root-clock time of ``calls`` back-to-back barriers.
+
+    Used to compensate the barrier share out of the γ experiment.
+    """
+
+    def program(comm: Communicator) -> SimGen:
+        for _ in range(calls):
+            yield from barrier(comm)
+
+    return run_timed(spec, program, procs, root=root, seed=seed, policy="root")
+
+
+# -- gather and point-to-point ------------------------------------------------
+
+
+def time_gather(
+    spec: ClusterSpec,
+    algorithm: GatherAlgorithm | str,
+    procs: int,
+    nbytes: int,
+    *,
+    root: int = 0,
+    seed: int = 0,
+    policy: str = "root",
+) -> float:
+    """Time one gather of ``nbytes`` per rank onto the root."""
+    if isinstance(algorithm, str):
+        algorithm = GATHER_ALGORITHMS[algorithm]
+
+    def program(comm: Communicator) -> SimGen:
+        yield from algorithm(comm, root, nbytes)
+
+    return run_timed(spec, program, procs, root=root, seed=seed, policy=policy)
+
+
+def time_p2p_roundtrip(
+    spec: ClusterSpec,
+    nbytes: int,
+    *,
+    seed: int = 0,
+    ranks: tuple[int, int] = (0, 1),
+    mapping: str = "spread",
+) -> float:
+    """Half of a ping-pong round trip between two ranks (Hockney's method).
+
+    Defaults to spread mapping so the measured link is a network link even
+    on clusters with several ranks per node.
+
+    This is the classical point-to-point experiment of §2.2 that the paper
+    argues is *insufficient* for modelling collectives; we implement it for
+    the traditional models and the estimation ablation.
+    """
+    src, dst = ranks
+    if src == dst:
+        raise SimulationError("round trip needs two distinct ranks")
+    procs = max(src, dst) + 1
+
+    def program(comm: Communicator) -> SimGen:
+        if comm.rank == src:
+            yield from comm.send(dst, nbytes, tag=4_000)
+            yield from comm.recv(dst, tag=4_001)
+        elif comm.rank == dst:
+            yield from comm.recv(src, tag=4_000)
+            yield from comm.send(src, nbytes, tag=4_001)
+
+    round_trip = run_timed(
+        spec, program, procs, root=src, seed=seed, policy="root", mapping=mapping
+    )
+    return round_trip / 2.0
+
+
+def _bcast(algorithm: BcastAlgorithm | str) -> BcastAlgorithm:
+    if isinstance(algorithm, str):
+        return BCAST_ALGORITHMS[algorithm]
+    return algorithm

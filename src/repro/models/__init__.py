@@ -1,0 +1,49 @@
+"""Analytical performance models of collective algorithms.
+
+Two families:
+
+* :mod:`repro.models.derived` — the paper's contribution:
+  implementation-derived models of the six Open MPI broadcast algorithms,
+  parameterised by per-algorithm Hockney parameters ``(α, β)`` and the
+  platform function ``γ(P)`` (:mod:`repro.models.gamma`);
+* :mod:`repro.models.traditional` — textbook models built only from the
+  algorithms' mathematical definitions with point-to-point-measured
+  parameters (Thakur et al., Pjevsivac-Grbovic et al.), reproduced as the
+  straw man of the paper's Fig. 1;
+
+plus the Hockney point-to-point model, the linear-gather model used by the
+estimation experiments (paper Eq. 8), and LogP-family models from the
+related-work survey (§2.2).
+"""
+
+from repro.models.base import BcastModel, LinearCoefficients
+from repro.models.derived import (
+    DERIVED_BCAST_MODELS,
+    BinaryTreeModel,
+    BinomialTreeModel,
+    ChainTreeModel,
+    KChainTreeModel,
+    LinearTreeModel,
+    SplitBinaryTreeModel,
+)
+from repro.models.gamma import GammaFunction
+from repro.models.gather_models import linear_gather_coefficients, linear_gather_time
+from repro.models.hockney import HockneyParams
+from repro.models.traditional import TRADITIONAL_BCAST_MODELS
+
+__all__ = [
+    "DERIVED_BCAST_MODELS",
+    "TRADITIONAL_BCAST_MODELS",
+    "BcastModel",
+    "BinaryTreeModel",
+    "BinomialTreeModel",
+    "ChainTreeModel",
+    "GammaFunction",
+    "HockneyParams",
+    "KChainTreeModel",
+    "LinearCoefficients",
+    "LinearTreeModel",
+    "SplitBinaryTreeModel",
+    "linear_gather_coefficients",
+    "linear_gather_time",
+]

@@ -1,0 +1,88 @@
+"""Implementation-derived models of the barrier algorithms (extension).
+
+Barrier is the first collective Pjevsivac-Grbovic et al. [8] studied, and
+the degenerate case of the paper's framework: there is no payload, so each
+model is a pure message-count times the per-message cost α — β never
+appears (every coefficient pair has ``c_β = 0``).  Selection therefore
+varies with the communicator size only.
+
+Critical-path message counts, read off :mod:`repro.collectives.barrier`:
+
+* linear (fan-in/fan-out): the root serialises ``P-1`` arrivals, then
+  ``P-1`` departures → ``c_α = 2(P-1)``;
+* recursive doubling: ``ceil(log2 P)`` exchange rounds, plus a notify and
+  a release hop when ``P`` is not a power of two → ``+2``;
+* double ring: the token crosses every rank twice → ``c_α = 2P``;
+* Bruck: ``ceil(log2 P)`` rounds.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+from repro.models.base import BcastModel, LinearCoefficients
+
+
+class _BarrierModel(BcastModel):
+    """Barrier models ignore the message size and segmenting entirely."""
+
+    def message_count(self, procs: int) -> float:
+        raise NotImplementedError
+
+    def coefficients(
+        self, procs: int, nbytes: int = 0, segment_size: int = 0
+    ) -> LinearCoefficients:
+        del nbytes, segment_size
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        return LinearCoefficients(self.message_count(procs), 0.0)
+
+
+class LinearBarrierModel(_BarrierModel):
+    """Fan-in/fan-out: ``2(P-1)`` serialised root messages."""
+
+    algorithm = "linear"
+
+    def message_count(self, procs: int) -> float:
+        return 2.0 * (procs - 1)
+
+
+class RecursiveDoublingBarrierModel(_BarrierModel):
+    """``ceil(log2 P)`` rounds, plus surplus fold/release off powers of two."""
+
+    algorithm = "recursive_doubling"
+
+    def message_count(self, procs: int) -> float:
+        rounds = ceil(log2(procs))
+        surplus = 0.0 if procs & (procs - 1) == 0 else 2.0
+        return rounds + surplus
+
+
+class DoubleRingBarrierModel(_BarrierModel):
+    """Two full laps of the ring: ``2P`` sequential hops."""
+
+    algorithm = "double_ring"
+
+    def message_count(self, procs: int) -> float:
+        return 2.0 * procs
+
+
+class BruckBarrierModel(_BarrierModel):
+    """Dissemination: ``ceil(log2 P)`` rounds for any size."""
+
+    algorithm = "bruck"
+
+    def message_count(self, procs: int) -> float:
+        return float(ceil(log2(procs)))
+
+
+#: Derived barrier models keyed by the algorithm they describe.
+DERIVED_BARRIER_MODELS: dict[str, type[BcastModel]] = {
+    model.algorithm: model
+    for model in (
+        LinearBarrierModel,
+        RecursiveDoublingBarrierModel,
+        DoubleRingBarrierModel,
+        BruckBarrierModel,
+    )
+}

@@ -1,0 +1,88 @@
+"""Common interface of broadcast performance models.
+
+Every model — derived or traditional — predicts the broadcast time as a
+function that is *linear in the Hockney parameters*::
+
+    T(P, m) = c_α(P, m, m_s) · α  +  c_β(P, m, m_s) · β
+
+The coefficient pair is exposed explicitly (:meth:`BcastModel.coefficients`)
+because the paper's α/β estimation (§4.2, Fig. 4) needs it: each
+communication experiment contributes one linear equation whose coefficients
+come straight from the model of the algorithm inside the experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from repro.errors import EstimationError
+from repro.models.gamma import GammaFunction
+from repro.models.hockney import HockneyParams
+
+
+@dataclass(frozen=True)
+class LinearCoefficients:
+    """Coefficients of ``T = c_alpha * α + c_beta * β``."""
+
+    c_alpha: float
+    c_beta: float
+
+    def evaluate(self, params: HockneyParams) -> float:
+        return self.c_alpha * params.alpha + self.c_beta * params.beta
+
+    def __add__(self, other: "LinearCoefficients") -> "LinearCoefficients":
+        return LinearCoefficients(
+            self.c_alpha + other.c_alpha, self.c_beta + other.c_beta
+        )
+
+
+def segment_count(nbytes: int, segment_size: int) -> int:
+    """Number of segments ``n_s`` (1 when segmentation is off)."""
+    if nbytes < 0:
+        raise EstimationError(f"negative message size {nbytes}")
+    if nbytes == 0:
+        return 1
+    if segment_size <= 0 or segment_size >= nbytes:
+        return 1
+    return ceil(nbytes / segment_size)
+
+
+class BcastModel:
+    """Base class: an analytical model of one broadcast algorithm.
+
+    Subclasses implement :meth:`coefficients`; prediction and the canonical
+    estimation form come for free.  ``algorithm`` names the catalogue entry
+    in :data:`repro.collectives.BCAST_ALGORITHMS` the model describes.
+    """
+
+    #: Catalogue name of the modelled algorithm (e.g. ``"binomial"``).
+    algorithm: str = ""
+
+    def __init__(self, gamma: GammaFunction):
+        self.gamma = gamma
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int
+    ) -> LinearCoefficients:
+        """The ``(c_α, c_β)`` pair for one broadcast invocation."""
+        raise NotImplementedError
+
+    def predict(
+        self, procs: int, nbytes: int, segment_size: int, params: HockneyParams
+    ) -> float:
+        """Predicted broadcast time under the given Hockney parameters."""
+        self._check(procs, nbytes)
+        if procs == 1:
+            return 0.0
+        return self.coefficients(procs, nbytes, segment_size).evaluate(params)
+
+    @staticmethod
+    def _check(procs: int, nbytes: int) -> None:
+        if procs < 1:
+            raise EstimationError(f"need at least one process, got {procs}")
+        if nbytes < 0:
+            raise EstimationError(f"negative message size {nbytes}")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} algorithm={self.algorithm!r}>"

@@ -1,0 +1,265 @@
+"""Implementation-derived analytical models (paper §3, contribution 1).
+
+Every model below is read off the *code* of the corresponding algorithm in
+:mod:`repro.collectives.bcast` (itself a port of Open MPI's
+``coll_base_bcast.c``), not from the algorithm's textbook definition.  The
+recurring building block is the per-stage **non-blocking linear broadcast**:
+an interior node with ``k`` children pushes one segment to all of them with
+non-blocking sends, which costs ``γ(k+1)·τ`` where ``τ = α + m_s·β`` is the
+Hockney cost of one segment and γ is the platform function of
+:mod:`repro.models.gamma` (paper Eq. 2).
+
+Shared notation: ``P`` processes, message ``m``, segment size ``m_s``,
+``n_s = ceil(m / m_s)`` segments, effective segment ``m/n_s`` (the paper
+assumes ``m = n_s·m_s``).
+
+Pipelining argument used throughout (visible in Fig. 3 of the paper): in the
+generic tree broadcast the root emits one segment per ``γ(k_root+1)·τ``;
+the *last* segment leaves the root after ``n_s`` such stage times and then
+trickles down the deepest path, paying one stage time per level.  Stages of
+different tree levels overlap, so the total is the root's emission time plus
+the drain of the final segment — never the product of the two.
+"""
+
+from __future__ import annotations
+
+from math import ceil, floor, log2
+
+from repro.collectives.bcast import DEFAULT_CHAIN_FANOUT
+from repro.models.base import BcastModel, LinearCoefficients, segment_count
+
+
+class LinearTreeModel(BcastModel):
+    """Linear tree with non-blocking sends, never segmented.
+
+    The root posts ``P-1`` isends of the whole message and waits for all.
+    The wire latency of the concurrent transfers overlaps but their
+    injection serialises at the root, so for the large ``P`` this algorithm
+    is used at the cost is the serial emission of ``P-1`` messages:
+
+        T = (P - 1) · (α + m·β)
+
+    (the same structure as the paper's linear gather model, Eq. 8, with the
+    direction reversed).  For small ``P`` the overlap is what γ captures;
+    γ is measured *from* this very algorithm, so the model intentionally
+    stays in the simple ``(P-1)`` form and lets the in-context α absorb the
+    constant offset.
+    """
+
+    algorithm = "linear"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int
+    ) -> LinearCoefficients:
+        del segment_size  # the linear algorithm never segments
+        peers = max(procs - 1, 0)
+        return LinearCoefficients(peers, peers * nbytes)
+
+
+class ChainTreeModel(BcastModel):
+    """Chain (pipeline): one chain through all ``P`` ranks, segmented.
+
+    Every interior node has exactly one child, so each per-stage linear
+    broadcast is a plain point-to-point send (``γ(2) = 1``).  Reading the
+    implementation (double-buffered ``irecv`` pipeline in
+    ``bcast_intra_generic``): the *first* segment pays the full
+    point-to-point cost ``α + m_s·β`` on each of the ``P-2`` hops after the
+    root's first send (pipeline fill), but in steady state the receive of
+    segment ``i+1`` overlaps the forwarding of segment ``i``, so each
+    further segment costs only the serialised injection — the byte term —
+    not another latency:
+
+        T = (P - 2)·(α + m_s·β)  +  n_s·(α·0 + m_s·β)  + α
+          →  c_α = P - 1,   c_β = (n_s + P - 2)·m_s
+
+    (one α for the root's initial send; the textbook form that charges α on
+    every segment is kept in :mod:`repro.models.traditional` for contrast).
+    """
+
+    algorithm = "chain"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int
+    ) -> LinearCoefficients:
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        segments = segment_count(nbytes, segment_size)
+        segment_bytes = nbytes / segments
+        c_alpha = procs - 1.0
+        c_beta = (segments + procs - 2.0) * segment_bytes
+        return LinearCoefficients(c_alpha, c_beta)
+
+
+class KChainTreeModel(BcastModel):
+    """K chains hanging off the root (Open MPI's chain algorithm, K = 4).
+
+    The root performs a ``K``-child linear broadcast per segment —
+    ``γ(K+1)`` point-to-point injections' worth — while the chains drain
+    with single-child stages.  As with the chain model, the implementation
+    overlaps latency in steady state: the fill phase pays full
+    point-to-point cost along the longest chain (``ceil((P-1)/K)`` nodes),
+    the steady-state rate is the γ-weighted byte term of the root's
+    per-segment fan-out:
+
+        c_α = ceil((P-1)/K),
+        c_β = (n_s·γ(K+1) + ceil((P-1)/K) - 1) · m_s
+    """
+
+    algorithm = "k_chain"
+
+    def __init__(self, gamma, chains: int = DEFAULT_CHAIN_FANOUT):
+        super().__init__(gamma)
+        self.chains = chains
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int
+    ) -> LinearCoefficients:
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        segments = segment_count(nbytes, segment_size)
+        chains = min(self.chains, procs - 1)
+        chain_length = ceil((procs - 1) / chains)
+        segment_bytes = nbytes / segments
+        c_alpha = float(chain_length)
+        c_beta = (
+            segments * self.gamma(chains + 1) + chain_length - 1
+        ) * segment_bytes
+        return LinearCoefficients(c_alpha, c_beta)
+
+
+class BinaryTreeModel(BcastModel):
+    """Balanced binary tree, segmented.
+
+    The heap-shaped tree of height ``H = ceil(log2(P+1)) - 1`` gives every
+    interior node two children, so each stage is a 2-child linear broadcast
+    costing ``γ(3)·τ``.  Root emission takes ``n_s`` stages, the final
+    segment drains through ``H - 1`` further levels:
+
+        T = (n_s + H - 1) · γ(3) · (α + (m/n_s)·β)
+    """
+
+    algorithm = "binary"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int
+    ) -> LinearCoefficients:
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        segments = segment_count(nbytes, segment_size)
+        height = ceil(log2(procs + 1)) - 1
+        stages = (segments + height - 1) * self.gamma(3)
+        return LinearCoefficients(stages, stages * (nbytes / segments))
+
+
+class SplitBinaryTreeModel(BcastModel):
+    """Split-binary tree, segmented.
+
+    Phase one is a binary-tree pipeline of *half* the message
+    (``n_s/2`` segments) down each subtree — the two subtrees work
+    concurrently and each stage still costs ``γ(3)·τ`` because the root
+    alternates a send into each subtree per stage and interior nodes
+    forward to two children.  Phase two exchanges the halves between mirror
+    nodes of the two subtrees: one point-to-point message of ``m/2`` in
+    each direction, running on a large number of independent pairs, i.e.
+    one Hockney term:
+
+        T = (n_s/2 + H - 1) · γ(3) · (α + (m/n_s)·β)  +  (α + (m/2)·β)
+    """
+
+    algorithm = "split_binary"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int
+    ) -> LinearCoefficients:
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        segments = segment_count(nbytes, segment_size)
+        if procs < 3 or segments < 2:
+            # The implementation falls back to the linear algorithm.
+            peers = procs - 1
+            return LinearCoefficients(peers, peers * nbytes)
+        height = ceil(log2(procs + 1)) - 1
+        stages = (ceil(segments / 2) + height - 1) * self.gamma(3)
+        pipeline = LinearCoefficients(stages, stages * (nbytes / segments))
+        exchange = LinearCoefficients(1.0, nbytes / 2)
+        return pipeline + exchange
+
+
+class BinomialTreeModel(BcastModel):
+    """Balanced binomial tree, segmented (paper §3.1, Eq. 6).
+
+    The root has ``ceil(log2 P)`` children, so emits one segment per
+    ``γ(ceil(log2 P) + 1)·τ``; the number of children halves level by
+    level down the deepest path, so the final segment pays
+    ``γ(ceil(log2 P) - i + 1)·τ`` at depth ``i``.  Substituting into the
+    stage sum (paper Eq. 5) gives Eq. 6:
+
+        T = ( n_s·γ(⌈log2 P⌉ + 1)
+              + Σ_{i=1}^{⌊log2 P⌋ - 1} γ(⌈log2 P⌉ - i + 1)
+              - 1 ) · (α + (m/n_s)·β)
+    """
+
+    algorithm = "binomial"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int
+    ) -> LinearCoefficients:
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        segments = segment_count(nbytes, segment_size)
+        ceil_log = ceil(log2(procs))
+        floor_log = floor(log2(procs))
+        stages = segments * self.gamma(ceil_log + 1) - 1.0
+        for i in range(1, floor_log):
+            stages += self.gamma(ceil_log - i + 1)
+        # Eq. 6's "-1" overlap correction assumes a tree of depth >= 2; at
+        # P = 2 with a single segment it would yield zero stages, while the
+        # implementation still performs n_s sends.
+        stages = max(stages, float(segments))
+        return LinearCoefficients(stages, stages * (nbytes / segments))
+
+
+class ScatterAllgatherModel(BcastModel):
+    """Scatter-allgather (Van de Geijn) broadcast — extension algorithm.
+
+    Derived from :func:`repro.collectives.bcast.bcast_scatter_allgather`:
+    a binomial scatter whose deepest path forwards ``m·(P-1)/P`` bytes over
+    ``ceil(log2 P)`` latency-bearing hops, then a ring allgather of ``P-1``
+    steps moving one ``m/P`` block each:
+
+        c_α = ceil(log2 P) + (P - 1)
+        c_β = 2·m·(P - 1)/P
+
+    Falls back to the linear coefficients when the implementation falls
+    back (P = 2 or fewer bytes than ranks).
+    """
+
+    algorithm = "scatter_allgather"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int
+    ) -> LinearCoefficients:
+        del segment_size  # block structure is fixed by P, not by segments
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        if procs == 2 or nbytes < procs:
+            peers = procs - 1
+            return LinearCoefficients(peers, peers * nbytes)
+        c_alpha = ceil(log2(procs)) + procs - 1.0
+        c_beta = 2.0 * nbytes * (procs - 1) / procs
+        return LinearCoefficients(c_alpha, c_beta)
+
+
+#: Derived model classes keyed by the algorithm they describe.
+DERIVED_BCAST_MODELS: dict[str, type[BcastModel]] = {
+    model.algorithm: model
+    for model in (
+        LinearTreeModel,
+        ChainTreeModel,
+        KChainTreeModel,
+        BinaryTreeModel,
+        SplitBinaryTreeModel,
+        BinomialTreeModel,
+        ScatterAllgatherModel,
+    )
+}

@@ -1,0 +1,90 @@
+"""The platform function γ(P) (paper §3.1, Eq. 3 and §4.1).
+
+``γ(P)`` is the ratio between the execution time of the *non-blocking
+linear-tree broadcast* of one segment to ``P-1`` children and the time of a
+single point-to-point segment transfer::
+
+    γ(P) = T_linear_nonblock(P, m_s) / T_p2p(m_s),       γ(2) = 1.
+
+Inside the segmented tree broadcast algorithms every interior node performs
+exactly this linear broadcast to its children each stage, so γ converts
+point-to-point Hockney cost into per-stage cost.
+
+The paper estimates γ at a handful of process counts (2..7 suffice for the
+tree fanouts that occur in practice) and observes the discrete estimate is
+near linear, so larger arguments are served by a linear regression over the
+measured points — implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+
+@dataclass(frozen=True)
+class GammaFunction:
+    """γ(P) from a measured table plus linear extrapolation.
+
+    ``table`` maps process counts to measured γ values; ``γ(2)`` is 1 by
+    definition and is added if absent.  Calls inside the table range return
+    the measured value (interpolating linearly between known points);
+    calls beyond it use the fitted regression line, clamped to ≥ 1.
+    """
+
+    table: dict[int, float]
+    _slope: float = field(init=False, repr=False, compare=False, default=0.0)
+    _intercept: float = field(init=False, repr=False, compare=False, default=1.0)
+
+    def __post_init__(self) -> None:
+        cleaned = {2: 1.0}
+        for procs, value in self.table.items():
+            if procs < 2:
+                raise EstimationError(f"gamma defined for P >= 2, got {procs}")
+            if value <= 0:
+                raise EstimationError(f"gamma({procs}) must be positive, got {value}")
+            cleaned[int(procs)] = float(value)
+        object.__setattr__(self, "table", cleaned)
+        points = sorted(cleaned.items())
+        xs = np.array([p for p, _ in points], dtype=float)
+        ys = np.array([g for _, g in points], dtype=float)
+        if len(points) >= 2:
+            slope, intercept = np.polyfit(xs, ys, 1)
+        else:  # only γ(2)=1 known: assume flat
+            slope, intercept = 0.0, 1.0
+        object.__setattr__(self, "_slope", float(slope))
+        object.__setattr__(self, "_intercept", float(intercept))
+
+    @property
+    def max_measured(self) -> int:
+        return max(self.table)
+
+    def __call__(self, procs: int) -> float:
+        """γ for a linear broadcast over ``procs`` processes (root + children)."""
+        if procs <= 2:
+            return 1.0
+        exact = self.table.get(procs)
+        if exact is not None:
+            return exact
+        if procs < self.max_measured:
+            below = max(p for p in self.table if p < procs)
+            above = min(p for p in self.table if p > procs)
+            weight = (procs - below) / (above - below)
+            return (1 - weight) * self.table[below] + weight * self.table[above]
+        return max(1.0, self._intercept + self._slope * procs)
+
+    def regression_line(self) -> tuple[float, float]:
+        """The fitted ``(intercept, slope)`` of the linear approximation."""
+        return self._intercept, self._slope
+
+    @classmethod
+    def ideal(cls) -> "GammaFunction":
+        """γ ≡ 1: every per-stage send is as cheap as one point-to-point.
+
+        This is what traditional models implicitly assume; exposed for the
+        model-structure ablation.
+        """
+        return cls(table={2: 1.0})

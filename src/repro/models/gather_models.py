@@ -1,0 +1,27 @@
+"""Model of the linear gather used in the α/β experiments (paper Eq. 8).
+
+The linear-without-synchronisation gather drains ``P-1`` messages of
+``m_g`` bytes through the root's single NIC, so its cost is
+
+    T_gather(P, m_g) = (P - 1) · (α + m_g·β).
+
+Its coefficients are *added* to the broadcast model's coefficients when the
+paper's composite experiment (broadcast + gather, Eq. 7) is turned into one
+linear equation in α and β (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from repro.models.base import LinearCoefficients
+from repro.models.hockney import HockneyParams
+
+
+def linear_gather_coefficients(procs: int, gather_bytes: int) -> LinearCoefficients:
+    """``(c_α, c_β)`` of the linear gather (Eq. 8)."""
+    peers = max(procs - 1, 0)
+    return LinearCoefficients(peers, peers * gather_bytes)
+
+
+def linear_gather_time(procs: int, gather_bytes: int, params: HockneyParams) -> float:
+    """Predicted linear gather time (Eq. 8)."""
+    return linear_gather_coefficients(procs, gather_bytes).evaluate(params)

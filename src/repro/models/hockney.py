@@ -1,0 +1,35 @@
+"""The Hockney point-to-point model.
+
+Hockney [9] models the time of sending a message of ``m`` bytes between two
+processes as ``T_p2p(m) = α + β·m`` where ``α`` is the latency and ``β`` the
+reciprocal bandwidth.  All broadcast models in this package are built on
+this form; the paper's innovation is *whose* α and β get plugged in
+(per-algorithm in-context estimates rather than ping-pong measurements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HockneyParams:
+    """Hockney model parameters: ``T(m) = alpha + beta * m``."""
+
+    #: Latency in seconds.
+    alpha: float
+    #: Reciprocal bandwidth in seconds per byte.
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.beta < 0:
+            raise ValueError(f"beta must be non-negative, got {self.beta}")
+
+    def p2p_time(self, nbytes: int) -> float:
+        """Predicted point-to-point time for a message of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        return self.alpha + self.beta * nbytes
+
+    def __str__(self) -> str:
+        return f"alpha={self.alpha:.3e} s, beta={self.beta:.3e} s/B"

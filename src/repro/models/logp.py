@@ -1,0 +1,111 @@
+"""LogP-family point-to-point models (related work, paper §2.2).
+
+The survey part of the paper lists the classical alternatives to Hockney:
+
+* **LogP** (Culler et al.): latency ``L``, send/receive overheads
+  ``o_s``/``o_r``, and gap ``g`` — the minimum interval between
+  consecutive message transmissions, for *short* messages;
+* **LogGP** (Alexandrov et al.): adds a per-byte gap ``G`` for long
+  messages;
+* **PLogP** (Kielmann et al.): makes the overheads and gap functions of
+  the message size.
+
+They are implemented here as point-to-point comparators (with measurement
+procedures in :mod:`repro.estimation.logp_params`) to reproduce the
+related-work context; the broadcast models of the paper itself are built on
+Hockney.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class LogPParams:
+    """LogP: ``T_p2p = o_s + L + o_r`` with rate cap ``1/g``."""
+
+    latency: float
+    send_overhead: float
+    recv_overhead: float
+    gap: float
+
+    def p2p_time(self, nbytes: int = 0) -> float:
+        """End-to-end time of one (short) message; size is ignored."""
+        del nbytes
+        return self.send_overhead + self.latency + self.recv_overhead
+
+    def issue_interval(self) -> float:
+        """Minimum spacing between consecutive sends from one process."""
+        return max(self.gap, self.send_overhead)
+
+    def linear_bcast_time(self, procs: int) -> float:
+        """LogP estimate of the non-blocking linear broadcast.
+
+        The root issues ``P-1`` sends spaced by the gap; the last message
+        then needs ``L + o_r`` to land — the LogP view of what the paper's
+        γ(P) measures.
+        """
+        if procs < 2:
+            return 0.0
+        return (
+            self.send_overhead
+            + (procs - 2) * self.issue_interval()
+            + self.latency
+            + self.recv_overhead
+        )
+
+
+@dataclass(frozen=True)
+class LogGPParams:
+    """LogGP: LogP plus a per-byte gap ``G`` for long messages."""
+
+    latency: float
+    send_overhead: float
+    recv_overhead: float
+    gap: float
+    gap_per_byte: float
+
+    def p2p_time(self, nbytes: int) -> float:
+        """``o_s + (m-1)G + L + o_r`` (the classical LogGP long-message form)."""
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        stretched = max(nbytes - 1, 0) * self.gap_per_byte
+        return self.send_overhead + stretched + self.latency + self.recv_overhead
+
+    def to_hockney(self):
+        """The Hockney parameters this LogGP model degenerates to."""
+        from repro.models.hockney import HockneyParams
+
+        return HockneyParams(
+            alpha=self.send_overhead + self.latency + self.recv_overhead,
+            beta=self.gap_per_byte,
+        )
+
+
+@dataclass(frozen=True)
+class PLogPParams:
+    """PLogP: size-dependent overheads and gap.
+
+    ``os_fn``, ``or_fn`` and ``g_fn`` map message size to seconds; ``L`` is
+    the only scalar, as Kielmann et al. define it.
+    """
+
+    latency: float
+    os_fn: Callable[[int], float]
+    or_fn: Callable[[int], float]
+    g_fn: Callable[[int], float]
+
+    def p2p_time(self, nbytes: int) -> float:
+        """Kielmann's end-to-end time: ``L + g(m)`` with ``g >= os, or``."""
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        return self.latency + self.g_fn(nbytes)
+
+    def saturation_rate(self, nbytes: int) -> float:
+        """Messages per second a sender can sustain at this size."""
+        gap = self.g_fn(nbytes)
+        if gap <= 0:
+            raise ValueError("gap must be positive")
+        return 1.0 / gap

@@ -1,0 +1,76 @@
+"""Implementation-derived models of the reduce algorithms (future work).
+
+The paper's conclusion proposes extending the approach to the remaining
+collectives; reduction is the natural first step because every broadcast
+tree runs backwards: data flows leaf-to-root, each interior node *receives*
+one segment from each of its ``k`` children per stage (the mirror image of
+the non-blocking linear broadcast, so the same γ(k+1) applies to the
+serialised drain at the parent's NIC) and pays the reduction operator on
+top — a per-byte CPU cost that the in-context α/β estimation absorbs
+without any model change, which is precisely the strength of the paper's
+contribution 2.
+
+Model forms (τ = α + m_s·β):
+
+* linear:            T = (P-1)·(α + m·β)           (ingress serialisation)
+* chain (pipeline):  c_α = P-1, c_β = (n_s + P - 2)·m_s   (latency paid on
+  the fill hops, bytes on every stage — same reading as the broadcast
+  chain model)
+* binary:            T = (n_s + H - 1)·γ(3)·τ
+* binomial:          the dual of paper Eq. 6
+* in-order binomial: structurally identical to binomial (children order
+  does not change stage counts)
+"""
+
+from __future__ import annotations
+
+from repro.models.base import BcastModel
+from repro.models.derived import (
+    BinaryTreeModel,
+    BinomialTreeModel,
+    ChainTreeModel,
+    LinearTreeModel,
+)
+
+
+class LinearReduceModel(LinearTreeModel):
+    """Linear reduce: ``(P-1)`` messages drain through the root's NIC."""
+
+    algorithm = "linear"
+
+
+class ChainReduceModel(ChainTreeModel):
+    """Pipelined chain reduce (dual of the chain broadcast)."""
+
+    algorithm = "chain"
+
+
+class BinaryReduceModel(BinaryTreeModel):
+    """Binary-tree reduce: γ(3) per stage, combining two children."""
+
+    algorithm = "binary"
+
+
+class BinomialReduceModel(BinomialTreeModel):
+    """Binomial-tree reduce (dual of paper Eq. 6)."""
+
+    algorithm = "binomial"
+
+
+class InOrderBinomialReduceModel(BinomialTreeModel):
+    """In-order binomial reduce: same stage structure as binomial."""
+
+    algorithm = "in_order_binomial"
+
+
+#: Derived reduce models keyed by the reduce algorithm they describe.
+DERIVED_REDUCE_MODELS: dict[str, type[BcastModel]] = {
+    model.algorithm: model
+    for model in (
+        LinearReduceModel,
+        ChainReduceModel,
+        BinaryReduceModel,
+        BinomialReduceModel,
+        InOrderBinomialReduceModel,
+    )
+}

@@ -1,0 +1,90 @@
+"""Human-readable reports of calibrated platform models.
+
+Renders a :class:`~repro.estimation.workflow.PlatformModel` as Markdown:
+the γ table with its regression line, each algorithm's closed-form
+equation with the fitted numbers substituted, and a prediction grid — the
+document a cluster operator would archive next to the calibration JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.estimation.workflow import PlatformModel
+from repro.units import KiB, MiB, format_bytes, format_seconds, log_spaced_sizes
+
+#: Closed-form equation templates per derived model (paper §3 notation).
+EQUATIONS = {
+    "linear": "T = (P-1)·(α + m·β)",
+    "chain": "T = (P-1)·α + (n_s + P - 2)·m_s·β",
+    "k_chain": "T = ⌈(P-1)/4⌉·α + (n_s·γ(5) + ⌈(P-1)/4⌉ - 1)·m_s·β",
+    "binary": "T = (n_s + H - 1)·γ(3)·(α + m_s·β),  H = ⌈log2(P+1)⌉ - 1",
+    "split_binary": "T = (⌈n_s/2⌉ + H - 1)·γ(3)·(α + m_s·β) + (α + m/2·β)",
+    "binomial": "T = (n_s·γ(⌈log2 P⌉+1) + Σ γ(⌈log2 P⌉-i+1) - 1)·(α + m_s·β)",
+    "scatter_allgather": "T = (⌈log2 P⌉ + P - 1)·α + 2·m·(P-1)/P·β",
+    "in_order_binomial": "T = (n_s·γ(⌈log2 P⌉+1) + Σ γ(⌈log2 P⌉-i+1) - 1)·(α + m_s·β)",
+    # Barrier models: pure message counts (no payload, no β).
+    "recursive_doubling": "T = (⌈log2 P⌉ + 2·[P not power of 2])·α",
+    "double_ring": "T = 2P·α",
+    "bruck": "T = ⌈log2 P⌉·α",
+}
+
+
+def render_report(
+    platform: PlatformModel,
+    *,
+    procs: Sequence[int] = (16, 64),
+    sizes: Sequence[int] | None = None,
+) -> str:
+    """Render the calibration as a Markdown document."""
+    if sizes is None:
+        sizes = log_spaced_sizes(8 * KiB, 4 * MiB, 5)
+    lines = [
+        f"# Platform model: {platform.cluster}",
+        "",
+        f"* operation: `{platform.operation}`",
+        f"* model family: `{platform.model_family}`",
+        f"* calibrated segment size: {format_bytes(platform.segment_size)}",
+        "",
+        "## γ(P)",
+        "",
+        "| P | γ |",
+        "|---|---|",
+    ]
+    for p, g in sorted(platform.gamma.table.items()):
+        lines.append(f"| {p} | {g:.3f} |")
+    intercept, slope = platform.gamma.regression_line()
+    lines.append("")
+    lines.append(
+        f"Linear extrapolation beyond P={platform.gamma.max_measured}: "
+        f"γ(P) ≈ {intercept:.3f} + {slope:.3f}·P"
+    )
+
+    lines += ["", "## Calibrated models", ""]
+    for name in platform.algorithms:
+        params = platform.parameters[name]
+        equation = EQUATIONS.get(name, "T = c_α·α + c_β·β")
+        stage = params.p2p_time(platform.segment_size)
+        lines.append(f"### {name}")
+        lines.append("")
+        lines.append(f"    {equation}")
+        lines.append("")
+        lines.append(
+            f"α = {params.alpha:.3e} s, β = {params.beta:.3e} s/B "
+            f"(effective segment cost τ = {format_seconds(stage)})"
+        )
+        lines.append("")
+
+    lines += ["## Prediction grid", ""]
+    header = "| P | " + " | ".join(format_bytes(m) for m in sizes) + " |"
+    lines.append(header)
+    lines.append("|" + "---|" * (len(sizes) + 1))
+    for p in procs:
+        cells = []
+        for m in sizes:
+            predictions = platform.predict_all(p, m)
+            winner = min(predictions, key=predictions.get)
+            cells.append(f"{winner} ({format_seconds(predictions[winner])})")
+        lines.append(f"| {p} | " + " | ".join(cells) + " |")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Traditional definition-based models (the paper's Fig. 1 straw man).
+
+These models follow the style of Thakur et al. [5] and Pjevsivac-Grbovic
+et al. [8]: they are written down from the mathematical definition of each
+algorithm, assume every parent contacts its children with *sequential
+blocking* sends (a parent with ``k`` children pays ``k`` full point-to-point
+times per segment — no γ), and are parameterised with Hockney α/β measured
+by point-to-point ping-pong.
+
+The paper's Fig. 1 shows these models mispredict badly; we reproduce both
+the models and the comparison (``benchmarks/test_fig1_traditional.py``).
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+from repro.collectives.bcast import DEFAULT_CHAIN_FANOUT
+from repro.models.base import BcastModel, LinearCoefficients, segment_count
+from repro.models.gamma import GammaFunction
+
+
+class _TraditionalModel(BcastModel):
+    """Traditional models ignore γ: they are constructed with γ ≡ 1."""
+
+    def __init__(self, gamma: GammaFunction | None = None):
+        del gamma  # traditional models have no γ concept
+        super().__init__(GammaFunction.ideal())
+
+
+class TraditionalLinearModel(_TraditionalModel):
+    """Sequential sends from the root: ``T = (P-1)(α + m·β)``."""
+
+    algorithm = "linear"
+
+    def coefficients(self, procs, nbytes, segment_size):
+        del segment_size
+        peers = max(procs - 1, 0)
+        return LinearCoefficients(peers, peers * nbytes)
+
+
+class TraditionalChainModel(_TraditionalModel):
+    """Textbook pipeline: ``T = (n_s + P - 2)(α + m_s·β)``.
+
+    Structurally identical to the derived model (a chain has fanout one, so
+    γ plays no role); the difference in practice is entirely the parameter
+    source, which is the paper's contribution 2.
+    """
+
+    algorithm = "chain"
+
+    def coefficients(self, procs, nbytes, segment_size):
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        segments = segment_count(nbytes, segment_size)
+        stages = segments + procs - 2
+        return LinearCoefficients(stages, stages * (nbytes / segments))
+
+
+class TraditionalKChainModel(_TraditionalModel):
+    """K chains with sequential root sends: each stage costs ``K`` p2p times.
+
+        T = (n_s·K + ceil((P-1)/K) - 1)(α + m_s·β)
+    """
+
+    algorithm = "k_chain"
+
+    def __init__(self, gamma=None, chains: int = DEFAULT_CHAIN_FANOUT):
+        super().__init__(gamma)
+        self.chains = chains
+
+    def coefficients(self, procs, nbytes, segment_size):
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        segments = segment_count(nbytes, segment_size)
+        chains = min(self.chains, procs - 1)
+        stages = segments * chains + ceil((procs - 1) / chains) - 1
+        return LinearCoefficients(stages, stages * (nbytes / segments))
+
+
+class TraditionalBinaryModel(_TraditionalModel):
+    """Binary tree with two sequential sends per stage:
+
+        T = (n_s + H - 1) · 2 · (α + m_s·β),  H = ceil(log2(P+1)) - 1
+    """
+
+    algorithm = "binary"
+
+    def coefficients(self, procs, nbytes, segment_size):
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        segments = segment_count(nbytes, segment_size)
+        height = ceil(log2(procs + 1)) - 1
+        stages = (segments + height - 1) * 2.0
+        return LinearCoefficients(stages, stages * (nbytes / segments))
+
+
+class TraditionalSplitBinaryModel(_TraditionalModel):
+    """Split-binary with sequential sends in the pipeline phase:
+
+        T = (n_s/2 + H - 1) · 2 · (α + m_s·β) + (α + (m/2)·β)
+    """
+
+    algorithm = "split_binary"
+
+    def coefficients(self, procs, nbytes, segment_size):
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        segments = segment_count(nbytes, segment_size)
+        if procs < 3 or segments < 2:
+            peers = procs - 1
+            return LinearCoefficients(peers, peers * nbytes)
+        height = ceil(log2(procs + 1)) - 1
+        stages = (ceil(segments / 2) + height - 1) * 2.0
+        pipeline = LinearCoefficients(stages, stages * (nbytes / segments))
+        return pipeline + LinearCoefficients(1.0, nbytes / 2)
+
+
+class TraditionalBinomialModel(_TraditionalModel):
+    """Thakur-style binomial broadcast, non-segmented:
+
+        T = ceil(log2 P) · (α + m·β)
+
+    This is the classical formula whose divergence from the measured
+    segmented implementation the paper's Fig. 1 demonstrates.
+    """
+
+    algorithm = "binomial"
+
+    def coefficients(self, procs, nbytes, segment_size):
+        del segment_size
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        rounds = ceil(log2(procs))
+        return LinearCoefficients(rounds, rounds * nbytes)
+
+
+#: Traditional model classes keyed by algorithm name.
+TRADITIONAL_BCAST_MODELS: dict[str, type[BcastModel]] = {
+    model.algorithm: model
+    for model in (
+        TraditionalLinearModel,
+        TraditionalChainModel,
+        TraditionalKChainModel,
+        TraditionalBinaryModel,
+        TraditionalSplitBinaryModel,
+        TraditionalBinomialModel,
+    )
+}

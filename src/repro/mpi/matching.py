@@ -1,0 +1,128 @@
+"""Tag matching: posted-receive and unexpected-message queues.
+
+Implements MPI's matching semantics for the simulated runtime:
+
+* a receive matches a message when communicator context, source and tag all
+  match (``ANY_SOURCE``/``ANY_TAG`` wildcards supported);
+* the **non-overtaking rule**: messages from the same source on the same
+  communicator and tag are matched in the order they were sent.  The fabric
+  delivers messages from one source in injection order, and both queues here
+  are scanned FIFO, which together preserve the rule.
+
+Two kinds of arrival are handled: eager payloads (data already at the host)
+and rendezvous ready-to-send notices (payload transfer starts only after the
+match, via a clear-to-send callback).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class Envelope:
+    """An arrived eager message (payload already delivered)."""
+
+    __slots__ = ("cid", "src", "tag", "nbytes", "arrival")
+
+    def __init__(self, cid: int, src: int, tag: int, nbytes: int, arrival: float):
+        self.cid = cid
+        self.src = src
+        self.tag = tag
+        self.nbytes = nbytes
+        self.arrival = arrival
+
+
+class RtsNotice:
+    """An arrived rendezvous ready-to-send notice.
+
+    ``grant`` is invoked exactly once, at match time, as
+    ``grant(match_time, recv_done)``; it triggers the clear-to-send and the
+    payload transfer, then calls ``recv_done(deliver_time)`` so the receive
+    side can schedule its completion.
+    """
+
+    __slots__ = ("cid", "src", "tag", "nbytes", "grant")
+
+    def __init__(
+        self,
+        cid: int,
+        src: int,
+        tag: int,
+        nbytes: int,
+        grant: Callable[[float, Callable[[float], None]], None],
+    ):
+        self.cid = cid
+        self.src = src
+        self.tag = tag
+        self.nbytes = nbytes
+        self.grant = grant
+
+
+class PostedRecv:
+    """A posted receive waiting for a matching arrival.
+
+    ``complete`` is invoked exactly once with the matched arrival (an
+    :class:`Envelope` or :class:`RtsNotice`) and the match timestamp.
+    """
+
+    __slots__ = ("cid", "src", "tag", "complete")
+
+    def __init__(
+        self,
+        cid: int,
+        src: int,
+        tag: int,
+        complete: Callable[[Envelope | RtsNotice, float], None],
+    ):
+        self.cid = cid
+        self.src = src
+        self.tag = tag
+        self.complete = complete
+
+    def matches(self, cid: int, src: int, tag: int) -> bool:
+        return (
+            self.cid == cid
+            and (self.src == ANY_SOURCE or self.src == src)
+            and (self.tag == ANY_TAG or self.tag == tag)
+        )
+
+
+class MatchingEngine:
+    """Per-rank matching state: one posted queue, one unexpected queue."""
+
+    __slots__ = ("posted", "unexpected")
+
+    def __init__(self) -> None:
+        self.posted: list[PostedRecv] = []
+        self.unexpected: list[Envelope | RtsNotice] = []
+
+    # -- arrivals ---------------------------------------------------------
+
+    def arrive(self, message: Envelope | RtsNotice, now: float) -> None:
+        """Handle an arriving message: match a posted recv or queue it."""
+        for i, recv in enumerate(self.posted):
+            if recv.matches(message.cid, message.src, message.tag):
+                del self.posted[i]
+                recv.complete(message, now)
+                return
+        self.unexpected.append(message)
+
+    # -- receives ---------------------------------------------------------
+
+    def post(self, recv: PostedRecv, now: float) -> None:
+        """Post a receive: match an unexpected arrival or queue it."""
+        for i, message in enumerate(self.unexpected):
+            if recv.matches(message.cid, message.src, message.tag):
+                del self.unexpected[i]
+                recv.complete(message, now)
+                return
+        self.posted.append(recv)
+
+    # -- diagnostics -------------------------------------------------------
+
+    def idle(self) -> bool:
+        """True when no receives or messages are outstanding."""
+        return not self.posted and not self.unexpected

@@ -1,0 +1,50 @@
+"""MPI request and status objects for the simulated runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import Future, Simulator
+
+
+@dataclass(frozen=True)
+class Status:
+    """Completion information of a receive (mirrors ``MPI_Status``)."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+
+class Request(Future):
+    """A pending non-blocking operation; completes with a :class:`Status`.
+
+    Send requests complete with a :class:`Status` describing the message
+    they sent (for symmetry); receive requests complete with the matched
+    message's envelope data.
+    """
+
+    __slots__ = ("kind", "rank", "peer", "tag", "nbytes")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        kind: str,
+        rank: int,
+        peer: int,
+        tag: int,
+        nbytes: int,
+    ):
+        super().__init__(sim)
+        self.kind = kind
+        self.rank = rank
+        self.peer = peer
+        self.tag = tag
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else "pending"
+        return (
+            f"<Request {self.kind} rank={self.rank} peer={self.peer} "
+            f"tag={self.tag} nbytes={self.nbytes} {state}>"
+        )

@@ -1,0 +1,63 @@
+"""Open MPI-style message segmentation.
+
+The tuned collective component splits a message into fixed-size segments and
+pipelines them through a virtual topology; the number of segments and the
+size of the (possibly short) final segment are computed exactly as
+``ompi_coll_base_*`` does from a segment size in bytes.
+
+The paper writes ``m = n_s * m_s`` (message = segments × segment size); this
+module is the single authority for that arithmetic across algorithms,
+analytical models and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MpiError
+
+
+@dataclass(frozen=True)
+class SegmentPlan:
+    """How one message is cut into segments.
+
+    ``sizes`` lists every segment's size in order; all but the last equal
+    ``segment_size`` (when segmentation is active).
+    """
+
+    total_bytes: int
+    segment_size: int
+    sizes: tuple[int, ...]
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.sizes)
+
+    def __iter__(self):
+        return iter(self.sizes)
+
+
+def plan_segments(total_bytes: int, segment_size: int) -> SegmentPlan:
+    """Split ``total_bytes`` into segments of ``segment_size`` bytes.
+
+    A ``segment_size`` of 0 (Open MPI's convention) or one at least as large
+    as the message disables segmentation: the message is one segment.
+
+    >>> plan_segments(10, 4).sizes
+    (4, 4, 2)
+    >>> plan_segments(10, 0).sizes
+    (10,)
+    """
+    if total_bytes < 0:
+        raise MpiError(f"negative message size {total_bytes}")
+    if segment_size < 0:
+        raise MpiError(f"negative segment size {segment_size}")
+    if total_bytes == 0:
+        return SegmentPlan(0, segment_size, (0,))
+    if segment_size == 0 or segment_size >= total_bytes:
+        return SegmentPlan(total_bytes, segment_size, (total_bytes,))
+    full, remainder = divmod(total_bytes, segment_size)
+    sizes = [segment_size] * full
+    if remainder:
+        sizes.append(remainder)
+    return SegmentPlan(total_bytes, segment_size, tuple(sizes))

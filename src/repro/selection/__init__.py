@@ -1,0 +1,30 @@
+"""Runtime selection of collective algorithms.
+
+Three selectors, matching the three curves of the paper's Fig. 5:
+
+* :mod:`repro.selection.model_based` — the paper's contribution: pick the
+  algorithm whose calibrated analytical model predicts the lowest time;
+* :mod:`repro.selection.ompi_fixed` — the baseline: a port of Open MPI
+  3.1's hard-coded broadcast decision function;
+* :mod:`repro.selection.oracle` — the ground truth: measure every
+  algorithm and pick the best.
+
+:mod:`repro.selection.decision_table` precomputes a selector over a
+``(P, m)`` grid and serialises it, the deployment artefact an MPI library
+would ship.
+"""
+
+from repro.selection.decision_table import DecisionTable, build_decision_table
+from repro.selection.model_based import ModelBasedSelector
+from repro.selection.ompi_fixed import OmpiFixedSelector, ompi_bcast_decision
+from repro.selection.oracle import MeasuredOracle, Selection
+
+__all__ = [
+    "DecisionTable",
+    "MeasuredOracle",
+    "ModelBasedSelector",
+    "OmpiFixedSelector",
+    "Selection",
+    "build_decision_table",
+    "ompi_bcast_decision",
+]

@@ -1,0 +1,113 @@
+"""The paper's model-based runtime selector (§5.3).
+
+Given a calibrated :class:`~repro.estimation.workflow.PlatformModel`, the
+selector evaluates every algorithm's analytical model at the requested
+``(P, m)`` and returns the argmin.  The evaluation is a handful of
+floating-point operations per algorithm — this is the efficiency claim of
+the paper, benchmarked in ``benchmarks/test_decision_overhead.py``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SelectionError
+from repro.estimation.workflow import PlatformModel
+from repro.selection.oracle import Selection
+
+
+class ModelBasedSelector:
+    """Selects the algorithm whose model predicts the lowest time."""
+
+    def __init__(self, platform: PlatformModel):
+        if not platform.parameters:
+            raise SelectionError("platform model has no calibrated algorithms")
+        self.platform = platform
+
+    def predictions(self, procs: int, nbytes: int) -> dict[str, float]:
+        """Model-predicted times of all calibrated algorithms."""
+        return self.platform.predict_all(procs, nbytes)
+
+    def select(self, procs: int, nbytes: int) -> Selection:
+        """The model-optimal algorithm for ``(procs, nbytes)``.
+
+        The segment size is the platform's calibrated segment size (the
+        paper fixes 8 KB; choosing the optimal segment size is explicitly
+        out of its scope).
+        """
+        choice, _predicted = self.select_with_prediction(procs, nbytes)
+        return choice
+
+    def select_with_prediction(
+        self, procs: int, nbytes: int
+    ) -> tuple[Selection, float]:
+        """The selection plus its predicted execution time."""
+        predicted = self.predictions(procs, nbytes)
+        winner = min(predicted, key=predicted.get)
+        operation = self.platform.operation
+        segment = (
+            self.platform.segment_size
+            if _is_segmented(operation, winner)
+            else 0
+        )
+        return Selection(winner, segment, operation), predicted[winner]
+
+
+    def select_with_segments(
+        self, procs: int, nbytes: int, segment_sizes
+    ) -> tuple[Selection, float]:
+        """Joint algorithm *and* segment-size selection (extension).
+
+        The paper fixes the segment size at 8 KB and scopes its optimisation
+        out; the models, however, are functions of the segment size, so the
+        same argmin can range over (algorithm, segment) pairs.  Unsegmented
+        algorithms participate once with segment 0.
+
+        Caveat: α and β were fitted at the platform's calibrated segment
+        size, so they implicitly amortise per-message costs over segments
+        of that size.  Sweeping *below* the calibrated size extrapolates
+        outside the fit — the pipeline (chain) models in particular have no
+        per-segment α term and would predict tiny segments to be free —
+        so candidate segments smaller than the calibration anchor are
+        skipped for such models (those whose α-coefficient does not grow
+        with the segment count).
+        """
+        operation = self.platform.operation
+        anchor = self.platform.segment_size
+        best: tuple[float, Selection] | None = None
+        for name in self.platform.algorithms:
+            if _is_segmented(operation, name):
+                if self._alpha_scales_with_segments(name, procs):
+                    candidates = list(segment_sizes)
+                else:
+                    candidates = [s for s in segment_sizes if s >= anchor]
+                if not candidates:
+                    candidates = [anchor]
+            else:
+                candidates = [0]
+            for segment in candidates:
+                predicted = self.platform.predict(
+                    name, procs, nbytes, segment_size=segment
+                )
+                candidate = (predicted, Selection(name, segment, operation))
+                if best is None or predicted < best[0]:
+                    best = candidate
+        assert best is not None  # platform has >= 1 algorithm by invariant
+        return best[1], best[0]
+
+    def _alpha_scales_with_segments(self, name: str, procs: int) -> bool:
+        """Whether the model's α-coefficient grows with the segment count.
+
+        Models where it does (the γ-weighted tree broadcasts) price small
+        segments realistically; models where it does not (the latency-split
+        pipelines) cannot be extrapolated below the calibrated segment.
+        """
+        model = self.platform.model_for(name)
+        probe = 1 << 20
+        coarse = model.coefficients(procs, probe, probe // 4).c_alpha
+        fine = model.coefficients(procs, probe, probe // 64).c_alpha
+        return fine > coarse * 1.5
+
+
+def _is_segmented(operation: str, algorithm: str) -> bool:
+    from repro.collectives.registry import get_algorithm
+
+    return bool(getattr(get_algorithm(operation, algorithm), "segmented", False))

@@ -1,0 +1,133 @@
+"""Port of Open MPI 3.1's fixed broadcast decision function.
+
+This reproduces ``ompi_coll_tuned_bcast_intra_dec_fixed`` from
+``ompi/mca/coll/tuned/coll_tuned_decision_fixed.c``: the hard-coded rule —
+derived by Open MPI's developers from benchmarks on a particular platform
+("MX results for messages up to 36 MB and communicator sizes up to 64
+nodes") — that picks the broadcast algorithm and segment size from the
+message size and communicator size.  It is the blue curve of the paper's
+Fig. 5 and the "Open MPI" column of Table 3.
+
+Name mapping between Open MPI and our catalogue:
+
+=====================  ==================
+Open MPI               :mod:`repro` name
+=====================  ==================
+binomial               ``binomial``
+split binary tree      ``split_binary``
+pipeline               ``chain`` (single chain)
+chain (4 chains)       ``k_chain``
+=====================  ==================
+"""
+
+from __future__ import annotations
+
+from repro.errors import SelectionError
+from repro.selection.oracle import Selection
+from repro.units import KiB
+
+#: Thresholds and linear boundaries from coll_tuned_decision_fixed.c.
+SMALL_MESSAGE_SIZE = 2048
+INTERMEDIATE_MESSAGE_SIZE = 370728
+A_P16 = 3.2118e-6  # [1/byte]
+B_P16 = 8.7936
+A_P64 = 2.3679e-6  # [1/byte]
+B_P64 = 1.1787
+A_P128 = 1.6134e-6  # [1/byte]
+B_P128 = 2.1102
+
+
+def ompi_bcast_decision(communicator_size: int, message_size: int) -> Selection:
+    """The Open MPI 3.1 fixed decision for ``MPI_Bcast``.
+
+    Follows the original control flow branch by branch; returns the
+    selected algorithm and segment size.
+    """
+    if communicator_size < 1:
+        raise SelectionError(f"invalid communicator size {communicator_size}")
+    if message_size < 0:
+        raise SelectionError(f"negative message size {message_size}")
+
+    if message_size < SMALL_MESSAGE_SIZE:
+        # Binomial without segmentation.
+        return Selection("binomial", 0)
+    if message_size < INTERMEDIATE_MESSAGE_SIZE:
+        # SplittedBinary with 1KB segments.
+        return Selection("split_binary", 1 * KiB)
+    # Large message sizes.
+    if communicator_size < (A_P128 * message_size + B_P128):
+        # Pipeline with 128KB segments.
+        return Selection("chain", 128 * KiB)
+    if communicator_size < 13:
+        # Split Binary with 8KB segments.
+        return Selection("split_binary", 8 * KiB)
+    if communicator_size < (A_P64 * message_size + B_P64):
+        # Pipeline with 64KB segments.
+        return Selection("chain", 64 * KiB)
+    if communicator_size < (A_P16 * message_size + B_P16):
+        # Pipeline with 16KB segments.
+        return Selection("chain", 16 * KiB)
+    # Pipeline with 8KB segments.
+    return Selection("chain", 8 * KiB)
+
+
+#: Linear boundaries of the reduce decision (coll_tuned_decision_fixed.c).
+REDUCE_A1 = 0.6016 / 1024.0  # [1/byte]
+REDUCE_B1 = 1.3496
+REDUCE_A2 = 0.0410 / 1024.0
+REDUCE_B2 = 9.7128
+REDUCE_A3 = 0.0422 / 1024.0
+REDUCE_B3 = 1.1614
+REDUCE_A4 = 0.0033 / 1024.0
+REDUCE_B4 = 1.6761
+
+
+def ompi_reduce_decision(communicator_size: int, message_size: int) -> Selection:
+    """The Open MPI 3.1 fixed decision for ``MPI_Reduce``.
+
+    Port of ``ompi_coll_tuned_reduce_intra_dec_fixed``: four linear
+    boundaries in the (message size, communicator size) plane select
+    between the linear, binomial, binary and pipeline (chain) reductions
+    with hard-coded segment sizes.
+    """
+    if communicator_size < 1:
+        raise SelectionError(f"invalid communicator size {communicator_size}")
+    if message_size < 0:
+        raise SelectionError(f"negative message size {message_size}")
+
+    if communicator_size < REDUCE_A1 * message_size + REDUCE_B1:
+        # Linear, no segmentation.
+        return Selection("linear", 0, operation="reduce")
+    if communicator_size < REDUCE_A2 * message_size + REDUCE_B2:
+        # Binomial with 1KB segments.
+        return Selection("binomial", 1 * KiB, operation="reduce")
+    if communicator_size < REDUCE_A3 * message_size + REDUCE_B3:
+        # Binary with 32KB segments.
+        return Selection("binary", 32 * KiB, operation="reduce")
+    if communicator_size < REDUCE_A4 * message_size + REDUCE_B4:
+        # Pipeline with 32KB segments.
+        return Selection("chain", 32 * KiB, operation="reduce")
+    # Pipeline with 64KB segments.
+    return Selection("chain", 64 * KiB, operation="reduce")
+
+
+class OmpiFixedSelector:
+    """Selector interface over the fixed decision functions.
+
+    ``operation`` picks the decision function: ``"bcast"`` (the paper's
+    baseline) or ``"reduce"`` (the future-work extension).
+    """
+
+    name = "ompi_fixed"
+
+    def __init__(self, operation: str = "bcast"):
+        if operation not in ("bcast", "reduce"):
+            raise SelectionError(
+                f"no fixed decision function for operation {operation!r}"
+            )
+        self.operation = operation
+
+    def select(self, procs: int, nbytes: int) -> Selection:
+        if self.operation == "reduce":
+            return ompi_reduce_decision(procs, nbytes)
+        return ompi_bcast_decision(procs, nbytes)

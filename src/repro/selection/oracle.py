@@ -1,0 +1,140 @@
+"""Selection primitives and the measured oracle (ground truth).
+
+A :class:`Selection` names an algorithm plus the segment size it should run
+with — the same pair Open MPI's decision functions produce.  The
+:class:`MeasuredOracle` runs every candidate algorithm on the simulated
+cluster and returns the empirically best one; Table 3's "Best" column and
+the green curve of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.clusters.spec import ClusterSpec
+from repro.collectives.bcast import PAPER_BCAST_ALGORITHMS
+from repro.errors import SelectionError
+from repro.estimation.statistics import adaptive_measure
+from repro.measure import time_bcast
+from repro.units import KiB
+
+
+@dataclass(frozen=True)
+class Selection:
+    """An algorithm choice: name plus segment size (0 = unsegmented).
+
+    ``operation`` names the collective the choice belongs to (``"bcast"``
+    unless the future-work reduce selection produced it); the algorithm
+    name is validated against that operation's catalogue.
+    """
+
+    algorithm: str
+    segment_size: int
+    operation: str = "bcast"
+
+    def __post_init__(self) -> None:
+        from repro.collectives.registry import algorithm_names
+
+        known = algorithm_names(self.operation)
+        if self.algorithm not in known:
+            raise SelectionError(
+                f"unknown {self.operation} algorithm {self.algorithm!r}; "
+                f"known: {', '.join(known)}"
+            )
+        if self.segment_size < 0:
+            raise SelectionError(f"negative segment size {self.segment_size}")
+
+    def describe(self) -> str:
+        if self.segment_size:
+            return f"{self.algorithm} ({self.segment_size // 1024} KB segments)"
+        return f"{self.algorithm} (no segmentation)"
+
+
+class MeasuredOracle:
+    """Exhaustive measurement: the empirically optimal algorithm.
+
+    Results are memoised per ``(procs, nbytes, algorithm, segment_size)``
+    so Table 3 and Fig. 5 share measurements.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        *,
+        algorithms: Sequence[str] | None = None,
+        segment_size: int = 8 * KiB,
+        precision: float = 0.025,
+        max_reps: int = 12,
+        seed: int = 0,
+    ):
+        self.spec = spec
+        # Default to the paper's six algorithms so Table 3 / Fig. 5 stay
+        # faithful; pass an explicit list to include extension algorithms.
+        self.algorithms = (
+            sorted(PAPER_BCAST_ALGORITHMS)
+            if algorithms is None
+            else list(algorithms)
+        )
+        self.segment_size = segment_size
+        self.precision = precision
+        self.max_reps = max_reps
+        self.seed = seed
+        self._cache: dict[tuple[int, int, str, int], float] = {}
+
+    def measure(
+        self,
+        procs: int,
+        nbytes: int,
+        algorithm: str,
+        segment_size: int | None = None,
+    ) -> float:
+        """Mean measured time of one algorithm (memoised)."""
+        seg = self.segment_size if segment_size is None else segment_size
+        key = (procs, nbytes, algorithm, seg)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        def measure_once(rep_seed: int) -> float:
+            return time_bcast(
+                self.spec, algorithm, procs, nbytes, seg, seed=rep_seed
+            )
+
+        stats = adaptive_measure(
+            measure_once,
+            precision=self.precision,
+            max_reps=self.max_reps,
+            seed=self.seed + hash(key) % 1_000_000,
+        )
+        self._cache[key] = stats.mean
+        return stats.mean
+
+    def measure_selection(self, procs: int, nbytes: int, choice: Selection) -> float:
+        """Measured time of an arbitrary (algorithm, segment size) choice."""
+        return self.measure(procs, nbytes, choice.algorithm, choice.segment_size)
+
+    def sweep(self, procs: int, nbytes: int) -> dict[str, float]:
+        """Measured time of every candidate algorithm at ``(procs, nbytes)``."""
+        return {
+            name: self.measure(procs, nbytes, name) for name in self.algorithms
+        }
+
+    def best(self, procs: int, nbytes: int) -> tuple[Selection, float]:
+        """The empirically best algorithm and its measured time."""
+        times = self.sweep(procs, nbytes)
+        winner = min(times, key=times.get)
+        return Selection(winner, self.segment_size), times[winner]
+
+    def degradation(
+        self, procs: int, nbytes: int, choice: Selection
+    ) -> float:
+        """Relative slowdown of ``choice`` versus the best, in percent.
+
+        This is the figure Table 3 prints in braces.
+        """
+        _, best_time = self.best(procs, nbytes)
+        chosen_time = self.measure_selection(procs, nbytes, choice)
+        if best_time <= 0:
+            raise SelectionError("best time measured as non-positive")
+        return 100.0 * (chosen_time - best_time) / best_time

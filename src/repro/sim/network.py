@@ -1,0 +1,246 @@
+"""Cluster fabric model: hosts, NICs, and message transfer timing.
+
+The model captures the mechanisms that the paper's results hinge on:
+
+* **Egress serialisation.**  A host injects bytes into the network through
+  one NIC; concurrent sends from the same rank serialise their injection
+  (per-message fixed cost plus a per-byte cost).  This is what makes the
+  non-blocking linear broadcast slower than a single point-to-point message
+  and hence what the paper's ``γ(P)`` parameter measures.
+* **Parallel wire latency.**  Once injected, messages to different
+  destinations propagate concurrently; only the injection is serial.
+* **Ingress serialisation.**  A host drains incoming bytes through one NIC;
+  P-1 simultaneous messages to the root (the linear gather used in the
+  paper's α/β experiments) serialise on arrival, giving the
+  ``(P-1)(α + m_g β)`` gather term of the paper's Eq. 8.
+* **Eager vs rendezvous point-to-point protocol.**  Messages up to
+  ``eager_limit`` are buffered (the send completes locally once injected);
+  larger messages complete only after a ready-to-send/clear-to-send
+  handshake, like Open MPI's TCP BTL.
+* **Intra-node shared-memory transfers.**  Ranks mapped to the same node
+  bypass the NIC (Grisou runs two ranks per node in the paper).
+
+The fabric computes *timings*; queueing state is a single ``free_at`` clock
+per NIC direction, which is exact for serially-reserved resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.sim.noise import NoNoise, NoiseModel
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Physical parameters of a simulated cluster fabric.
+
+    All times are seconds; per-byte costs are seconds/byte.
+    """
+
+    #: One-way wire + switch latency between any two hosts.
+    latency: float
+    #: Per-byte egress (injection) cost at the sending host's NIC.
+    byte_time_out: float
+    #: Per-byte ingress (drain) cost at the receiving host's NIC.
+    byte_time_in: float
+    #: Fixed NIC/driver cost per injected message (serialised at egress).
+    per_message_overhead: float
+    #: CPU time charged to the sending rank per send/isend call.
+    send_overhead: float
+    #: CPU-side time to hand a matched message to the receiving rank.
+    recv_overhead: float
+    #: Messages strictly larger than this use the rendezvous protocol.
+    eager_limit: int
+    #: One-way latency of a tiny control message (RTS/CTS).
+    control_latency: float
+    #: Latency of an intra-node (shared memory) transfer.
+    shm_latency: float
+    #: Per-byte cost of an intra-node transfer (memory copy).
+    shm_byte_time: float
+
+    def __post_init__(self) -> None:
+        for name in (
+            "latency",
+            "byte_time_out",
+            "byte_time_in",
+            "per_message_overhead",
+            "send_overhead",
+            "recv_overhead",
+            "control_latency",
+            "shm_latency",
+            "shm_byte_time",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"NetworkParams.{name} must be >= 0")
+        if self.eager_limit < 0:
+            raise ValueError("NetworkParams.eager_limit must be >= 0")
+
+
+@dataclass
+class TransferTiming:
+    """Timestamps of one message transfer.
+
+    ``inject_end`` is when the sender's NIC finishes injecting (local
+    completion for eager sends); ``deliver`` is when the last byte is
+    available at the receiving host.
+    """
+
+    inject_start: float
+    inject_end: float
+    deliver: float
+
+    def __post_init__(self) -> None:
+        if not (self.inject_start <= self.inject_end <= self.deliver):
+            raise SimulationError(
+                f"non-monotonic transfer timing: {self.inject_start} "
+                f"-> {self.inject_end} -> {self.deliver}"
+            )
+
+
+class _Nic:
+    """One direction of a NIC: a serially-reserved resource."""
+
+    __slots__ = ("free_at",)
+
+    def __init__(self) -> None:
+        self.free_at = 0.0
+
+    def reserve(self, ready: float, duration: float) -> tuple[float, float]:
+        start = ready if ready > self.free_at else self.free_at
+        end = start + duration
+        self.free_at = end
+        return start, end
+
+    def reset(self) -> None:
+        self.free_at = 0.0
+
+
+class Host:
+    """A cluster node: one or more NIC ports plus an identity.
+
+    Multi-port hosts model nodes like Grid'5000 Grisou's, which expose
+    several 10 GbE ports; ranks co-located on such a node are assigned
+    distinct ports and do not contend for injection bandwidth.
+    """
+
+    __slots__ = ("node_id", "egress", "ingress")
+
+    def __init__(self, node_id: int, ports: int = 1):
+        if ports < 1:
+            raise SimulationError(f"host needs at least one NIC port, got {ports}")
+        self.node_id = node_id
+        self.egress = [_Nic() for _ in range(ports)]
+        self.ingress = [_Nic() for _ in range(ports)]
+
+    @property
+    def ports(self) -> int:
+        return len(self.egress)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Host {self.node_id} ports={self.ports}>"
+
+
+@dataclass
+class Fabric:
+    """The cluster interconnect: computes message transfer timings.
+
+    One :class:`Fabric` is created per simulation run; NIC clocks are part
+    of the run state.
+    """
+
+    params: NetworkParams
+    num_nodes: int
+    noise: NoiseModel = field(default_factory=NoNoise)
+    ports_per_node: int = 1
+    #: Per-node *egress* slowdown factors (>= 1), e.g. ``{60: 6.0}``: the
+    #: node's outgoing injection runs six times slower (a collapsed TCP
+    #: congestion window, a flapping link).  Egress-only on purpose: every
+    #: broadcast participant must *receive* the message whatever the
+    #: algorithm, but only algorithms that route traffic *through* the sick
+    #: node pay its send-side pathology — which is what makes long
+    #: pipelines collapse while leaving tree leaves harmless.
+    degradation: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("fabric needs at least one node")
+        for node, factor in self.degradation.items():
+            if not 0 <= node < self.num_nodes:
+                raise SimulationError(f"degraded node {node} outside fabric")
+            if factor < 1.0:
+                raise SimulationError(
+                    f"degradation factor must be >= 1, got {factor} for node {node}"
+                )
+        self.hosts = [Host(i, self.ports_per_node) for i in range(self.num_nodes)]
+        self.bytes_transferred = 0
+        self.messages_transferred = 0
+
+    def _slowdown(self, node: int) -> float:
+        return self.degradation.get(node, 1.0)
+
+    def host(self, node_id: int) -> Host:
+        return self.hosts[node_id]
+
+    def transfer(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        ready: float,
+        src_port: int = 0,
+        dst_port: int = 0,
+    ) -> TransferTiming:
+        """Timing of moving ``nbytes`` from node ``src`` to node ``dst``.
+
+        ``ready`` is the earliest time the payload can start moving (after
+        the sender's CPU overhead, and after CTS for rendezvous sends).
+        ``src_port``/``dst_port`` select the NIC port on multi-port hosts.
+        """
+        if nbytes < 0:
+            raise SimulationError(f"negative message size: {nbytes}")
+        self.bytes_transferred += nbytes
+        self.messages_transferred += 1
+        p = self.params
+        if src == dst:
+            # Intra-node: one memory copy by the sender, no NIC involvement.
+            copy = nbytes * p.shm_byte_time * self.noise.factor()
+            inject_end = ready + copy
+            deliver = inject_end + p.shm_latency * self.noise.factor()
+            return TransferTiming(ready, inject_end, deliver)
+        src_host = self.hosts[src]
+        dst_host = self.hosts[dst]
+        inject_cost = (
+            (p.per_message_overhead + nbytes * p.byte_time_out)
+            * self.noise.factor()
+            * self._slowdown(src)
+        )
+        inject_start, inject_end = src_host.egress[src_port].reserve(
+            ready, inject_cost
+        )
+        arrive = inject_end + p.latency * self.noise.factor()
+        drain_cost = nbytes * p.byte_time_in * self.noise.factor()
+        _, deliver = dst_host.ingress[dst_port].reserve(arrive, drain_cost)
+        return TransferTiming(inject_start, inject_end, deliver)
+
+    def control_transfer(self, src: int, dst: int, ready: float) -> float:
+        """Delivery time of a tiny control message (rendezvous RTS/CTS).
+
+        Control messages ride a fast path: they pay only control latency (no
+        NIC byte serialisation), or a shared-memory hop intra-node.
+        """
+        p = self.params
+        if src == dst:
+            return ready + p.shm_latency * self.noise.factor()
+        return ready + p.control_latency * self.noise.factor()
+
+    def reset(self) -> None:
+        """Clear NIC clocks and counters (between measurement repetitions)."""
+        for host in self.hosts:
+            for nic in host.egress:
+                nic.reset()
+            for nic in host.ingress:
+                nic.reset()
+        self.bytes_transferred = 0
+        self.messages_transferred = 0

@@ -1,0 +1,72 @@
+"""Stochastic perturbation of simulated network costs.
+
+Real clusters exhibit run-to-run variation (OS jitter, TCP stack state,
+switch buffering).  The paper's measurement methodology — repeating each
+experiment until the 95% confidence interval half-width is within 2.5% of the
+sample mean — only makes sense against such variation, so the simulator
+supports a seeded multiplicative noise model.
+
+All noise is derived from a single ``numpy`` PRNG seeded per experiment, so a
+given (cluster, seed) pair reproduces bit-identical "measurements".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class NoiseModel:
+    """Interface: a stream of multiplicative cost factors (>= 0)."""
+
+    def factor(self) -> float:
+        """Return the next multiplicative factor applied to a network cost."""
+        raise NotImplementedError
+
+    def reseed(self, seed: int) -> None:
+        """Reset the underlying PRNG (called once per measurement run)."""
+        raise NotImplementedError
+
+
+class NoNoise(NoiseModel):
+    """Deterministic model: every factor is exactly 1."""
+
+    def factor(self) -> float:
+        return 1.0
+
+    def reseed(self, seed: int) -> None:  # noqa: ARG002 - deterministic
+        return None
+
+    def __repr__(self) -> str:
+        return "NoNoise()"
+
+
+class LognormalNoise(NoiseModel):
+    """Multiplicative lognormal jitter with unit mean.
+
+    ``sigma`` is the standard deviation of the underlying normal; the
+    distribution is scaled so that ``E[factor] == 1`` (costs are unbiased).
+    A typical dedicated-cluster value is ``sigma = 0.02`` (~2% jitter).
+    """
+
+    def __init__(self, sigma: float = 0.02, seed: int = 0):
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.sigma = sigma
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); pick mu so mean is 1.
+        self._mu = -0.5 * sigma * sigma
+
+    def factor(self) -> float:
+        if self.sigma == 0.0:
+            return 1.0
+        return float(math.exp(self._mu + self.sigma * self._rng.standard_normal()))
+
+    def reseed(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def __repr__(self) -> str:
+        return f"LognormalNoise(sigma={self.sigma}, seed={self.seed})"

@@ -1,0 +1,27 @@
+"""Virtual topologies for tree-based collective algorithms.
+
+Ports of the tree constructions in Open MPI's ``coll/base`` component
+(``coll_base_topo.c``): k-ary trees, binomial trees (standard and in-order)
+and k-chain trees.  All builders take the communicator size and the root
+rank and return a :class:`~repro.topology.tree.Tree` expressed in actual
+ranks (the construction happens in root-shifted *virtual* ranks, as in
+Open MPI).
+"""
+
+from repro.topology.builders import (
+    build_binary_tree,
+    build_binomial_tree,
+    build_chain_tree,
+    build_in_order_binomial_tree,
+    build_kary_tree,
+)
+from repro.topology.tree import Tree
+
+__all__ = [
+    "Tree",
+    "build_binary_tree",
+    "build_binomial_tree",
+    "build_chain_tree",
+    "build_in_order_binomial_tree",
+    "build_kary_tree",
+]

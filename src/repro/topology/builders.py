@@ -1,0 +1,121 @@
+"""Tree builders: ports of ``ompi_coll_base_topo_build_*``.
+
+All builders shift ranks so the construction sees the root as virtual rank 0
+(``vrank = (rank - root) mod size``), exactly as Open MPI does, then express
+the result in actual ranks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.tree import Tree, tree_from_children
+
+
+def _check(size: int, root: int) -> None:
+    if size < 1:
+        raise TopologyError(f"communicator size must be >= 1, got {size}")
+    if not 0 <= root < size:
+        raise TopologyError(f"root {root} outside communicator of size {size}")
+
+
+def _actual(vrank: int, root: int, size: int) -> int:
+    return (vrank + root) % size
+
+
+def build_kary_tree(fanout: int, size: int, root: int = 0) -> Tree:
+    """Complete k-ary tree filled level by level (``topo_build_tree``).
+
+    Virtual rank ``v`` has children ``fanout*v + 1 .. fanout*v + fanout``
+    (those below ``size``).  ``fanout=2`` is the *balanced binary tree* used
+    by the binary and split-binary broadcast algorithms.
+    """
+    _check(size, root)
+    if fanout < 1:
+        raise TopologyError(f"fanout must be >= 1, got {fanout}")
+    children_map: dict[int, list[int]] = {}
+    for vrank in range(size):
+        kids = [
+            _actual(child, root, size)
+            for child in range(fanout * vrank + 1, fanout * vrank + fanout + 1)
+            if child < size
+        ]
+        if kids:
+            children_map[_actual(vrank, root, size)] = kids
+    return tree_from_children(root, size, children_map)
+
+
+def build_binary_tree(size: int, root: int = 0) -> Tree:
+    """Balanced binary tree (``build_kary_tree`` with fanout 2)."""
+    return build_kary_tree(2, size, root)
+
+
+def build_binomial_tree(size: int, root: int = 0) -> Tree:
+    """Balanced binomial tree (``topo_build_bmtree``), paper Fig. 2.
+
+    Virtual rank ``v``'s children are ``v | 2^j`` for every bit ``2^j``
+    below ``v``'s lowest set bit (all bits for the root), bounded by
+    ``size``.  The root has ``ceil(log2 size)`` children; the height is
+    ``floor(log2 size)`` — the quantities appearing in the paper's Eq. 4-6.
+    """
+    _check(size, root)
+    children_map: dict[int, list[int]] = {}
+    for vrank in range(size):
+        kids = []
+        mask = 1
+        while mask < size:
+            if vrank & mask:
+                break
+            child = vrank | mask
+            if child < size:
+                kids.append(_actual(child, root, size))
+            mask <<= 1
+        if kids:
+            children_map[_actual(vrank, root, size)] = kids
+    return tree_from_children(root, size, children_map)
+
+
+def build_in_order_binomial_tree(size: int, root: int = 0) -> Tree:
+    """Binomial tree with children in decreasing-subtree order.
+
+    Open MPI uses the in-order variant for operations whose reduction order
+    matters (non-commutative reduce, gather); structurally it is the
+    standard binomial tree with each child list reversed, so the largest
+    subtree is contacted first.
+    """
+    standard = build_binomial_tree(size, root)
+    children = tuple(tuple(reversed(kids)) for kids in standard.children)
+    tree = Tree(root=root, parent=standard.parent, children=children)
+    tree.validate()
+    return tree
+
+
+def build_chain_tree(size: int, root: int = 0, chains: int = 1) -> Tree:
+    """``chains`` pipelines hanging off the root (``topo_build_chain``).
+
+    The non-root ranks are split into ``chains`` consecutive runs, as evenly
+    as possible (earlier chains get the extra rank); the root's children are
+    the chain heads.  ``chains=1`` is the *chain (pipeline)* broadcast
+    topology; Open MPI's *chain* algorithm defaults to 4 chains, the paper's
+    *K-chain tree*.
+    """
+    _check(size, root)
+    if chains < 1:
+        raise TopologyError(f"chains must be >= 1, got {chains}")
+    children_map: dict[int, list[int]] = {}
+    remaining = size - 1
+    chains = min(chains, remaining) if remaining else 0
+    if chains:
+        base, extra = divmod(remaining, chains)
+        heads: list[int] = []
+        next_vrank = 1
+        for chain_index in range(chains):
+            length = base + (1 if chain_index < extra else 0)
+            run = list(range(next_vrank, next_vrank + length))
+            next_vrank += length
+            heads.append(run[0])
+            for earlier, later in zip(run, run[1:]):
+                children_map[_actual(earlier, root, size)] = [
+                    _actual(later, root, size)
+                ]
+        children_map[root] = [_actual(head, root, size) for head in heads]
+    return tree_from_children(root, size, children_map)

@@ -1,0 +1,153 @@
+"""The virtual-topology tree structure shared by all collective algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class Tree:
+    """A rooted tree over communicator ranks ``0..size-1``.
+
+    ``parent[r]`` is the parent of rank ``r`` (``-1`` for the root);
+    ``children[r]`` lists the children of rank ``r`` in send order — the
+    order matters because interior nodes of the broadcast algorithms send to
+    children in list order and the analytical models count those sends.
+    """
+
+    root: int
+    parent: tuple[int, ...]
+    children: tuple[tuple[int, ...], ...]
+    _depth_cache: dict = field(default_factory=dict, compare=False, repr=False)
+
+    @property
+    def size(self) -> int:
+        return len(self.parent)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`TopologyError`."""
+        size = self.size
+        if not 0 <= self.root < size:
+            raise TopologyError(f"root {self.root} outside 0..{size - 1}")
+        if len(self.children) != size:
+            raise TopologyError("children table size mismatch")
+        if self.parent[self.root] != -1:
+            raise TopologyError("root must have parent -1")
+        seen_as_child: set[int] = set()
+        for rank in range(size):
+            for child in self.children[rank]:
+                if not 0 <= child < size:
+                    raise TopologyError(f"child {child} outside communicator")
+                if child in seen_as_child:
+                    raise TopologyError(f"rank {child} appears as child twice")
+                seen_as_child.add(child)
+                if self.parent[child] != rank:
+                    raise TopologyError(
+                        f"child link {rank}->{child} disagrees with parent table"
+                    )
+        for rank in range(size):
+            if rank == self.root:
+                continue
+            if rank not in seen_as_child:
+                raise TopologyError(f"rank {rank} unreachable from root")
+            if not 0 <= self.parent[rank] < size:
+                raise TopologyError(f"rank {rank} has invalid parent")
+        # Acyclicity + connectivity: walking to the root must terminate.
+        for rank in range(size):
+            if self.depth_of(rank) >= size:
+                raise TopologyError(f"cycle through rank {rank}")
+
+    def depth_of(self, rank: int) -> int:
+        """Number of hops from the root to ``rank`` (root has depth 0)."""
+        cached = self._depth_cache.get(rank)
+        if cached is not None:
+            return cached
+        depth = 0
+        current = rank
+        while current != self.root and depth <= self.size:
+            current = self.parent[current]
+            depth += 1
+        self._depth_cache[rank] = depth
+        return depth
+
+    @property
+    def height(self) -> int:
+        """Maximum depth over all ranks."""
+        return max(self.depth_of(r) for r in range(self.size))
+
+    def levels(self) -> list[list[int]]:
+        """Ranks grouped by depth, ``levels()[0] == [root]``."""
+        grouped: list[list[int]] = [[] for _ in range(self.height + 1)]
+        for rank in range(self.size):
+            grouped[self.depth_of(rank)].append(rank)
+        return grouped
+
+    def interior_ranks(self) -> list[int]:
+        """Ranks with at least one child, in rank order."""
+        return [r for r in range(self.size) if self.children[r]]
+
+    def leaves(self) -> list[int]:
+        """Ranks with no children, in rank order."""
+        return [r for r in range(self.size) if not self.children[r]]
+
+    def num_children(self, rank: int) -> int:
+        return len(self.children[rank])
+
+    def max_fanout(self) -> int:
+        """Largest number of children of any rank."""
+        return max(len(c) for c in self.children)
+
+    def path_to_root(self, rank: int) -> list[int]:
+        """Ranks from ``rank`` up to (and including) the root."""
+        path = [rank]
+        while path[-1] != self.root:
+            if len(path) > self.size:
+                raise TopologyError(f"cycle through rank {rank}")
+            path.append(self.parent[path[-1]])
+        return path
+
+    def subtree_size(self, rank: int) -> int:
+        """Number of ranks in the subtree rooted at ``rank`` (inclusive)."""
+        total = 1
+        for child in self.children[rank]:
+            total += self.subtree_size(child)
+        return total
+
+    def render(self) -> str:
+        """ASCII rendering (used by examples and error messages)."""
+        lines: list[str] = []
+
+        def walk(rank: int, prefix: str, tail: bool) -> None:
+            connector = "`- " if tail else "|- "
+            lines.append(f"{prefix}{connector if prefix else ''}{rank}")
+            kids = self.children[rank]
+            for i, child in enumerate(kids):
+                extension = "   " if tail else "|  "
+                walk(child, prefix + (extension if prefix else ""), i == len(kids) - 1)
+
+        walk(self.root, "", True)
+        return "\n".join(lines)
+
+
+def tree_from_children(root: int, size: int, children_map: dict[int, list[int]]) -> Tree:
+    """Build a validated :class:`Tree` from a children adjacency map."""
+    parent = [-1] * size
+    children: list[tuple[int, ...]] = [()] * size
+    for rank, kids in children_map.items():
+        if not 0 <= rank < size:
+            raise TopologyError(f"rank {rank} outside communicator of size {size}")
+        children[rank] = tuple(kids)
+        for child in kids:
+            if not 0 <= child < size:
+                raise TopologyError(
+                    f"child {child} outside communicator of size {size}"
+                )
+            if parent[child] != -1:
+                raise TopologyError(f"rank {child} assigned two parents")
+            parent[child] = rank
+    parent[root] = -1
+    tree = Tree(root=root, parent=tuple(parent), children=tuple(children))
+    tree.validate()
+    return tree

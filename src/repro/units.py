@@ -1,0 +1,76 @@
+"""Byte and time unit helpers used throughout the package.
+
+All simulation times are plain ``float`` seconds and all message sizes are
+plain ``int`` bytes; these helpers only make literals readable
+(``4 * MiB``, ``50 * USEC``) and render values for tables.
+"""
+
+from __future__ import annotations
+
+#: One kibibyte (1024 bytes). The paper's "8 KB" segment is ``8 * KiB``.
+KiB = 1024
+#: One mebibyte (1024**2 bytes).
+MiB = 1024 * 1024
+#: One gibibyte (1024**3 bytes).
+GiB = 1024 * 1024 * 1024
+
+#: One microsecond, in seconds.
+USEC = 1e-6
+#: One millisecond, in seconds.
+MSEC = 1e-3
+#: One nanosecond, in seconds.
+NSEC = 1e-9
+
+
+def gbit_per_s_to_byte_time(gbps: float) -> float:
+    """Convert a link speed in Gbit/s to seconds-per-byte.
+
+    >>> round(gbit_per_s_to_byte_time(10.0) * 8192, 9)  # 8 KiB on 10 GbE
+    6.554e-06
+    """
+    if gbps <= 0:
+        raise ValueError(f"link speed must be positive, got {gbps}")
+    return 8.0 / (gbps * 1e9)
+
+
+def format_bytes(nbytes: int) -> str:
+    """Render a byte count the way the paper's tables do (``8 KB``, ``4 MB``)."""
+    if nbytes % MiB == 0 and nbytes >= MiB:
+        return f"{nbytes // MiB} MB"
+    if nbytes % KiB == 0 and nbytes >= KiB:
+        return f"{nbytes // KiB} KB"
+    return f"{nbytes} B"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration with an auto-selected unit (s/ms/us/ns)."""
+    if seconds != seconds:  # NaN
+        return "nan"
+    magnitude = abs(seconds)
+    if magnitude >= 1.0:
+        return f"{seconds:.3f} s"
+    if magnitude >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if magnitude >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.1f} ns"
+
+
+def log_spaced_sizes(low: int, high: int, count: int) -> list[int]:
+    """Message sizes separated by a constant step in the logarithmic scale.
+
+    This reproduces the paper's sweep of ten sizes from 8 KB to 4 MB with
+    ``log m_i - log m_{i-1} = const``; endpoints are included exactly and all
+    sizes are rounded to integers.
+
+    >>> log_spaced_sizes(8 * KiB, 4 * MiB, 10)[:3]
+    [8192, 16384, 32768]
+    """
+    if count < 2:
+        raise ValueError("need at least two sizes")
+    if not (0 < low < high):
+        raise ValueError(f"invalid size range [{low}, {high}]")
+    ratio = (high / low) ** (1.0 / (count - 1))
+    sizes = [int(round(low * ratio**i)) for i in range(count)]
+    sizes[0], sizes[-1] = low, high
+    return sizes

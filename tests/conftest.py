@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (a calibrated platform model for the small test
+cluster) are session-scoped so the selection/estimation tests share them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clusters import GRISOU, GROS, MINICLUSTER
+from repro.estimation.workflow import CalibrationResult, calibrate_platform
+from repro.units import KiB, MiB, log_spaced_sizes
+
+
+@pytest.fixture(scope="session")
+def mini():
+    """The deterministic 16-node test cluster."""
+    return MINICLUSTER
+
+
+@pytest.fixture(scope="session")
+def grisou_nonoise():
+    """Grisou preset with noise disabled (deterministic timings)."""
+    return GRISOU.with_noise(0.0)
+
+
+@pytest.fixture(scope="session")
+def gros_nonoise():
+    """Gros preset with noise disabled (deterministic timings)."""
+    return GROS.with_noise(0.0)
+
+
+@pytest.fixture(scope="session")
+def mini_calibration() -> CalibrationResult:
+    """A full §4 calibration of the test cluster (shared, ~seconds)."""
+    return calibrate_platform(
+        MINICLUSTER,
+        procs=8,
+        sizes=log_spaced_sizes(8 * KiB, 1 * MiB, 6),
+        gamma_max_procs=5,
+        max_reps=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_platform(mini_calibration):
+    """The platform model from the shared test-cluster calibration."""
+    return mini_calibration.platform

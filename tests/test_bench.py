@@ -1,0 +1,162 @@
+"""Tests for the bench harness: runner, tables, figures."""
+
+import pytest
+
+from repro.bench.figures import ascii_plot, fig1_series, fig5_series, write_csv
+from repro.bench.runner import SelectionRow, selection_comparison
+from repro.bench.tables import format_table1, format_table2, format_table3
+from repro.clusters import MINICLUSTER
+from repro.estimation.gamma import estimate_gamma
+from repro.estimation.p2p import estimate_hockney_p2p
+from repro.selection.oracle import MeasuredOracle, Selection
+from repro.units import KiB
+
+
+@pytest.fixture(scope="module")
+def rows(mini_platform_module):
+    return selection_comparison(
+        MINICLUSTER,
+        mini_platform_module,
+        procs=10,
+        sizes=[8 * KiB, 64 * KiB, 512 * KiB],
+        max_reps=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def mini_platform_module():
+    from repro.estimation.workflow import calibrate_platform
+    from repro.units import MiB, log_spaced_sizes
+
+    return calibrate_platform(
+        MINICLUSTER,
+        procs=8,
+        sizes=log_spaced_sizes(8 * KiB, 1 * MiB, 5),
+        gamma_max_procs=5,
+        max_reps=3,
+    ).platform
+
+
+class TestSelectionComparison:
+    def test_one_row_per_size(self, rows):
+        assert [row.nbytes for row in rows] == [8 * KiB, 64 * KiB, 512 * KiB]
+
+    def test_best_time_is_lower_bound(self, rows):
+        for row in rows:
+            assert row.best_time <= row.model_time + 1e-12
+            assert row.best_time <= row.ompi_time + 1e-12
+
+    def test_degradations_non_negative(self, rows):
+        for row in rows:
+            assert row.model_degradation >= -1e-9
+            assert row.ompi_degradation >= -1e-9
+
+    def test_shared_oracle_reuses_measurements(self, mini_platform_module):
+        oracle = MeasuredOracle(MINICLUSTER, max_reps=3)
+        selection_comparison(
+            MINICLUSTER, mini_platform_module, 8, [8 * KiB], oracle=oracle
+        )
+        cached = len(oracle._cache)
+        selection_comparison(
+            MINICLUSTER, mini_platform_module, 8, [8 * KiB], oracle=oracle
+        )
+        assert len(oracle._cache) == cached  # nothing re-measured
+
+
+class TestTables:
+    def test_table1_layout(self):
+        estimates = {
+            "grisou": estimate_gamma(MINICLUSTER, max_procs=4),
+            "gros": estimate_gamma(MINICLUSTER, max_procs=4, seed=1),
+        }
+        text = format_table1(estimates)
+        assert "Table 1" in text
+        assert "grisou" in text and "gros" in text
+        assert "3" in text and "4" in text
+
+    def test_table2_layout(self, mini_platform_module):
+        from repro.estimation.alphabeta import estimate_alpha_beta
+        from repro.models.derived import ChainTreeModel
+
+        estimate = estimate_alpha_beta(
+            MINICLUSTER,
+            ChainTreeModel(mini_platform_module.gamma),
+            procs=6,
+            sizes=[8 * KiB, 64 * KiB],
+        )
+        text = format_table2({"mini": {"chain": estimate}})
+        assert "alpha" in text and "beta" in text
+        assert "chain" in text
+
+    def test_table3_contains_percentages(self, rows):
+        text = format_table3(rows, title="P=10, MPI_Bcast, minicluster")
+        assert "P=10" in text
+        assert "(" in text and ")" in text
+        assert "8 KB" in text and "512 KB" in text
+
+
+class TestFigures:
+    def test_fig5_series_has_three_curves(self, rows):
+        series = fig5_series(rows)
+        assert set(series) == {"ompi", "model_based", "best"}
+        for curve in series.values():
+            assert len(curve) == len(rows)
+
+    def test_fig1_series_model_vs_measured(self):
+        p2p = estimate_hockney_p2p(
+            MINICLUSTER, sizes=[8 * KiB, 64 * KiB, 256 * KiB]
+        )
+        series = fig1_series(
+            MINICLUSTER,
+            p2p.params,
+            procs=8,
+            sizes=[8 * KiB, 64 * KiB],
+            algorithms=("binomial",),
+        )
+        assert set(series) == {"binomial_model", "binomial_measured"}
+        assert all(v > 0 for v in series["binomial_model"].values())
+
+    def test_write_csv(self, rows, tmp_path):
+        series = fig5_series(rows)
+        path = tmp_path / "fig5.csv"
+        write_csv(path, series)
+        content = path.read_text().splitlines()
+        assert content[0] == "message_bytes,ompi,model_based,best"
+        assert len(content) == 1 + len(rows)
+
+    def test_ascii_plot_renders(self, rows):
+        text = ascii_plot(fig5_series(rows), title="panel")
+        assert "panel" in text
+        assert "a=ompi" in text
+
+    def test_ascii_plot_empty(self):
+        assert "(no data)" in ascii_plot({"x": {}})
+
+
+class TestRunnerDefaults:
+    def test_selection_comparison_creates_its_own_oracle(self, mini_platform_module):
+        rows = selection_comparison(
+            MINICLUSTER, mini_platform_module, 6, [8 * KiB], max_reps=3
+        )
+        assert len(rows) == 1
+        assert rows[0].best_time > 0
+
+    def test_row_degradation_consistency(self, mini_platform_module):
+        rows = selection_comparison(
+            MINICLUSTER, mini_platform_module, 8, [64 * KiB], max_reps=3
+        )
+        row = rows[0]
+        assert row.model_degradation == pytest.approx(
+            100.0 * (row.model_time - row.best_time) / row.best_time
+        )
+        assert row.ompi_degradation == pytest.approx(
+            100.0 * (row.ompi_time - row.best_time) / row.best_time
+        )
+
+    def test_best_selection_is_among_paper_algorithms(self, mini_platform_module):
+        from repro.collectives.bcast import PAPER_BCAST_ALGORITHMS
+
+        rows = selection_comparison(
+            MINICLUSTER, mini_platform_module, 8, [8 * KiB], max_reps=3
+        )
+        assert rows[0].best.algorithm in PAPER_BCAST_ALGORITHMS

@@ -1,0 +1,110 @@
+"""Tests for the command-line front end."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, parse_size
+from repro.errors import ReproError
+from repro.units import KiB, MiB
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("8K", 8 * KiB),
+            ("8k", 8 * KiB),
+            ("8KB", 8 * KiB),
+            ("8KiB", 8 * KiB),
+            ("4M", 4 * MiB),
+            ("512", 512),
+            ("1.5K", 1536),
+        ],
+    )
+    def test_accepted_forms(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            parse_size("lots")
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in (
+            "clusters",
+            "calibrate",
+            "predict",
+            "select",
+            "table1",
+            "table2",
+            "table3",
+            "fig5",
+            "reduce-table",
+            "decision-table",
+        ):
+            assert command in text
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_clusters(self, capsys):
+        assert main(["clusters"]) == 0
+        out = capsys.readouterr().out
+        assert "grisou" in out and "gros" in out
+
+    @pytest.fixture(scope="class")
+    def calibration_file(self, tmp_path_factory, mini_platform):
+        path = tmp_path_factory.mktemp("cli") / "mini.json"
+        mini_platform.save(path)
+        return path
+
+    def test_select(self, capsys, calibration_file):
+        code = main(
+            ["select", "--calibration", str(calibration_file), "-P", "12", "-m", "256K"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P=12" in out and "predicted" in out
+
+    def test_predict_lists_all_algorithms(self, capsys, calibration_file):
+        code = main(
+            ["predict", "--calibration", str(calibration_file), "-P", "8", "-m", "64K"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("binary", "binomial", "chain", "linear", "split_binary"):
+            assert name in out
+
+    def test_decision_table(self, capsys, calibration_file, tmp_path):
+        output = tmp_path / "table.json"
+        code = main(
+            [
+                "decision-table",
+                "--calibration",
+                str(calibration_file),
+                "--output",
+                str(output),
+                "--min-procs",
+                "2",
+                "--max-procs",
+                "8",
+                "--procs-step",
+                "2",
+            ]
+        )
+        assert code == 0
+        data = json.loads(output.read_text())
+        assert data["proc_points"] == [2, 4, 6, 8]
+        assert len(data["size_points"]) == 10
+
+    def test_error_reported_as_exit_code(self, capsys):
+        code = main(["calibrate", "--cluster", "atlantis", "--output", "/tmp/x.json"])
+        assert code == 1
+        assert "unknown cluster" in capsys.readouterr().err

@@ -1,0 +1,64 @@
+"""Tests for the CLI's table/figure commands on the fast test cluster."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTable1Command:
+    def test_table1_on_minicluster(self, capsys):
+        code = main(["table1", "--clusters", "minicluster"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "minicluster" in out
+        # gamma rows for P=3..7 present.
+        for procs in range(3, 8):
+            assert f"\n{procs} " in out or out.startswith(f"{procs} ")
+
+    def test_table1_rejects_unknown_cluster(self, capsys):
+        code = main(["table1", "--clusters", "atlantis"])
+        assert code == 1
+        assert "unknown cluster" in capsys.readouterr().err
+
+
+class TestCalibrateCommand:
+    @pytest.fixture(scope="class")
+    def calibration_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli2") / "mini.json"
+        code = main(
+            [
+                "calibrate",
+                "--cluster",
+                "minicluster",
+                "--output",
+                str(path),
+                "--max-reps",
+                "3",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_calibrate_writes_loadable_platform(self, calibration_path):
+        from repro.estimation.workflow import PlatformModel
+
+        platform = PlatformModel.load(calibration_path)
+        assert platform.cluster == "minicluster"
+        assert len(platform.algorithms) == 6  # the paper's six by default
+
+    def test_select_round_trip_through_cli(self, calibration_path, capsys):
+        code = main(
+            [
+                "select",
+                "--calibration",
+                str(calibration_path),
+                "-P",
+                "12",
+                "-m",
+                "512K",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P=12" in out and "512 KB" in out

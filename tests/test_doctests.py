@@ -1,0 +1,17 @@
+"""Execute the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.mpi.segmentation
+import repro.units
+
+MODULES = [repro.units, repro.mpi.segmentation]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests"
+    assert results.failed == 0

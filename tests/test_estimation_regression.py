@@ -1,0 +1,107 @@
+"""Tests for OLS and the Huber IRLS regressor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimation.regression import get_regressor, huber_fit, ols_fit
+
+
+def make_line(intercept, slope, xs, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return [intercept + slope * x + noise * rng.standard_normal() for x in xs]
+
+
+class TestOls:
+    def test_exact_recovery_on_clean_data(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = make_line(5.0, 2.0, xs)
+        fit = ols_fit(xs, ys)
+        assert fit.intercept == pytest.approx(5.0)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.max_abs_residual < 1e-12
+
+    def test_predict(self):
+        fit = ols_fit([0.0, 1.0], [1.0, 3.0])
+        assert fit.predict(2.0) == pytest.approx(5.0)
+
+    def test_noisy_recovery(self):
+        xs = list(np.linspace(0, 10, 50))
+        ys = make_line(1.0, 0.5, xs, noise=0.05, seed=1)
+        fit = ols_fit(xs, ys)
+        assert fit.intercept == pytest.approx(1.0, abs=0.05)
+        assert fit.slope == pytest.approx(0.5, abs=0.02)
+
+    def test_two_points_minimum(self):
+        with pytest.raises(EstimationError):
+            ols_fit([1.0], [2.0])
+
+    def test_degenerate_x_rejected(self):
+        with pytest.raises(EstimationError):
+            ols_fit([2.0, 2.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(EstimationError):
+            ols_fit([1.0, float("nan")], [1.0, 2.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(EstimationError):
+            ols_fit([1.0, 2.0], [1.0])
+
+
+class TestHuber:
+    def test_matches_ols_on_clean_data(self):
+        xs = list(np.linspace(1, 20, 30))
+        ys = make_line(3.0, 1.5, xs, noise=0.01, seed=2)
+        ols = ols_fit(xs, ys)
+        huber = huber_fit(xs, ys)
+        assert huber.intercept == pytest.approx(ols.intercept, abs=0.05)
+        assert huber.slope == pytest.approx(ols.slope, abs=0.01)
+
+    def test_resists_outliers_where_ols_does_not(self):
+        """One wild outlier: Huber stays near the true line, OLS drifts."""
+        xs = list(np.linspace(1, 20, 20))
+        ys = make_line(1.0, 2.0, xs, noise=0.01, seed=3)
+        ys[10] += 100.0  # network hiccup
+        huber = huber_fit(xs, ys)
+        ols = ols_fit(xs, ys)
+        huber_error = abs(huber.slope - 2.0) + abs(huber.intercept - 1.0)
+        ols_error = abs(ols.slope - 2.0) + abs(ols.intercept - 1.0)
+        assert huber_error < 0.1
+        assert ols_error > 5 * huber_error
+
+    def test_multiple_outliers(self):
+        xs = list(np.linspace(1, 30, 30))
+        ys = make_line(0.5, 1.0, xs, noise=0.02, seed=4)
+        for index in (3, 11, 27):
+            ys[index] *= 4.0
+        fit = huber_fit(xs, ys)
+        assert fit.slope == pytest.approx(1.0, abs=0.05)
+        assert fit.intercept == pytest.approx(0.5, abs=0.5)
+
+    def test_iterations_recorded(self):
+        xs = list(np.linspace(1, 10, 10))
+        ys = make_line(1.0, 1.0, xs, noise=0.1, seed=5)
+        fit = huber_fit(xs, ys)
+        assert fit.iterations >= 1
+
+    def test_perfect_fit_short_circuits(self):
+        xs = [1.0, 2.0, 3.0]
+        ys = make_line(2.0, 3.0, xs)
+        fit = huber_fit(xs, ys)
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.slope == pytest.approx(3.0)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(EstimationError):
+            huber_fit([1.0, 2.0], [1.0, 2.0], epsilon=0.0)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_regressor("ols") is ols_fit
+        assert get_regressor("huber") is huber_fit
+
+    def test_unknown_name(self):
+        with pytest.raises(EstimationError, match="unknown regressor"):
+            get_regressor("lasso")

@@ -1,0 +1,99 @@
+"""Tests for the CI-driven adaptive measurement (MPIBlib methodology)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimation.statistics import adaptive_measure
+
+
+class TestDeterministicMeasurements:
+    def test_converges_immediately_on_identical_samples(self):
+        calls = []
+
+        def measure(seed):
+            calls.append(seed)
+            return 1.5
+
+        stats = adaptive_measure(measure, min_reps=3, max_reps=20)
+        # Two bit-identical samples prove determinism; no third run needed.
+        assert stats.n == 2
+        assert stats.mean == 1.5
+        assert stats.std == 0.0
+        assert stats.converged
+        assert stats.ci_halfwidth == 0.0
+
+    def test_distinct_seeds_passed(self):
+        seeds = []
+        adaptive_measure(lambda s: (seeds.append(s), 1.0)[1], min_reps=3, max_reps=5)
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestNoisyMeasurements:
+    def test_precision_target_met(self):
+        rng = np.random.default_rng(0)
+
+        def measure(seed):
+            return float(1.0 + 0.05 * rng.standard_normal())
+
+        stats = adaptive_measure(measure, precision=0.025, max_reps=100)
+        assert stats.converged
+        assert stats.relative_precision <= 0.025
+
+    def test_high_variance_hits_cap_without_converging(self):
+        rng = np.random.default_rng(1)
+
+        def measure(seed):
+            return float(abs(1.0 + 5.0 * rng.standard_normal())) + 0.01
+
+        stats = adaptive_measure(measure, precision=0.001, max_reps=8)
+        assert stats.n == 8
+        assert not stats.converged
+
+    def test_normality_p_value_attached_for_gaussian_samples(self):
+        rng = np.random.default_rng(2)
+
+        def measure(seed):
+            return float(10.0 + 0.5 * rng.standard_normal())
+
+        stats = adaptive_measure(measure, precision=1e-6, max_reps=30)
+        assert stats.normality_p is not None
+        assert stats.normality_p > 0.001  # Gaussian data should not be rejected
+
+    def test_mean_estimates_true_mean(self):
+        rng = np.random.default_rng(3)
+        true_mean = 2.5
+
+        def measure(seed):
+            return float(true_mean * (1 + 0.02 * rng.standard_normal()))
+
+        stats = adaptive_measure(measure, precision=0.01, max_reps=50)
+        assert stats.mean == pytest.approx(true_mean, rel=0.02)
+
+
+class TestValidation:
+    def test_invalid_precision(self):
+        with pytest.raises(EstimationError):
+            adaptive_measure(lambda s: 1.0, precision=0.0)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(EstimationError):
+            adaptive_measure(lambda s: 1.0, confidence=1.5)
+
+    def test_invalid_rep_bounds(self):
+        with pytest.raises(EstimationError):
+            adaptive_measure(lambda s: 1.0, min_reps=10, max_reps=5)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(EstimationError):
+            adaptive_measure(lambda s: -1.0)
+
+    def test_nan_sample_rejected(self):
+        with pytest.raises(EstimationError):
+            adaptive_measure(lambda s: math.nan)
+
+    def test_relative_precision_of_zero_mean(self):
+        stats = adaptive_measure(lambda s: 0.0, min_reps=2, max_reps=3)
+        assert stats.relative_precision == 0.0

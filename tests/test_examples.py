@@ -1,0 +1,40 @@
+"""Smoke tests keeping the example scripts runnable.
+
+The fast examples run end-to-end; the minute-scale ones are compiled and
+their mains imported, which catches signature drift without the wall time.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES / name)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+
+class TestExamplesImportable:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_imports_and_exposes_main(self, name):
+        module = load_example(name)
+        assert callable(getattr(module, "main", None)), f"{name} has no main()"
+
+
+class TestFastExamplesRun:
+    def test_visualize_trees_runs(self, capsys):
+        module = load_example("visualize_trees.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Binomial tree" in out
+        assert "segment #2" in out

@@ -1,0 +1,109 @@
+"""End-to-end integration tests: the paper's pipeline on the test cluster.
+
+calibrate -> select -> compare against the measured oracle and the Open MPI
+fixed decision function.  These are the small-scale versions of the Table 3
+and Fig. 5 benchmarks.
+"""
+
+import pytest
+
+from repro.clusters import MINICLUSTER
+from repro.selection import (
+    MeasuredOracle,
+    ModelBasedSelector,
+    OmpiFixedSelector,
+)
+from repro.units import KiB, MiB, log_spaced_sizes
+
+SIZES = log_spaced_sizes(8 * KiB, 1 * MiB, 6)
+PROCS = 14  # deliberately different from the calibration's 8 processes
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return MeasuredOracle(MINICLUSTER, max_reps=3)
+
+
+class TestModelBasedSelectionQuality:
+    def test_selection_close_to_optimal_across_sizes(self, mini_platform, oracle):
+        """The paper's headline: model-based picks are near-optimal.
+
+        On Grisou the paper reports <= 3% degradation, on Gros <= 10%
+        (clusters where the algorithms separate by factors).  The 16-node
+        test cluster is latency-dominated and all tree algorithms sit
+        within ~30% of each other, so mis-picks are cheap in absolute terms
+        but look large in percent; allow 40% at any single size and 20% on
+        average here.  The paper-scale thresholds are asserted by the
+        Table 3 benchmark on the Grisou/Gros presets.
+        """
+        selector = ModelBasedSelector(mini_platform)
+        degradations = []
+        for nbytes in SIZES:
+            choice = selector.select(PROCS, nbytes)
+            degradations.append(oracle.degradation(PROCS, nbytes, choice))
+        assert max(degradations) < 40.0
+        assert sum(degradations) / len(degradations) < 20.0
+
+    def test_model_based_never_picks_pathological_algorithm(
+        self, mini_platform, oracle
+    ):
+        """The selected algorithm is never multiple times slower than best."""
+        selector = ModelBasedSelector(mini_platform)
+        for nbytes in SIZES:
+            choice = selector.select(PROCS, nbytes)
+            assert oracle.degradation(PROCS, nbytes, choice) < 120.0
+
+    def test_beats_or_matches_ompi_on_average(self, mini_platform, oracle):
+        """Across the sweep, the model-based selection accumulates less
+        degradation than the hard-coded Open MPI decision function."""
+        model_selector = ModelBasedSelector(mini_platform)
+        ompi_selector = OmpiFixedSelector()
+        model_total = 0.0
+        ompi_total = 0.0
+        for nbytes in SIZES:
+            model_total += oracle.degradation(
+                PROCS, nbytes, model_selector.select(PROCS, nbytes)
+            )
+            ompi_total += oracle.degradation(
+                PROCS, nbytes, ompi_selector.select(PROCS, nbytes)
+            )
+        assert model_total <= ompi_total
+
+
+class TestCrossScaleGeneralisation:
+    def test_calibrated_at_8_predicts_at_16(self, mini_platform, oracle):
+        """Parameters fitted at half the cluster select well at full size
+        (the paper calibrates at P=40 and selects at P=50..90)."""
+        selector = ModelBasedSelector(mini_platform)
+        for nbytes in (32 * KiB, 512 * KiB):
+            choice = selector.select(16, nbytes)
+            assert oracle.degradation(16, nbytes, choice) < 30.0
+
+
+class TestDecisionTableDeployment:
+    def test_precomputed_table_agrees_with_live_selector(self, mini_platform):
+        from repro.selection import build_decision_table
+
+        selector = ModelBasedSelector(mini_platform)
+        table = build_decision_table(selector, [4, 8, 12, 16], SIZES)
+        for procs in (4, 8, 12, 16):
+            for nbytes in SIZES:
+                assert table.select(procs, nbytes) == selector.select(procs, nbytes)
+
+
+class TestReproducibility:
+    def test_full_pipeline_deterministic(self):
+        from repro.estimation.workflow import calibrate_platform
+
+        def run():
+            result = calibrate_platform(
+                MINICLUSTER,
+                procs=6,
+                sizes=[8 * KiB, 64 * KiB, 256 * KiB],
+                gamma_max_procs=4,
+                max_reps=3,
+                seed=11,
+            )
+            return result.platform.to_dict()
+
+        assert run() == run()

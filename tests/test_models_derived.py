@@ -1,0 +1,197 @@
+"""Tests for the implementation-derived models.
+
+Structural unit tests (coefficients, formulas at known points) plus the
+crucial *predictive accuracy* tests: with parameters fitted the paper's way,
+each model must track its own algorithm's simulated time, and the models
+together must rank algorithms like the simulator does.
+"""
+
+import math
+
+import pytest
+
+from repro.models.base import LinearCoefficients, segment_count
+from repro.models.derived import (
+    DERIVED_BCAST_MODELS,
+    BinaryTreeModel,
+    BinomialTreeModel,
+    ChainTreeModel,
+    KChainTreeModel,
+    LinearTreeModel,
+    SplitBinaryTreeModel,
+)
+from repro.models.gamma import GammaFunction
+from repro.models.hockney import HockneyParams
+from repro.units import KiB, MiB
+
+GAMMA = GammaFunction({3: 1.11, 4: 1.22, 5: 1.28, 6: 1.45, 7: 1.54})
+PARAMS = HockneyParams(alpha=50e-6, beta=1e-9)
+SEGMENT = 8 * KiB
+
+
+class TestSegmentCount:
+    def test_matches_paper_arithmetic(self):
+        assert segment_count(4 * MiB, SEGMENT) == 512
+        assert segment_count(8 * KiB, SEGMENT) == 1
+        assert segment_count(12 * KiB, SEGMENT) == 2
+
+    def test_unsegmented(self):
+        assert segment_count(100, 0) == 1
+        assert segment_count(100, 1000) == 1
+
+    def test_zero_bytes(self):
+        assert segment_count(0, SEGMENT) == 1
+
+
+class TestLinearCoefficients:
+    def test_evaluate(self):
+        coeffs = LinearCoefficients(3.0, 3000.0)
+        assert coeffs.evaluate(PARAMS) == pytest.approx(3 * 50e-6 + 3000e-9)
+
+    def test_addition(self):
+        total = LinearCoefficients(1, 10) + LinearCoefficients(2, 20)
+        assert (total.c_alpha, total.c_beta) == (3, 30)
+
+
+class TestFormulas:
+    def test_linear_is_p_minus_1_p2p_times(self):
+        model = LinearTreeModel(GAMMA)
+        expected = 9 * (PARAMS.alpha + 64 * KiB * PARAMS.beta)
+        assert model.predict(10, 64 * KiB, SEGMENT, PARAMS) == pytest.approx(expected)
+
+    def test_chain_latency_split_coefficients(self):
+        """Latency paid once per hop (fill), bytes on every stage."""
+        model = ChainTreeModel(GAMMA)
+        coeffs = model.coefficients(10, 64 * KiB, SEGMENT)  # n_s=8, P=10
+        assert coeffs.c_alpha == pytest.approx(10 - 1)
+        assert coeffs.c_beta == pytest.approx((8 + 10 - 2) * 8 * KiB)
+
+    def test_chain_single_segment_equals_hop_chain(self):
+        """With one segment the chain is P-1 sequential p2p messages."""
+        model = ChainTreeModel(GAMMA)
+        predicted = model.predict(10, SEGMENT, SEGMENT, PARAMS)
+        assert predicted == pytest.approx(
+            9 * (PARAMS.alpha + SEGMENT * PARAMS.beta)
+        )
+
+    def test_k_chain_uses_gamma_of_five(self):
+        model = KChainTreeModel(GAMMA)  # K = 4
+        coeffs = model.coefficients(13, 64 * KiB, SEGMENT)  # chains of 3
+        assert coeffs.c_alpha == pytest.approx(3)  # longest chain (fill)
+        assert coeffs.c_beta == pytest.approx((8 * GAMMA(5) + 3 - 1) * 8 * KiB)
+
+    def test_binary_uses_gamma_of_three(self):
+        model = BinaryTreeModel(GAMMA)
+        coeffs = model.coefficients(15, 64 * KiB, SEGMENT)  # H = 3
+        expected_stages = (8 + 3 - 1) * GAMMA(3)
+        assert coeffs.c_alpha == pytest.approx(expected_stages)
+
+    def test_split_binary_adds_exchange_term(self):
+        model = SplitBinaryTreeModel(GAMMA)
+        nbytes = 64 * KiB
+        coeffs = model.coefficients(15, nbytes, SEGMENT)
+        pipeline_stages = (4 + 3 - 1) * GAMMA(3)
+        assert coeffs.c_alpha == pytest.approx(pipeline_stages + 1)
+        assert coeffs.c_beta == pytest.approx(
+            pipeline_stages * 8 * KiB + nbytes / 2
+        )
+
+    def test_split_binary_falls_back_to_linear_when_unsplittable(self):
+        model = SplitBinaryTreeModel(GAMMA)
+        # One segment only -> implementation falls back to linear.
+        coeffs = model.coefficients(8, 4 * KiB, SEGMENT)
+        assert coeffs.c_alpha == 7
+        assert coeffs.c_beta == 7 * 4 * KiB
+
+    def test_binomial_matches_paper_eq6(self):
+        """Hand-evaluate Eq. 6 for P=90, n_s=4."""
+        model = BinomialTreeModel(GAMMA)
+        procs, nbytes = 90, 32 * KiB  # n_s = 4
+        ceil_log = math.ceil(math.log2(procs))  # 7
+        floor_log = math.floor(math.log2(procs))  # 6
+        expected = 4 * GAMMA(ceil_log + 1) - 1
+        for i in range(1, floor_log):
+            expected += GAMMA(ceil_log - i + 1)
+        coeffs = model.coefficients(procs, nbytes, SEGMENT)
+        assert coeffs.c_alpha == pytest.approx(expected)
+        assert coeffs.c_beta == pytest.approx(expected * 8 * KiB)
+
+    @pytest.mark.parametrize("name", sorted(DERIVED_BCAST_MODELS))
+    def test_single_process_is_free(self, name):
+        model = DERIVED_BCAST_MODELS[name](GAMMA)
+        assert model.predict(1, 1 * MiB, SEGMENT, PARAMS) == 0.0
+
+    @pytest.mark.parametrize("name", sorted(DERIVED_BCAST_MODELS))
+    def test_monotone_in_message_size(self, name):
+        # Start at 64 KiB: below two segments split_binary legitimately
+        # falls back to the (more expensive) linear algorithm, so the very
+        # small end is not monotone for it — faithful to the implementation.
+        model = DERIVED_BCAST_MODELS[name](GAMMA)
+        times = [
+            model.predict(16, m, SEGMENT, PARAMS)
+            for m in (64 * KiB, 512 * KiB, 4 * MiB)
+        ]
+        assert times == sorted(times)
+        assert times[0] > 0
+
+    @pytest.mark.parametrize("name", sorted(DERIVED_BCAST_MODELS))
+    def test_monotone_in_procs_for_fixed_size(self, name):
+        model = DERIVED_BCAST_MODELS[name](GAMMA)
+        times = [model.predict(p, 256 * KiB, SEGMENT, PARAMS) for p in (4, 8, 16, 64)]
+        assert all(b >= a * 0.999 for a, b in zip(times, times[1:]))
+
+
+class TestStructuralProperties:
+    def test_chain_dominated_by_depth_at_small_messages(self):
+        """For one segment the chain costs ~P stage times."""
+        model = ChainTreeModel(GAMMA)
+        t_small = model.predict(100, SEGMENT, SEGMENT, PARAMS)
+        single_stage = PARAMS.alpha + SEGMENT * PARAMS.beta
+        assert t_small == pytest.approx(99 * single_stage)
+
+    def test_binomial_beats_linear_at_scale(self):
+        binomial = BinomialTreeModel(GAMMA)
+        linear = LinearTreeModel(GAMMA)
+        assert binomial.predict(90, 1 * MiB, SEGMENT, PARAMS) < linear.predict(
+            90, 1 * MiB, SEGMENT, PARAMS
+        )
+
+    def test_split_binary_beats_binary_at_large_messages(self):
+        """Halving the pipelined volume wins once n_s is large."""
+        split = SplitBinaryTreeModel(GAMMA)
+        binary = BinaryTreeModel(GAMMA)
+        big = 4 * MiB
+        assert split.predict(90, big, SEGMENT, PARAMS) < binary.predict(
+            90, big, SEGMENT, PARAMS
+        )
+
+    def test_registry_covers_all_algorithms(self):
+        assert sorted(DERIVED_BCAST_MODELS) == [
+            "binary",
+            "binomial",
+            "chain",
+            "k_chain",
+            "linear",
+            "scatter_allgather",
+            "split_binary",
+        ]
+
+    def test_scatter_allgather_bandwidth_term(self):
+        from repro.models.derived import ScatterAllgatherModel
+
+        model = ScatterAllgatherModel(GAMMA)
+        coeffs = model.coefficients(16, 1 * MiB, SEGMENT)
+        assert coeffs.c_alpha == pytest.approx(4 + 15)  # log2(16) + P-1
+        assert coeffs.c_beta == pytest.approx(2 * 1 * MiB * 15 / 16)
+
+    def test_scatter_allgather_fallback_matches_implementation(self):
+        from repro.models.derived import ScatterAllgatherModel
+
+        model = ScatterAllgatherModel(GAMMA)
+        coeffs = model.coefficients(8, 6, SEGMENT)  # fewer bytes than ranks
+        assert coeffs.c_alpha == 7
+        assert coeffs.c_beta == 7 * 6
+
+    def test_registry_names_match_model_attribute(self):
+        for name, cls in DERIVED_BCAST_MODELS.items():
+            assert cls.algorithm == name

@@ -1,0 +1,75 @@
+"""Tests for the gamma(P) platform function."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.models.gamma import GammaFunction
+
+#: The paper's Table 1 values for Grisou.
+GRISOU_TABLE = {3: 1.114, 4: 1.219, 5: 1.283, 6: 1.451, 7: 1.540}
+
+
+class TestDefinition:
+    def test_gamma_2_is_one_by_definition(self):
+        gamma = GammaFunction(GRISOU_TABLE)
+        assert gamma(2) == 1.0
+
+    def test_gamma_below_2_is_one(self):
+        gamma = GammaFunction(GRISOU_TABLE)
+        assert gamma(1) == 1.0
+
+    def test_measured_values_returned_exactly(self):
+        gamma = GammaFunction(GRISOU_TABLE)
+        for procs, value in GRISOU_TABLE.items():
+            assert gamma(procs) == pytest.approx(value)
+
+    def test_invalid_procs_rejected(self):
+        with pytest.raises(EstimationError):
+            GammaFunction({1: 0.5})
+
+    def test_non_positive_gamma_rejected(self):
+        with pytest.raises(EstimationError):
+            GammaFunction({3: 0.0})
+
+
+class TestInterpolationAndExtrapolation:
+    def test_interpolates_between_points(self):
+        gamma = GammaFunction({3: 1.1, 5: 1.3})
+        assert gamma(4) == pytest.approx(1.2)
+
+    def test_extrapolates_linearly(self):
+        # Perfectly linear table: gamma(P) = 0.1 P + 0.8.
+        gamma = GammaFunction({p: 0.1 * p + 0.8 for p in range(3, 8)})
+        assert gamma(8) == pytest.approx(1.6, rel=1e-6)
+        assert gamma(20) == pytest.approx(2.8, rel=1e-6)
+
+    def test_extrapolation_clamped_to_one(self):
+        # A (pathological) decreasing table must never predict gamma < 1.
+        gamma = GammaFunction({3: 1.01, 4: 1.005, 5: 1.001})
+        assert gamma(100) >= 1.0
+
+    def test_regression_line_exposed(self):
+        gamma = GammaFunction({p: 0.1 * p + 0.8 for p in range(3, 8)})
+        intercept, slope = gamma.regression_line()
+        assert slope == pytest.approx(0.1, rel=1e-6)
+        assert intercept == pytest.approx(0.8, rel=1e-6)
+
+    def test_paper_grisou_extrapolation_is_reasonable(self):
+        """gamma(8), needed for the binomial root at P=90, stays near-linear."""
+        gamma = GammaFunction(GRISOU_TABLE)
+        assert 1.5 < gamma(8) < 1.85
+
+    def test_max_measured(self):
+        assert GammaFunction(GRISOU_TABLE).max_measured == 7
+
+
+class TestIdeal:
+    def test_ideal_gamma_is_identically_one(self):
+        gamma = GammaFunction.ideal()
+        for procs in (2, 3, 7, 50, 1000):
+            assert gamma(procs) == 1.0
+
+    def test_monotone_for_increasing_tables(self):
+        gamma = GammaFunction(GRISOU_TABLE)
+        values = [gamma(p) for p in range(2, 30)]
+        assert values == sorted(values)

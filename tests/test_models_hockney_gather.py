@@ -1,0 +1,46 @@
+"""Tests for the Hockney p2p model and the linear gather model (Eq. 8)."""
+
+import pytest
+
+from repro.models.gather_models import linear_gather_coefficients, linear_gather_time
+from repro.models.hockney import HockneyParams
+
+
+class TestHockneyParams:
+    def test_p2p_time(self):
+        params = HockneyParams(alpha=10e-6, beta=2e-9)
+        assert params.p2p_time(1000) == pytest.approx(10e-6 + 2e-6)
+
+    def test_zero_bytes_costs_alpha(self):
+        params = HockneyParams(alpha=10e-6, beta=2e-9)
+        assert params.p2p_time(0) == pytest.approx(10e-6)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            HockneyParams(1e-6, 1e-9).p2p_time(-1)
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(ValueError):
+            HockneyParams(alpha=1e-6, beta=-1e-9)
+
+    def test_str_is_informative(self):
+        text = str(HockneyParams(alpha=1.5e-6, beta=2.5e-9))
+        assert "alpha" in text and "beta" in text
+
+
+class TestLinearGatherModel:
+    def test_eq8_structure(self):
+        """T = (P-1)(alpha + m_g beta)."""
+        params = HockneyParams(alpha=20e-6, beta=1e-9)
+        assert linear_gather_time(10, 2048, params) == pytest.approx(
+            9 * (20e-6 + 2048e-9)
+        )
+
+    def test_coefficients(self):
+        coeffs = linear_gather_coefficients(5, 100)
+        assert coeffs.c_alpha == 4
+        assert coeffs.c_beta == 400
+
+    def test_single_process_is_free(self):
+        params = HockneyParams(alpha=20e-6, beta=1e-9)
+        assert linear_gather_time(1, 2048, params) == 0.0

@@ -1,0 +1,93 @@
+"""Tests for the LogP-family comparator models (related work §2.2)."""
+
+import pytest
+
+from repro.models.logp import LogGPParams, LogPParams, PLogPParams
+
+
+class TestLogP:
+    def make(self):
+        return LogPParams(latency=5e-6, send_overhead=1e-6, recv_overhead=1e-6, gap=2e-6)
+
+    def test_p2p_time_ignores_size(self):
+        params = self.make()
+        assert params.p2p_time(0) == params.p2p_time(10_000) == pytest.approx(7e-6)
+
+    def test_issue_interval_is_max_of_gap_and_overhead(self):
+        params = self.make()
+        assert params.issue_interval() == pytest.approx(2e-6)
+        fast_net = LogPParams(5e-6, 3e-6, 1e-6, 2e-6)
+        assert fast_net.issue_interval() == pytest.approx(3e-6)
+
+    def test_linear_bcast_structure(self):
+        """The LogP view of the paper's gamma experiment: the root's sends
+        are spaced by the gap, the latency overlaps."""
+        params = self.make()
+        t2 = params.linear_bcast_time(2)
+        t7 = params.linear_bcast_time(7)
+        assert t7 - t2 == pytest.approx(5 * params.issue_interval())
+        assert params.linear_bcast_time(1) == 0.0
+
+    def test_gamma_like_ratio_is_modest(self):
+        """LogP predicts the same shape as measured gamma: well below P-1."""
+        params = self.make()
+        ratio = params.linear_bcast_time(7) / params.linear_bcast_time(2)
+        assert 1.0 < ratio < 6.0
+
+
+class TestLogGP:
+    def make(self):
+        return LogGPParams(
+            latency=5e-6,
+            send_overhead=1e-6,
+            recv_overhead=1e-6,
+            gap=2e-6,
+            gap_per_byte=1e-9,
+        )
+
+    def test_p2p_linear_in_size(self):
+        params = self.make()
+        small = params.p2p_time(1)
+        big = params.p2p_time(100_001)
+        assert big - small == pytest.approx(100_000 * 1e-9)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().p2p_time(-1)
+
+    def test_hockney_degeneration(self):
+        """LogGP collapses to Hockney with alpha = os + L + or, beta = G."""
+        params = self.make()
+        hockney = params.to_hockney()
+        assert hockney.alpha == pytest.approx(7e-6)
+        assert hockney.beta == pytest.approx(1e-9)
+        # And the predictions agree up to the (m-1) vs m convention.
+        assert hockney.p2p_time(10_000) == pytest.approx(
+            params.p2p_time(10_000), rel=1e-3
+        )
+
+
+class TestPLogP:
+    def make(self):
+        return PLogPParams(
+            latency=5e-6,
+            os_fn=lambda m: 1e-6 + 0.1e-9 * m,
+            or_fn=lambda m: 1e-6 + 0.1e-9 * m,
+            g_fn=lambda m: 2e-6 + 1e-9 * m,
+        )
+
+    def test_p2p_time_is_latency_plus_gap(self):
+        params = self.make()
+        assert params.p2p_time(1000) == pytest.approx(5e-6 + 2e-6 + 1e-6)
+
+    def test_size_dependence(self):
+        params = self.make()
+        assert params.p2p_time(100_000) > params.p2p_time(100)
+
+    def test_saturation_rate(self):
+        params = self.make()
+        assert params.saturation_rate(0) == pytest.approx(1 / 2e-6)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().p2p_time(-5)

@@ -1,0 +1,91 @@
+"""Tests for the calibration report renderer."""
+
+import pytest
+
+from repro.estimation.workflow import PlatformModel
+from repro.models.gamma import GammaFunction
+from repro.models.hockney import HockneyParams
+from repro.models.report import EQUATIONS, render_report
+from repro.units import KiB
+
+
+@pytest.fixture()
+def toy_platform():
+    return PlatformModel(
+        cluster="toy",
+        segment_size=8 * KiB,
+        gamma=GammaFunction({3: 1.1, 5: 1.3, 7: 1.5}),
+        parameters={
+            "binomial": HockneyParams(2e-6, 1e-9),
+            "chain": HockneyParams(15e-6, 0.5e-9),
+            "binary": HockneyParams(3e-6, 1.2e-9),
+        },
+    )
+
+
+class TestRenderReport:
+    def test_contains_all_sections(self, toy_platform):
+        text = render_report(toy_platform)
+        for heading in ("# Platform model: toy", "## γ(P)", "## Calibrated models",
+                        "## Prediction grid"):
+            assert heading in text
+
+    def test_every_algorithm_documented(self, toy_platform):
+        text = render_report(toy_platform)
+        for name in toy_platform.algorithms:
+            assert f"### {name}" in text
+            assert EQUATIONS[name].split("=")[0].strip() in text
+
+    def test_gamma_regression_line_shown(self, toy_platform):
+        text = render_report(toy_platform)
+        assert "Linear extrapolation beyond P=7" in text
+
+    def test_prediction_grid_names_winners(self, toy_platform):
+        text = render_report(toy_platform, procs=(16,), sizes=(64 * KiB,))
+        grid = text.split("## Prediction grid")[1]
+        assert any(name in grid for name in toy_platform.algorithms)
+
+    def test_segment_cost_reported(self, toy_platform):
+        text = render_report(toy_platform)
+        assert "effective segment cost" in text
+
+    def test_reduce_platform_renders(self):
+        platform = PlatformModel(
+            cluster="toy-reduce",
+            segment_size=8 * KiB,
+            gamma=GammaFunction({3: 1.1}),
+            parameters={"in_order_binomial": HockneyParams(1e-6, 1e-9)},
+            model_family="reduce_derived",
+        )
+        text = render_report(platform)
+        assert "`reduce`" in text
+        assert "### in_order_binomial" in text
+
+    def test_equations_cover_all_model_families(self):
+        from repro.models.derived import DERIVED_BCAST_MODELS
+        from repro.models.reduce_models import DERIVED_REDUCE_MODELS
+
+        for name in list(DERIVED_BCAST_MODELS) + list(DERIVED_REDUCE_MODELS):
+            assert name in EQUATIONS, name
+
+
+class TestCliReport:
+    def test_report_command(self, toy_platform, tmp_path, capsys):
+        from repro.cli import main
+
+        calibration = tmp_path / "toy.json"
+        toy_platform.save(calibration)
+        output = tmp_path / "report.md"
+        code = main(
+            ["report", "--calibration", str(calibration), "--output", str(output)]
+        )
+        assert code == 0
+        assert "# Platform model: toy" in output.read_text()
+
+    def test_report_to_stdout(self, toy_platform, tmp_path, capsys):
+        from repro.cli import main
+
+        calibration = tmp_path / "toy.json"
+        toy_platform.save(calibration)
+        assert main(["report", "--calibration", str(calibration)]) == 0
+        assert "## Calibrated models" in capsys.readouterr().out

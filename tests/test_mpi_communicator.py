@@ -1,0 +1,145 @@
+"""Tests for world construction and subgroup communicators."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.mpi.communicator import MpiWorld
+from repro.sim.engine import Simulator
+from repro.sim.network import Fabric, NetworkParams
+
+PARAMS = NetworkParams(
+    latency=5e-6,
+    byte_time_out=1e-9,
+    byte_time_in=1e-9,
+    per_message_overhead=0.5e-6,
+    send_overhead=0.2e-6,
+    recv_overhead=0.2e-6,
+    eager_limit=64 * 1024,
+    control_latency=4e-6,
+    shm_latency=0.3e-6,
+    shm_byte_time=0.05e-9,
+)
+
+
+def make_world(procs=6):
+    fabric = Fabric(params=PARAMS, num_nodes=procs)
+    return MpiWorld(Simulator(), fabric, list(range(procs)))
+
+
+class TestWorldConstruction:
+    def test_empty_world_rejected(self):
+        fabric = Fabric(params=PARAMS, num_nodes=1)
+        with pytest.raises(MpiError):
+            MpiWorld(Simulator(), fabric, [])
+
+    def test_unknown_node_rejected(self):
+        fabric = Fabric(params=PARAMS, num_nodes=2)
+        with pytest.raises(MpiError):
+            MpiWorld(Simulator(), fabric, [0, 5])
+
+    def test_bad_port_mapping_rejected(self):
+        fabric = Fabric(params=PARAMS, num_nodes=2, ports_per_node=1)
+        with pytest.raises(MpiError, match="port"):
+            MpiWorld(Simulator(), fabric, [0, 1], rank_to_port=[0, 1])
+
+    def test_port_mapping_length_checked(self):
+        fabric = Fabric(params=PARAMS, num_nodes=2)
+        with pytest.raises(MpiError, match="length"):
+            MpiWorld(Simulator(), fabric, [0, 1], rank_to_port=[0])
+
+    def test_comm_world_properties(self):
+        world = make_world(6)
+        comm = world.comm_world(3)
+        assert comm.rank == 3
+        assert comm.size == 6
+
+
+class TestSubgroupCommunicators:
+    def test_subgroup_ranks_are_local(self):
+        world = make_world(6)
+        comms = world.subgroup_comm([4, 1, 5])
+        assert [c.rank for c in comms] == [0, 1, 2]
+        assert all(c.size == 3 for c in comms)
+
+    def test_duplicate_ranks_rejected(self):
+        world = make_world(4)
+        with pytest.raises(MpiError, match="duplicate"):
+            world.subgroup_comm([1, 1])
+
+    def test_out_of_world_rank_rejected(self):
+        world = make_world(4)
+        with pytest.raises(MpiError):
+            world.subgroup_comm([0, 9])
+
+    def test_traffic_isolated_between_communicators(self):
+        """A message on a subgroup communicator never matches world receives."""
+        world = make_world(3)
+        sub = world.subgroup_comm([0, 1])
+        results = {}
+
+        def sub_sender():
+            yield from sub[0].send(1, 64, tag=7)
+            results["sub_sent"] = True
+
+        def sub_receiver():
+            status = yield from sub[1].recv(0, tag=7)
+            results["sub_recv"] = status.nbytes
+
+        def world_pair(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 128, tag=7)
+            elif comm.rank == 1:
+                status = yield from comm.recv(0, tag=7)
+                results["world_recv"] = status.nbytes
+
+        world.sim.process(sub_sender(), name="sub-0")
+        world.sim.process(sub_receiver(), name="sub-1")
+        world.spawn(world_pair)
+        world.sim.run()
+        assert results["sub_recv"] == 64
+        assert results["world_recv"] == 128
+
+    def test_subgroup_uses_world_rank_placement(self):
+        """Local rank i talks to the world rank group[i], not world rank i."""
+        world = make_world(4)
+        comms = world.subgroup_comm([3, 2])
+        log = []
+
+        def sender():
+            yield from comms[0].send(1, 32, tag=1)
+
+        def receiver():
+            status = yield from comms[1].recv(0, tag=1)
+            log.append(status.source)
+
+        world.sim.process(sender())
+        world.sim.process(receiver())
+        world.sim.run()
+        assert log == [0]  # local source rank
+
+
+class TestSpawn:
+    def test_spawn_subset_of_ranks(self):
+        world = make_world(4)
+        seen = []
+
+        def body(comm):
+            seen.append(comm.rank)
+            return None
+            yield  # pragma: no cover
+
+        world.spawn(body, ranks=[1, 3])
+        world.sim.run()
+        assert sorted(seen) == [1, 3]
+
+    def test_quiescent_after_clean_run(self):
+        world = make_world(2)
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 10)
+            else:
+                yield from comm.recv(0)
+
+        world.run(body)
+        assert world.quiescent()

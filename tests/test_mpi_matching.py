@@ -1,0 +1,100 @@
+"""Tests for the tag-matching engine in isolation."""
+
+from repro.mpi.matching import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Envelope,
+    MatchingEngine,
+    PostedRecv,
+)
+
+
+def make_recv(cid=0, src=ANY_SOURCE, tag=ANY_TAG, log=None):
+    log = log if log is not None else []
+
+    def complete(message, now):
+        log.append((message, now))
+
+    return PostedRecv(cid, src, tag, complete), log
+
+
+def make_envelope(cid=0, src=0, tag=0, nbytes=10, arrival=1.0):
+    return Envelope(cid, src, tag, nbytes, arrival)
+
+
+class TestMatchRules:
+    def test_exact_match(self):
+        recv, _ = make_recv(cid=1, src=2, tag=3)
+        assert recv.matches(1, 2, 3)
+
+    def test_context_mismatch_never_matches(self):
+        recv, _ = make_recv(cid=1, src=ANY_SOURCE, tag=ANY_TAG)
+        assert not recv.matches(2, 0, 0)
+
+    def test_wildcard_source(self):
+        recv, _ = make_recv(src=ANY_SOURCE, tag=5)
+        assert recv.matches(0, 7, 5)
+        assert not recv.matches(0, 7, 6)
+
+    def test_wildcard_tag(self):
+        recv, _ = make_recv(src=3, tag=ANY_TAG)
+        assert recv.matches(0, 3, 99)
+        assert not recv.matches(0, 4, 99)
+
+
+class TestEngineQueues:
+    def test_arrival_matches_posted_recv(self):
+        engine = MatchingEngine()
+        recv, log = make_recv(src=1, tag=2)
+        engine.post(recv, now=0.0)
+        message = make_envelope(src=1, tag=2)
+        engine.arrive(message, now=1.5)
+        assert log == [(message, 1.5)]
+        assert engine.idle()
+
+    def test_unmatched_arrival_queues_as_unexpected(self):
+        engine = MatchingEngine()
+        engine.arrive(make_envelope(), now=1.0)
+        assert not engine.idle()
+        recv, log = make_recv()
+        engine.post(recv, now=2.0)
+        assert len(log) == 1
+        assert engine.idle()
+
+    def test_posted_recvs_matched_fifo(self):
+        engine = MatchingEngine()
+        first, first_log = make_recv(src=ANY_SOURCE, tag=ANY_TAG)
+        second, second_log = make_recv(src=ANY_SOURCE, tag=ANY_TAG)
+        engine.post(first, now=0.0)
+        engine.post(second, now=0.0)
+        engine.arrive(make_envelope(nbytes=1), now=1.0)
+        assert len(first_log) == 1 and not second_log
+
+    def test_unexpected_matched_in_arrival_order(self):
+        """The non-overtaking rule at the queue level."""
+        engine = MatchingEngine()
+        early = make_envelope(nbytes=1, arrival=1.0)
+        late = make_envelope(nbytes=2, arrival=2.0)
+        engine.arrive(early, now=1.0)
+        engine.arrive(late, now=2.0)
+        recv, log = make_recv()
+        engine.post(recv, now=3.0)
+        assert log[0][0] is early
+
+    def test_selective_recv_skips_non_matching_unexpected(self):
+        engine = MatchingEngine()
+        engine.arrive(make_envelope(tag=1, nbytes=111), now=1.0)
+        engine.arrive(make_envelope(tag=2, nbytes=222), now=1.0)
+        recv, log = make_recv(src=ANY_SOURCE, tag=2)
+        engine.post(recv, now=2.0)
+        assert log[0][0].nbytes == 222
+        # The tag-1 message is still waiting.
+        assert not engine.idle()
+
+    def test_posted_recv_with_specific_source_not_stolen(self):
+        engine = MatchingEngine()
+        specific, specific_log = make_recv(src=5, tag=ANY_TAG)
+        engine.post(specific, now=0.0)
+        engine.arrive(make_envelope(src=4), now=1.0)
+        assert not specific_log  # source 4 does not match recv for source 5
+        assert len(engine.unexpected) == 1

@@ -1,0 +1,305 @@
+"""Tests for the simulated MPI point-to-point layer."""
+
+import pytest
+
+from repro.errors import DeadlockError, MpiError
+from repro.mpi.communicator import MpiWorld
+from repro.sim.engine import Simulator
+from repro.sim.network import Fabric, NetworkParams
+from repro.sim.trace import Tracer
+
+PARAMS = NetworkParams(
+    latency=10e-6,
+    byte_time_out=1e-9,
+    byte_time_in=1e-9,
+    per_message_overhead=1e-6,
+    send_overhead=0.5e-6,
+    recv_overhead=0.5e-6,
+    eager_limit=4096,
+    control_latency=8e-6,
+    shm_latency=0.5e-6,
+    shm_byte_time=0.05e-9,
+)
+
+
+def make_world(procs=4, tracer=None):
+    fabric = Fabric(params=PARAMS, num_nodes=procs)
+    return MpiWorld(
+        Simulator(),
+        fabric,
+        list(range(procs)),
+        tracer=tracer or Tracer(enabled=False),
+    )
+
+
+def run(world, program):
+    processes = world.run(program)
+    return [p.value for p in processes]
+
+
+class TestBlockingSendRecv:
+    def test_message_delivered(self):
+        world = make_world(2)
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 100, tag=5)
+                return "sent"
+            status = yield from comm.recv(0, tag=5)
+            return status
+
+        sent, status = run(world, body)
+        assert sent == "sent"
+        assert status.source == 0
+        assert status.tag == 5
+        assert status.nbytes == 100
+
+    def test_eager_recv_time_matches_network_model(self):
+        world = make_world(2)
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 1000, tag=0)
+            else:
+                yield from comm.recv(0, tag=0)
+            return comm.now
+
+        _, recv_time = run(world, body)
+        expected = (
+            PARAMS.send_overhead
+            + PARAMS.per_message_overhead
+            + 1000 * PARAMS.byte_time_out
+            + PARAMS.latency
+            + 1000 * PARAMS.byte_time_in
+            + PARAMS.recv_overhead
+        )
+        assert recv_time == pytest.approx(expected)
+
+    def test_send_to_self_rejected(self):
+        world = make_world(2)
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(0, 10)
+            return None
+
+        processes = world.spawn(body)
+        world.sim.run()
+        with pytest.raises(MpiError, match="self"):
+            _ = processes[0].value
+
+    def test_peer_out_of_range_rejected(self):
+        world = make_world(2)
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(5, 10)
+            return None
+
+        processes = world.spawn(body)
+        world.sim.run()
+        with pytest.raises(MpiError, match="peer rank 5"):
+            _ = processes[0].value
+
+
+class TestEagerProtocol:
+    def test_eager_send_completes_before_recv_posted(self):
+        """Standard-mode small sends are buffered: local completion."""
+        world = make_world(2)
+
+        def body(comm):
+            if comm.rank == 0:
+                status = yield from comm.send(1, 100, tag=1)
+                send_done = comm.now
+                del status
+                return send_done
+            # Receiver posts very late.
+            yield comm.sim.timeout(1.0)
+            yield from comm.recv(0, tag=1)
+            return comm.now
+
+        send_done, recv_done = run(world, body)
+        assert send_done < 1e-3  # local completion, way before the recv
+        assert recv_done >= 1.0
+
+
+class TestRendezvousProtocol:
+    def test_large_send_blocks_until_receiver_arrives(self):
+        world = make_world(2)
+        big = PARAMS.eager_limit + 1
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, big, tag=1)
+                return comm.now
+            yield comm.sim.timeout(0.5)
+            yield from comm.recv(0, tag=1)
+            return comm.now
+
+        send_done, recv_done = run(world, body)
+        assert send_done > 0.5  # held back by the handshake
+        assert recv_done >= send_done
+
+    def test_rendezvous_includes_handshake_latency(self):
+        world = make_world(2)
+        big = PARAMS.eager_limit + 1
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, big, tag=1)
+            else:
+                yield from comm.recv(0, tag=1)
+            return comm.now
+
+        _, recv_done = run(world, body)
+        minimum = (
+            PARAMS.send_overhead
+            + 2 * PARAMS.control_latency  # RTS + CTS
+            + PARAMS.per_message_overhead
+            + big * (PARAMS.byte_time_out + PARAMS.byte_time_in)
+            + PARAMS.latency
+            + PARAMS.recv_overhead
+        )
+        assert recv_done == pytest.approx(minimum)
+
+
+class TestNonBlocking:
+    def test_isend_returns_quickly_and_waitall_completes(self):
+        world = make_world(4)
+
+        def body(comm):
+            if comm.rank == 0:
+                requests = []
+                for peer in (1, 2, 3):
+                    request = yield from comm.isend(peer, 1000, tag=2)
+                    requests.append(request)
+                posted_at = comm.now
+                yield from comm.waitall(requests)
+                return posted_at, comm.now
+            yield from comm.recv(0, tag=2)
+            return None
+
+        values = run(world, body)
+        posted_at, completed_at = values[0]
+        # Posting costs only the per-call overheads.
+        assert posted_at == pytest.approx(3 * PARAMS.send_overhead)
+        assert completed_at > posted_at
+
+    def test_waitany_returns_first_completion(self):
+        world = make_world(3)
+
+        def body(comm):
+            if comm.rank == 0:
+                slow = yield from comm.irecv(1, tag=3)
+                fast = yield from comm.irecv(2, tag=3)
+                index, status = yield from comm.waitany([slow, fast])
+                return index, status.source
+            delay = 0.5 if comm.rank == 1 else 0.0
+            yield comm.sim.timeout(delay)
+            yield from comm.send(0, 10, tag=3)
+            return None
+
+        values = run(world, body)
+        index, source = values[0]
+        assert (index, source) == (1, 2)
+
+    def test_sendrecv_exchanges_without_deadlock(self):
+        world = make_world(2)
+
+        def body(comm):
+            peer = 1 - comm.rank
+            status = yield from comm.sendrecv(peer, 500, peer, sendtag=4, recvtag=4)
+            return status.source
+
+        sources = run(world, body)
+        assert sources == [1, 0]
+
+
+class TestOrderingSemantics:
+    def test_non_overtaking_same_tag(self):
+        """Two same-tag messages arrive in send order."""
+        world = make_world(2)
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 100, tag=7)  # first
+                yield from comm.send(1, 200, tag=7)  # second
+                return None
+            first = yield from comm.recv(0, tag=7)
+            second = yield from comm.recv(0, tag=7)
+            return first.nbytes, second.nbytes
+
+        assert run(world, body)[1] == (100, 200)
+
+    def test_tag_selectivity(self):
+        """A receive with a specific tag skips non-matching arrivals."""
+        world = make_world(2)
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 111, tag=1)
+                yield from comm.send(1, 222, tag=2)
+                return None
+            wanted = yield from comm.recv(0, tag=2)
+            other = yield from comm.recv(0, tag=1)
+            return wanted.nbytes, other.nbytes
+
+        assert run(world, body)[1] == (222, 111)
+
+    def test_any_source_receives_from_either(self):
+        from repro.mpi import ANY_SOURCE
+
+        world = make_world(3)
+
+        def body(comm):
+            if comm.rank == 0:
+                a = yield from comm.recv(ANY_SOURCE, tag=9)
+                b = yield from comm.recv(ANY_SOURCE, tag=9)
+                return sorted([a.source, b.source])
+            yield from comm.send(0, 10, tag=9)
+            return None
+
+        assert run(world, body)[0] == [1, 2]
+
+
+class TestDeadlocks:
+    def test_unmatched_recv_detected(self):
+        world = make_world(2)
+
+        def body(comm):
+            if comm.rank == 1:
+                yield from comm.recv(0, tag=1)  # nobody sends
+            return None
+
+        world.spawn(body)
+        with pytest.raises(DeadlockError, match="rank-1"):
+            world.sim.run()
+
+    def test_mutual_rendezvous_sends_deadlock(self):
+        """Two blocking rendezvous sends facing each other hang, as in MPI."""
+        world = make_world(2)
+        big = PARAMS.eager_limit + 1
+
+        def body(comm):
+            peer = 1 - comm.rank
+            yield from comm.send(peer, big, tag=1)
+            yield from comm.recv(peer, tag=1)
+            return None
+
+        world.spawn(body)
+        with pytest.raises(DeadlockError):
+            world.sim.run()
+
+
+class TestCompute:
+    def test_compute_advances_local_clock_only(self):
+        world = make_world(2)
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.compute(2.5)
+            return comm.now
+
+        times = run(world, body)
+        assert times[0] == pytest.approx(2.5)
+        assert times[1] == 0.0

@@ -1,0 +1,50 @@
+"""Tests for Open MPI-style segmentation arithmetic."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.mpi.segmentation import plan_segments
+
+
+class TestPlanSegments:
+    def test_exact_division(self):
+        plan = plan_segments(24, 8)
+        assert plan.sizes == (8, 8, 8)
+        assert plan.num_segments == 3
+
+    def test_remainder_goes_last(self):
+        plan = plan_segments(20, 8)
+        assert plan.sizes == (8, 8, 4)
+
+    def test_zero_segment_size_disables_segmentation(self):
+        assert plan_segments(1000, 0).sizes == (1000,)
+
+    def test_segment_larger_than_message_disables_segmentation(self):
+        assert plan_segments(1000, 4096).sizes == (1000,)
+
+    def test_segment_equal_to_message_is_one_segment(self):
+        assert plan_segments(4096, 4096).sizes == (4096,)
+
+    def test_zero_byte_message(self):
+        plan = plan_segments(0, 8192)
+        assert plan.sizes == (0,)
+        assert plan.num_segments == 1
+
+    def test_paper_configuration(self):
+        """4 MB with 8 KB segments: the paper's largest experiment."""
+        plan = plan_segments(4 * 1024 * 1024, 8 * 1024)
+        assert plan.num_segments == 512
+        assert all(size == 8192 for size in plan.sizes)
+
+    def test_sizes_sum_to_total(self):
+        for total, seg in [(100, 7), (8192, 1024), (1, 8), (12345, 1000)]:
+            plan = plan_segments(total, seg)
+            assert sum(plan.sizes) == total
+
+    def test_iteration_yields_sizes(self):
+        assert list(plan_segments(10, 4)) == [4, 4, 2]
+
+    @pytest.mark.parametrize("total,seg", [(-1, 8), (8, -1)])
+    def test_negative_inputs_rejected(self, total, seg):
+        with pytest.raises(MpiError):
+            plan_segments(total, seg)

@@ -1,0 +1,207 @@
+"""Deeper MPI semantics tests: protocol boundaries, wildcards, statuses."""
+
+import pytest
+
+from repro.errors import MpiError
+from repro.mpi import ANY_SOURCE, ANY_TAG
+from repro.mpi.communicator import MpiWorld
+from repro.sim.engine import Simulator
+from repro.sim.network import Fabric, NetworkParams
+
+PARAMS = NetworkParams(
+    latency=10e-6,
+    byte_time_out=1e-9,
+    byte_time_in=1e-9,
+    per_message_overhead=1e-6,
+    send_overhead=0.5e-6,
+    recv_overhead=0.5e-6,
+    eager_limit=4096,
+    control_latency=8e-6,
+    shm_latency=0.5e-6,
+    shm_byte_time=0.05e-9,
+)
+
+
+def make_world(procs=4):
+    fabric = Fabric(params=PARAMS, num_nodes=procs)
+    return MpiWorld(Simulator(), fabric, list(range(procs)))
+
+
+def run(world, program):
+    processes = world.run(program)
+    return [p.value for p in processes]
+
+
+class TestEagerBoundary:
+    def test_exactly_at_limit_is_eager(self):
+        world = make_world(2)
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, PARAMS.eager_limit, tag=1)
+                return comm.now
+            yield comm.sim.timeout(0.1)  # receiver is late
+            yield from comm.recv(0, tag=1)
+            return comm.now
+
+        send_done, _ = run(world, body)
+        assert send_done < 0.1  # completed locally before the recv existed
+
+    def test_one_byte_over_limit_is_rendezvous(self):
+        world = make_world(2)
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, PARAMS.eager_limit + 1, tag=1)
+                return comm.now
+            yield comm.sim.timeout(0.1)
+            yield from comm.recv(0, tag=1)
+            return comm.now
+
+        send_done, _ = run(world, body)
+        assert send_done > 0.1  # waited for the handshake
+
+
+class TestWildcards:
+    def test_any_tag_receives_lowest_arrival_first(self):
+        world = make_world(2)
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, 10, tag=42)
+                yield from comm.send(1, 20, tag=7)
+                return None
+            first = yield from comm.recv(0, tag=ANY_TAG)
+            second = yield from comm.recv(0, tag=ANY_TAG)
+            return (first.tag, second.tag)
+
+        assert run(world, body)[1] == (42, 7)  # arrival order, not tag order
+
+    def test_any_source_any_tag_together(self):
+        world = make_world(3)
+
+        def body(comm):
+            if comm.rank == 0:
+                statuses = []
+                for _ in range(2):
+                    status = yield from comm.recv(ANY_SOURCE, tag=ANY_TAG)
+                    statuses.append((status.source, status.nbytes))
+                return sorted(statuses)
+            yield from comm.send(0, 100 * comm.rank, tag=comm.rank)
+            return None
+
+        assert run(world, body)[0] == [(1, 100), (2, 200)]
+
+    def test_rendezvous_matches_any_source_recv(self):
+        world = make_world(2)
+        big = PARAMS.eager_limit * 4
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, big, tag=5)
+                return None
+            status = yield from comm.recv(ANY_SOURCE, tag=5)
+            return (status.source, status.nbytes)
+
+        assert run(world, body)[1] == (0, big)
+
+
+class TestStatuses:
+    def test_waitall_statuses_in_request_order(self):
+        world = make_world(3)
+
+        def body(comm):
+            if comm.rank == 0:
+                slow = yield from comm.irecv(1, tag=1)
+                fast = yield from comm.irecv(2, tag=2)
+                statuses = yield from comm.waitall([slow, fast])
+                return [(s.source, s.tag) for s in statuses]
+            delay = 0.2 if comm.rank == 1 else 0.0
+            yield comm.sim.timeout(delay)
+            yield from comm.send(0, 8, tag=comm.rank)
+            return None
+
+        # Order follows the request list, not completion time.
+        assert run(world, body)[0] == [(1, 1), (2, 2)]
+
+    def test_send_status_names_destination(self):
+        world = make_world(2)
+
+        def body(comm):
+            if comm.rank == 0:
+                status = yield from comm.send(1, 64, tag=9)
+                return status.source
+            yield from comm.recv(0, tag=9)
+            return None
+
+        assert run(world, body)[0] == 1
+
+    def test_request_repr_mentions_state(self):
+        world = make_world(2)
+        seen = {}
+
+        def body(comm):
+            if comm.rank == 0:
+                request = yield from comm.isend(1, 16, tag=3)
+                seen["pending"] = repr(request)
+                yield from comm.wait(request)
+                seen["done"] = repr(request)
+            else:
+                yield from comm.recv(0, tag=3)
+
+        world.run(body)
+        assert "send" in seen["pending"]
+        assert "done" in seen["done"]
+
+
+class TestValidation:
+    def test_negative_size_send_rejected(self):
+        world = make_world(2)
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, -5)
+            return None
+
+        processes = world.spawn(body)
+        world.sim.run()
+        with pytest.raises(MpiError, match="negative"):
+            _ = processes[0].value
+
+    def test_irecv_source_bounds_checked(self):
+        world = make_world(2)
+
+        def body(comm):
+            if comm.rank == 0:
+                yield from comm.irecv(9)
+            return None
+
+        processes = world.spawn(body)
+        world.sim.run()
+        with pytest.raises(MpiError):
+            _ = processes[0].value
+
+
+class TestManyOutstandingRequests:
+    def test_hundred_concurrent_isends_complete(self):
+        world = make_world(2)
+        count = 100
+
+        def body(comm):
+            if comm.rank == 0:
+                requests = []
+                for index in range(count):
+                    request = yield from comm.isend(1, 512, tag=index)
+                    requests.append(request)
+                yield from comm.waitall(requests)
+                return comm.now
+            requests = []
+            for index in range(count):
+                request = yield from comm.irecv(0, tag=index)
+                requests.append(request)
+            yield from comm.waitall(requests)
+            return comm.now
+
+        send_done, recv_done = run(world, body)
+        assert recv_done >= send_done
+        assert world.quiescent()

@@ -1,0 +1,99 @@
+"""Direct paper-fidelity checks that cost unit-test time.
+
+These pin facts the paper states explicitly — independent of the
+simulator's calibration — so regressions against the source material are
+caught without running the benchmark suite.
+"""
+
+import pytest
+
+from repro.selection.ompi_fixed import ompi_bcast_decision
+from repro.units import KiB, MiB, log_spaced_sizes
+
+
+class TestTable3OmpiColumn:
+    """Table 3's "Open MPI" column: the exact picks the paper reports."""
+
+    #: (size, expected algorithm) for both P=90 (Grisou) and P=100 (Gros).
+    PAPER_OMPI_PICKS = [
+        (8 * KiB, "split_binary"),
+        (16 * KiB, "split_binary"),
+        (32 * KiB, "split_binary"),
+        (64 * KiB, "split_binary"),
+        (128 * KiB, "split_binary"),
+        (256 * KiB, "split_binary"),
+        (512 * KiB, "chain"),
+        (1 * MiB, "chain"),
+        (2 * MiB, "chain"),
+        (4 * MiB, "chain"),
+    ]
+
+    @pytest.mark.parametrize("procs", [90, 100])
+    def test_ported_decision_matches_papers_reported_picks(self, procs):
+        for nbytes, expected in self.PAPER_OMPI_PICKS:
+            choice = ompi_bcast_decision(procs, nbytes)
+            assert choice.algorithm == expected, (procs, nbytes)
+
+    def test_paper_notes_binomial_only_below_2kb(self):
+        """§5.3: "Open MPI only selects the binomial tree algorithm for
+        broadcasting messages smaller than 2 KB"."""
+        assert ompi_bcast_decision(100, 2047).algorithm == "binomial"
+        assert ompi_bcast_decision(100, 2048).algorithm != "binomial"
+
+    def test_split_binary_pick_uses_1kb_segments(self):
+        """The paper's 8 KB row: split-binary with 1 KB segments."""
+        choice = ompi_bcast_decision(90, 8 * KiB)
+        assert choice.segment_size == 1 * KiB
+
+
+class TestPaperConstants:
+    def test_sweep_is_the_papers_ten_sizes(self):
+        """§5.2/§5.3: ten sizes, 8 KB..4 MB, constant log step."""
+        sizes = log_spaced_sizes(8 * KiB, 4 * MiB, 10)
+        assert len(sizes) == 10
+        assert sizes[0] == 8 * KiB and sizes[-1] == 4 * MiB
+
+    def test_paper_segment_size_is_8kb(self):
+        from repro.estimation.gamma import DEFAULT_SEGMENT_SIZE
+
+        assert DEFAULT_SEGMENT_SIZE == 8 * KiB
+
+    def test_precision_default_is_papers_2_5_percent(self):
+        import inspect
+
+        from repro.estimation.statistics import adaptive_measure
+
+        signature = inspect.signature(adaptive_measure)
+        assert signature.parameters["precision"].default == 0.025
+        assert signature.parameters["confidence"].default == 0.95
+
+    def test_gamma_range_covers_paper_fanouts(self):
+        """§5.2: experiments from P=2 to P=7 suffice for both clusters."""
+        from repro.estimation.gamma import DEFAULT_MAX_PROCS
+
+        assert DEFAULT_MAX_PROCS == 7
+
+    def test_calibration_procs_conventions(self):
+        """§4.2: "approximately equal to the half of the total number of
+        nodes" — our default mirrors that."""
+        from repro.clusters import GROS
+        from repro.estimation.alphabeta import estimate_alpha_beta  # noqa: F401
+
+        assert GROS.max_procs // 2 == 62  # the default the code derives
+
+
+class TestEq6Reference:
+    def test_eq6_hand_computed_value(self):
+        """Eq. 6 at P=8, n_s=3 (the Fig. 3 configuration) with γ≡1.
+
+        Substituting γ≡1 into Eq. 6 gives ``n_s + floor(log2 P) - 2`` —
+        one *less* than Eq. 4's raw stage count ``floor(log2 P) + n_s - 1``
+        because of Eq. 6's trailing ``-1`` overlap correction."""
+        from repro.models.derived import BinomialTreeModel
+        from repro.models.gamma import GammaFunction
+        from repro.models.hockney import HockneyParams
+
+        model = BinomialTreeModel(GammaFunction.ideal())
+        tau = 1.0  # alpha=1, beta=0: count stages directly
+        predicted = model.predict(8, 3 * 8192, 8192, HockneyParams(tau, 0.0))
+        assert predicted == pytest.approx(3 + 3 - 2)

@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.estimation.regression import huber_fit, ols_fit
+from repro.mpi.segmentation import plan_segments
+from repro.models.base import segment_count
+from repro.models.derived import DERIVED_BCAST_MODELS
+from repro.models.gamma import GammaFunction
+from repro.models.hockney import HockneyParams
+from repro.selection.decision_table import DecisionTable
+from repro.selection.oracle import Selection
+from repro.topology import (
+    build_binary_tree,
+    build_binomial_tree,
+    build_chain_tree,
+    build_kary_tree,
+)
+
+sizes = st.integers(min_value=1, max_value=300)
+roots = st.integers(min_value=0, max_value=1_000_000)
+
+
+class TestSegmentationProperties:
+    # Cap totals so tiny segment sizes cannot create multi-million-entry
+    # plans (hypothesis deadline); real use is <= 512 segments.
+    @given(total=st.integers(0, 1 << 20), seg=st.integers(0, 1 << 16))
+    def test_sizes_sum_to_total(self, total, seg):
+        plan = plan_segments(total, seg)
+        assert sum(plan.sizes) == total
+
+    @given(total=st.integers(1, 1 << 20), seg=st.integers(1, 1 << 16))
+    def test_all_but_last_equal_segment_size(self, total, seg):
+        plan = plan_segments(total, seg)
+        if plan.num_segments > 1:
+            assert all(s == seg for s in plan.sizes[:-1])
+            assert 0 < plan.sizes[-1] <= seg
+
+    @given(total=st.integers(1, 1 << 20), seg=st.integers(1, 1 << 16))
+    def test_segment_count_consistent_with_plan(self, total, seg):
+        assert segment_count(total, seg) == plan_segments(total, seg).num_segments
+
+
+class TestTopologyProperties:
+    @given(size=sizes, root_seed=roots)
+    @settings(max_examples=60)
+    def test_binomial_tree_always_valid(self, size, root_seed):
+        build_binomial_tree(size, root_seed % size).validate()
+
+    @given(size=sizes, root_seed=roots, fanout=st.integers(1, 5))
+    @settings(max_examples=60)
+    def test_kary_tree_always_valid(self, size, root_seed, fanout):
+        build_kary_tree(fanout, size, root_seed % size).validate()
+
+    @given(size=sizes, root_seed=roots, chains=st.integers(1, 6))
+    @settings(max_examples=60)
+    def test_chain_tree_always_valid(self, size, root_seed, chains):
+        build_chain_tree(size, root_seed % size, chains).validate()
+
+    @given(size=st.integers(2, 300))
+    @settings(max_examples=40)
+    def test_binomial_height_formula(self, size):
+        tree = build_binomial_tree(size)
+        assert tree.height == math.floor(math.log2(size))
+
+    @given(size=st.integers(2, 300))
+    @settings(max_examples=40)
+    def test_binary_edges_count(self, size):
+        tree = build_binary_tree(size)
+        edges = sum(len(tree.children[r]) for r in range(size))
+        assert edges == size - 1
+
+    @given(size=st.integers(2, 200), root_seed=roots)
+    @settings(max_examples=40)
+    def test_chain_tree_is_hamiltonian_path(self, size, root_seed):
+        tree = build_chain_tree(size, root_seed % size, chains=1)
+        assert tree.height == size - 1
+        assert tree.max_fanout() == 1
+
+
+class TestGammaProperties:
+    @given(
+        table=st.dictionaries(
+            st.integers(3, 12),
+            st.floats(1.0, 5.0, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        ),
+        procs=st.integers(2, 500),
+    )
+    def test_gamma_at_least_one_everywhere(self, table, procs):
+        gamma = GammaFunction(table)
+        assert gamma(procs) >= 1.0
+
+    @given(slope=st.floats(0.0, 0.5), procs=st.integers(8, 100))
+    def test_linear_tables_extrapolate_linearly(self, slope, procs):
+        # gamma(2) = 1 is always part of the fit, so the synthetic line
+        # must pass through (2, 1): intercept = 1 - 2*slope.
+        intercept = 1.0 - 2.0 * slope
+        table = {p: intercept + slope * p for p in range(3, 8)}
+        gamma = GammaFunction(table)
+        expected = max(1.0, intercept + slope * procs)
+        assert abs(gamma(procs) - expected) < 1e-6 + 1e-6 * expected
+
+
+class TestModelProperties:
+    @given(
+        name=st.sampled_from(sorted(DERIVED_BCAST_MODELS)),
+        procs=st.integers(2, 256),
+        nbytes=st.integers(1, 10**7),
+        alpha=st.floats(1e-7, 1e-3),
+        beta=st.floats(1e-11, 1e-7),
+    )
+    @settings(max_examples=120)
+    def test_predictions_positive_and_finite(self, name, procs, nbytes, alpha, beta):
+        gamma = GammaFunction({3: 1.1, 5: 1.3, 7: 1.5})
+        model = DERIVED_BCAST_MODELS[name](gamma)
+        predicted = model.predict(procs, nbytes, 8192, HockneyParams(alpha, beta))
+        assert predicted > 0
+        assert math.isfinite(predicted)
+
+    @given(
+        name=st.sampled_from(sorted(DERIVED_BCAST_MODELS)),
+        procs=st.integers(2, 128),
+        nbytes=st.integers(1, 10**7),
+    )
+    @settings(max_examples=80)
+    def test_coefficients_scale_linearly_in_params(self, name, procs, nbytes):
+        """T is linear in (alpha, beta): doubling both doubles T."""
+        gamma = GammaFunction({3: 1.1, 7: 1.5})
+        model = DERIVED_BCAST_MODELS[name](gamma)
+        base = model.predict(procs, nbytes, 8192, HockneyParams(1e-5, 1e-9))
+        double = model.predict(procs, nbytes, 8192, HockneyParams(2e-5, 2e-9))
+        assert abs(double - 2 * base) < 1e-12 + 1e-9 * base
+
+
+class TestRegressionProperties:
+    @given(
+        intercept=st.floats(-10, 10),
+        slope=st.floats(-5, 5),
+        xs=st.lists(
+            st.floats(0, 100, allow_nan=False), min_size=3, max_size=20, unique=True
+        ),
+    )
+    @settings(max_examples=60)
+    def test_ols_recovers_exact_lines(self, intercept, slope, xs):
+        assume(max(xs) - min(xs) > 1e-3)  # slope must be identifiable
+        ys = [intercept + slope * x for x in xs]
+        fit = ols_fit(xs, ys)
+        assert abs(fit.intercept - intercept) < 1e-6 + 1e-6 * abs(intercept)
+        assert abs(fit.slope - slope) < 1e-6 + 1e-6 * abs(slope)
+
+    @given(
+        intercept=st.floats(-10, 10),
+        slope=st.floats(-5, 5),
+        xs=st.lists(
+            st.floats(0, 100, allow_nan=False), min_size=4, max_size=20, unique=True
+        ),
+    )
+    @settings(max_examples=60)
+    def test_huber_recovers_exact_lines(self, intercept, slope, xs):
+        assume(max(xs) - min(xs) > 1e-3)  # slope must be identifiable
+        ys = [intercept + slope * x for x in xs]
+        fit = huber_fit(xs, ys)
+        assert abs(fit.intercept - intercept) < 1e-5 + 1e-5 * abs(intercept)
+        assert abs(fit.slope - slope) < 1e-5 + 1e-5 * abs(slope)
+
+
+class TestDecisionTableProperties:
+    @given(
+        procs=st.lists(st.integers(2, 200), min_size=1, max_size=6, unique=True),
+        sizes_grid=st.lists(
+            st.integers(1024, 10**7), min_size=1, max_size=6, unique=True
+        ),
+        query_procs=st.integers(1, 300),
+        query_size=st.integers(1, 2 * 10**7),
+    )
+    @settings(max_examples=80)
+    def test_lookup_always_returns_grid_choice(
+        self, procs, sizes_grid, query_procs, query_size
+    ):
+        procs = sorted(procs)
+        sizes_grid = sorted(sizes_grid)
+        choices = tuple(
+            tuple(Selection("binary", 8192) for _ in sizes_grid) for _ in procs
+        )
+        table = DecisionTable(tuple(procs), tuple(sizes_grid), choices)
+        assert table.select(query_procs, query_size) == Selection("binary", 8192)

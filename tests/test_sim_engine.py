@@ -1,0 +1,255 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import Future, Simulator
+
+
+class TestFuture:
+    def test_succeed_sets_value(self):
+        sim = Simulator()
+        future = Future(sim)
+        assert not future.done
+        future.succeed(42)
+        assert future.done
+        assert future.value == 42
+
+    def test_value_before_done_raises(self):
+        future = Future(Simulator())
+        with pytest.raises(SimulationError):
+            _ = future.value
+
+    def test_double_completion_raises(self):
+        future = Future(Simulator())
+        future.succeed(1)
+        with pytest.raises(SimulationError):
+            future.succeed(2)
+
+    def test_fail_propagates_exception(self):
+        future = Future(Simulator())
+        future.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            _ = future.value
+
+    def test_callback_after_completion_runs_immediately(self):
+        future = Future(Simulator())
+        future.succeed("x")
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.value))
+        assert seen == ["x"]
+
+
+class TestTimeout:
+    def test_advances_clock(self):
+        sim = Simulator()
+
+        def body(sim):
+            yield sim.timeout(1.5)
+            yield sim.timeout(0.25)
+            return sim.now
+
+        process = sim.process(body(sim))
+        sim.run()
+        assert process.value == pytest.approx(1.75)
+        assert sim.now == pytest.approx(1.75)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_at_in_past_clamps_to_now(self):
+        sim = Simulator()
+        results = []
+
+        def body(sim):
+            yield sim.timeout(2.0)
+            yield sim.at(1.0)  # already in the past
+            results.append(sim.now)
+
+        sim.process(body(sim))
+        sim.run()
+        assert results == [pytest.approx(2.0)]
+
+
+class TestDeterminism:
+    def test_same_time_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("first"))
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.schedule(0.5, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "first", "second"]
+
+    def test_two_runs_identical(self):
+        def make():
+            sim = Simulator()
+
+            def worker(sim, delays):
+                total = 0.0
+                for d in delays:
+                    yield sim.timeout(d)
+                    total += sim.now
+                return total
+
+            p = sim.process(worker(sim, [0.1, 0.2, 0.3]))
+            sim.run()
+            return p.value, sim.now
+
+        assert make() == make()
+
+
+class TestProcesses:
+    def test_return_value(self):
+        def body(sim):
+            yield sim.timeout(1)
+            return "done"
+
+        sim, (process,) = run_to_completion_single(body)
+        assert process.value == "done"
+
+    def test_fork_join(self):
+        sim = Simulator()
+
+        def child(sim, delay):
+            yield sim.timeout(delay)
+            return delay
+
+        def parent(sim):
+            children = [sim.process(child(sim, d)) for d in (3.0, 1.0, 2.0)]
+            values = yield sim.all_of(children)
+            return values
+
+        process = sim.process(parent(sim))
+        sim.run()
+        assert process.value == [3.0, 1.0, 2.0]
+        assert sim.now == pytest.approx(3.0)
+
+    def test_yielding_non_future_fails_process(self):
+        sim = Simulator()
+
+        def body(sim):
+            yield 42
+
+        process = sim.process(body(sim))
+        sim.run()
+        with pytest.raises(SimulationError, match="must yield Future"):
+            _ = process.value
+
+    def test_exception_in_body_captured(self):
+        sim = Simulator()
+
+        def body(sim):
+            yield sim.timeout(1)
+            raise RuntimeError("worker died")
+
+        process = sim.process(body(sim))
+        sim.run()
+        with pytest.raises(RuntimeError, match="worker died"):
+            _ = process.value
+
+    def test_exception_propagates_through_yield(self):
+        sim = Simulator()
+        failing = Future(sim)
+
+        def body(sim):
+            try:
+                yield failing
+            except ValueError:
+                return "caught"
+
+        process = sim.process(body(sim))
+        sim.schedule(1.0, lambda: failing.fail(ValueError("x")))
+        sim.run()
+        assert process.value == "caught"
+
+    def test_ready_future_resumes_inline_without_heap_churn(self):
+        sim = Simulator()
+
+        def body(sim):
+            for _ in range(100):
+                done = Future(sim)
+                done.succeed(None)
+                yield done
+            return sim.now
+
+        process = sim.process(body(sim))
+        sim.run()
+        assert process.value == 0.0  # no simulated time passed
+
+
+class TestCombinators:
+    def test_all_of_empty(self):
+        sim = Simulator()
+        future = sim.all_of([])
+        assert future.done and future.value == []
+
+    def test_any_of_returns_winner_index(self):
+        sim = Simulator()
+
+        def body(sim):
+            slow = sim.timeout(5.0, "slow")
+            fast = sim.timeout(1.0, "fast")
+            index, value = yield sim.any_of([slow, fast])
+            return index, value, sim.now
+
+        process = sim.process(body(sim))
+        sim.run(until=10)
+        assert process.value == (1, "fast", pytest.approx(1.0))
+
+    def test_any_of_empty_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.any_of([])
+
+    def test_all_of_propagates_failure(self):
+        sim = Simulator()
+        bad = Future(sim)
+        good = sim.timeout(1.0)
+        combined = sim.all_of([good, bad])
+        bad.fail(ValueError("nope"))
+        sim.run(until=2)
+        with pytest.raises(ValueError):
+            _ = combined.value
+
+
+class TestDeadlockDetection:
+    def test_blocked_process_raises_deadlock(self):
+        sim = Simulator()
+
+        def body(sim):
+            yield Future(sim)  # never completed
+
+        sim.process(body(sim), name="stuck-rank")
+        with pytest.raises(DeadlockError, match="stuck-rank"):
+            sim.run()
+
+    def test_run_until_does_not_report_deadlock(self):
+        sim = Simulator()
+
+        def body(sim):
+            yield Future(sim)
+
+        sim.process(body(sim))
+        sim.run(until=1.0)  # bounded run: fine
+        assert sim.pending_processes()
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def ticker(sim):
+            while True:
+                yield sim.timeout(1.0)
+
+        sim.process(ticker(sim))
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=10)
+
+
+def run_to_completion_single(body):
+    sim = Simulator()
+    process = sim.process(body(sim))
+    sim.run()
+    return sim, [process]

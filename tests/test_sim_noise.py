@@ -1,0 +1,59 @@
+"""Tests for the noise models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.noise import LognormalNoise, NoNoise
+
+
+class TestNoNoise:
+    def test_factor_is_one(self):
+        noise = NoNoise()
+        assert all(noise.factor() == 1.0 for _ in range(10))
+
+    def test_reseed_is_noop(self):
+        noise = NoNoise()
+        noise.reseed(123)
+        assert noise.factor() == 1.0
+
+
+class TestLognormalNoise:
+    def test_zero_sigma_is_deterministic(self):
+        noise = LognormalNoise(sigma=0.0, seed=1)
+        assert all(noise.factor() == 1.0 for _ in range(5))
+
+    def test_factors_positive(self):
+        noise = LognormalNoise(sigma=0.5, seed=2)
+        assert all(noise.factor() > 0 for _ in range(1000))
+
+    def test_unit_mean(self):
+        noise = LognormalNoise(sigma=0.1, seed=3)
+        samples = np.array([noise.factor() for _ in range(20_000)])
+        assert samples.mean() == pytest.approx(1.0, rel=0.01)
+
+    def test_sigma_controls_spread(self):
+        tight = LognormalNoise(sigma=0.01, seed=4)
+        wide = LognormalNoise(sigma=0.2, seed=4)
+        tight_samples = np.std([tight.factor() for _ in range(5000)])
+        wide_samples = np.std([wide.factor() for _ in range(5000)])
+        assert wide_samples > 5 * tight_samples
+
+    def test_same_seed_reproduces_stream(self):
+        a = LognormalNoise(sigma=0.05, seed=42)
+        b = LognormalNoise(sigma=0.05, seed=42)
+        assert [a.factor() for _ in range(20)] == [b.factor() for _ in range(20)]
+
+    def test_reseed_restarts_stream(self):
+        noise = LognormalNoise(sigma=0.05, seed=7)
+        first = [noise.factor() for _ in range(5)]
+        noise.reseed(7)
+        assert [noise.factor() for _ in range(5)] == first
+
+    def test_different_seeds_differ(self):
+        a = LognormalNoise(sigma=0.05, seed=1)
+        b = LognormalNoise(sigma=0.05, seed=2)
+        assert [a.factor() for _ in range(5)] != [b.factor() for _ in range(5)]
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LognormalNoise(sigma=-0.1)

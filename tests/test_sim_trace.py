@@ -1,0 +1,61 @@
+"""Tests for the event tracer."""
+
+from repro.sim.trace import NULL_TRACER, TraceEvent, Tracer
+
+
+class TestTracer:
+    def test_records_in_order(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send_post", 0, 1, 7, 100)
+        tracer.record(2.0, "recv_complete", 1, 0, 7, 100)
+        assert len(tracer) == 2
+        assert [e.kind for e in tracer] == ["send_post", "recv_complete"]
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record(1.0, "send_post", 0, 1, 7, 100)
+        assert len(tracer) == 0
+
+    def test_null_tracer_is_disabled(self):
+        assert not NULL_TRACER.enabled
+
+    def test_of_kind_filters(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send_post", 0, 1, 7, 100)
+        tracer.record(2.0, "send_post", 0, 2, 7, 100)
+        tracer.record(3.0, "recv_complete", 1, 0, 7, 100)
+        assert len(tracer.of_kind("send_post")) == 2
+        assert len(tracer.of_kind("recv_post")) == 0
+
+    def test_for_rank_filters(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send_post", 0, 1, 7, 100)
+        tracer.record(2.0, "send_post", 3, 1, 7, 100)
+        assert [e.rank for e in tracer.for_rank(3)] == [3]
+
+    def test_total_bytes_counts_only_send_posts(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send_post", 0, 1, 7, 100)
+        tracer.record(2.0, "recv_complete", 1, 0, 7, 100)
+        tracer.record(3.0, "send_post", 1, 0, 7, 50)
+        assert tracer.total_bytes_sent() == 150
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send_post", 0, 1, 7, 100)
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_empty_tracer_is_truthy(self):
+        """Guards against the ``tracer or default`` footgun."""
+        assert bool(Tracer())
+        assert bool(Tracer(enabled=False))
+
+    def test_events_are_immutable_records(self):
+        event = TraceEvent(1.0, "send_post", 0, 1, 2, 3)
+        try:
+            event.time = 5.0
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

@@ -1,0 +1,177 @@
+"""Tests for the Open MPI tree builders, including paper-specific facts."""
+
+import math
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    build_binary_tree,
+    build_binomial_tree,
+    build_chain_tree,
+    build_in_order_binomial_tree,
+    build_kary_tree,
+)
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 64, 90, 100, 124]
+
+
+class TestKaryTree:
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("fanout", [1, 2, 3, 4])
+    def test_valid_for_all_sizes(self, size, fanout):
+        build_kary_tree(fanout, size).validate()
+
+    def test_binary_heap_shape(self):
+        tree = build_binary_tree(7)
+        assert tree.children[0] == (1, 2)
+        assert tree.children[1] == (3, 4)
+        assert tree.children[2] == (5, 6)
+
+    def test_binary_height_matches_formula(self):
+        """H = ceil(log2(P+1)) - 1, the quantity in the binary-tree model."""
+        for size in SIZES:
+            tree = build_binary_tree(size)
+            assert tree.height == math.ceil(math.log2(size + 1)) - 1
+
+    def test_max_two_children(self):
+        assert build_binary_tree(90).max_fanout() <= 2
+
+    def test_root_shift(self):
+        tree = build_binary_tree(7, root=3)
+        assert tree.root == 3
+        assert tree.children[3] == (4, 5)  # virtual 1, 2 shifted by root
+
+    def test_invalid_fanout_rejected(self):
+        with pytest.raises(TopologyError):
+            build_kary_tree(0, 4)
+
+
+class TestBinomialTree:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_valid_for_all_sizes(self, size):
+        build_binomial_tree(size).validate()
+
+    def test_power_of_two_structure(self):
+        tree = build_binomial_tree(8)
+        assert tree.children[0] == (1, 2, 4)
+        assert tree.children[2] == (3,)
+        assert tree.children[4] == (5, 6)
+
+    def test_root_children_count_is_ceil_log(self):
+        """Root fanout = ceil(log2 P): the gamma argument in paper Eq. 6."""
+        for size in [3, 5, 8, 17, 64, 90, 100, 124]:
+            tree = build_binomial_tree(size)
+            assert len(tree.children[0]) == math.ceil(math.log2(size))
+
+    def test_height_is_floor_log(self):
+        """Height = floor(log2 P): the stage count in paper Eq. 4."""
+        for size in [2, 3, 4, 7, 8, 90, 124]:
+            tree = build_binomial_tree(size)
+            assert tree.height == math.floor(math.log2(size))
+
+    def test_depth_equals_popcount_of_virtual_rank(self):
+        tree = build_binomial_tree(64)
+        for rank in range(64):
+            assert tree.depth_of(rank) == bin(rank).count("1")
+
+    def test_children_fanout_decreases_along_deepest_path(self):
+        """The per-level gamma arguments of Eq. 6 decrease going down."""
+        tree = build_binomial_tree(90)
+        rank = 0
+        fanouts = []
+        while tree.children[rank]:
+            fanouts.append(len(tree.children[rank]))
+            rank = tree.children[rank][-1]
+        assert fanouts == sorted(fanouts, reverse=True)
+
+
+class TestInOrderBinomial:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_valid_for_all_sizes(self, size):
+        build_in_order_binomial_tree(size).validate()
+
+    def test_children_reversed_relative_to_standard(self):
+        standard = build_binomial_tree(16)
+        in_order = build_in_order_binomial_tree(16)
+        for rank in range(16):
+            assert in_order.children[rank] == tuple(
+                reversed(standard.children[rank])
+            )
+
+
+class TestChainTree:
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("chains", [1, 2, 4])
+    def test_valid_for_all_sizes(self, size, chains):
+        build_chain_tree(size, chains=chains).validate()
+
+    def test_single_chain_is_a_path(self):
+        tree = build_chain_tree(6, chains=1)
+        assert tree.height == 5
+        assert tree.max_fanout() == 1
+        assert tree.children[0] == (1,)
+        assert tree.children[4] == (5,)
+
+    def test_four_chains_balanced(self):
+        tree = build_chain_tree(13, chains=4)  # 12 non-root over 4 chains
+        assert len(tree.children[0]) == 4
+        # Every chain has exactly 3 nodes.
+        for head in tree.children[0]:
+            length = 1
+            rank = head
+            while tree.children[rank]:
+                rank = tree.children[rank][0]
+                length += 1
+            assert length == 3
+
+    def test_uneven_chains_differ_by_at_most_one(self):
+        tree = build_chain_tree(90, chains=4)  # 89 = 4*22 + 1
+        lengths = []
+        for head in tree.children[0]:
+            length, rank = 1, head
+            while tree.children[rank]:
+                rank = tree.children[rank][0]
+                length += 1
+            lengths.append(length)
+        assert max(lengths) - min(lengths) <= 1
+        assert sum(lengths) == 89
+
+    def test_more_chains_than_ranks_clamps(self):
+        tree = build_chain_tree(3, chains=8)
+        assert len(tree.children[0]) == 2
+
+    def test_root_shift(self):
+        tree = build_chain_tree(5, root=2, chains=1)
+        assert tree.root == 2
+        assert tree.children[2] == (3,)
+        assert tree.children[1] == ()
+
+    def test_invalid_chains_rejected(self):
+        with pytest.raises(TopologyError):
+            build_chain_tree(4, chains=0)
+
+
+class TestPaperScales:
+    """Structural facts at the exact scales the paper evaluates."""
+
+    def test_grisou_p90(self):
+        binomial = build_binomial_tree(90)
+        assert len(binomial.children[0]) == 7  # ceil(log2 90)
+        assert binomial.height == 6  # floor(log2 90)
+        binary = build_binary_tree(90)
+        assert binary.height == 6
+
+    def test_gros_p124(self):
+        binomial = build_binomial_tree(124)
+        assert len(binomial.children[0]) == 7
+        assert binomial.height == 6
+        chain = build_chain_tree(124, chains=1)
+        assert chain.height == 123
+
+    def test_max_tree_fanout_is_seven(self):
+        """The largest fanout at paper scales is 7 (the binomial root);
+        gamma beyond the measured P=7 table is served by extrapolation."""
+        for size in (90, 100, 124):
+            binomial = build_binomial_tree(size)
+            assert binomial.max_fanout() == 7

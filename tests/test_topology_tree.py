@@ -1,0 +1,78 @@
+"""Tests for the Tree structure and its invariants."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.tree import Tree, tree_from_children
+
+
+def chain_tree(size):
+    return tree_from_children(0, size, {i: [i + 1] for i in range(size - 1)})
+
+
+class TestConstruction:
+    def test_single_node(self):
+        tree = tree_from_children(0, 1, {})
+        tree.validate()
+        assert tree.size == 1
+        assert tree.height == 0
+
+    def test_two_parents_rejected(self):
+        with pytest.raises(TopologyError, match="two parents|child twice"):
+            tree_from_children(0, 3, {0: [1, 2], 1: [2]})
+
+    def test_unreachable_rank_rejected(self):
+        with pytest.raises(TopologyError, match="unreachable"):
+            tree_from_children(0, 3, {0: [1]})
+
+    def test_child_out_of_range_rejected(self):
+        with pytest.raises(TopologyError):
+            tree_from_children(0, 2, {0: [1, 5]})
+
+    def test_root_out_of_range_rejected(self):
+        with pytest.raises(TopologyError):
+            Tree(root=9, parent=(-1, 0), children=((1,), ())).validate()
+
+
+class TestQueries:
+    def test_depths_on_chain(self):
+        tree = chain_tree(5)
+        assert [tree.depth_of(r) for r in range(5)] == [0, 1, 2, 3, 4]
+        assert tree.height == 4
+
+    def test_levels(self):
+        tree = tree_from_children(0, 5, {0: [1, 2], 1: [3, 4]})
+        assert tree.levels() == [[0], [1, 2], [3, 4]]
+
+    def test_interior_and_leaves_partition_ranks(self):
+        tree = tree_from_children(0, 6, {0: [1, 2], 2: [3, 4, 5]})
+        interior = tree.interior_ranks()
+        leaves = tree.leaves()
+        assert sorted(interior + leaves) == list(range(6))
+        assert interior == [0, 2]
+
+    def test_path_to_root(self):
+        tree = chain_tree(4)
+        assert tree.path_to_root(3) == [3, 2, 1, 0]
+        assert tree.path_to_root(0) == [0]
+
+    def test_subtree_size(self):
+        tree = tree_from_children(0, 6, {0: [1, 2], 2: [3, 4], 4: [5]})
+        assert tree.subtree_size(0) == 6
+        assert tree.subtree_size(2) == 4
+        assert tree.subtree_size(1) == 1
+
+    def test_max_fanout(self):
+        tree = tree_from_children(0, 5, {0: [1, 2, 3], 3: [4]})
+        assert tree.max_fanout() == 3
+
+    def test_num_children(self):
+        tree = tree_from_children(0, 3, {0: [1, 2]})
+        assert tree.num_children(0) == 2
+        assert tree.num_children(1) == 0
+
+    def test_render_contains_all_ranks(self):
+        tree = tree_from_children(0, 4, {0: [1, 2], 2: [3]})
+        rendering = tree.render()
+        for rank in range(4):
+            assert str(rank) in rendering

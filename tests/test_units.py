@@ -1,0 +1,82 @@
+"""Tests for the byte/time unit helpers."""
+
+import math
+
+import pytest
+
+from repro.units import (
+    KiB,
+    MiB,
+    format_bytes,
+    format_seconds,
+    gbit_per_s_to_byte_time,
+    log_spaced_sizes,
+)
+
+
+class TestGbitConversion:
+    def test_ten_gbe_byte_time(self):
+        # 10 Gbit/s = 1.25 GB/s -> 0.8 ns per byte.
+        assert gbit_per_s_to_byte_time(10.0) == pytest.approx(0.8e-9)
+
+    def test_eight_kib_on_ten_gbe(self):
+        assert gbit_per_s_to_byte_time(10.0) * 8 * KiB == pytest.approx(6.5536e-6)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects_non_positive_speed(self, bad):
+        with pytest.raises(ValueError):
+            gbit_per_s_to_byte_time(bad)
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [
+            (8 * KiB, "8 KB"),
+            (4 * MiB, "4 MB"),
+            (512, "512 B"),
+            (1536, "1536 B"),  # not a whole KiB multiple
+            (MiB, "1 MB"),
+        ],
+    )
+    def test_examples(self, nbytes, expected):
+        assert format_bytes(nbytes) == expected
+
+
+class TestFormatSeconds:
+    def test_unit_selection(self):
+        assert format_seconds(2.5).endswith(" s")
+        assert format_seconds(2.5e-3).endswith(" ms")
+        assert format_seconds(2.5e-6).endswith(" us")
+        assert format_seconds(2.5e-9).endswith(" ns")
+
+    def test_nan(self):
+        assert format_seconds(float("nan")) == "nan"
+
+
+class TestLogSpacedSizes:
+    def test_paper_sweep_endpoints(self):
+        sizes = log_spaced_sizes(8 * KiB, 4 * MiB, 10)
+        assert sizes[0] == 8 * KiB
+        assert sizes[-1] == 4 * MiB
+        assert len(sizes) == 10
+
+    def test_paper_sweep_is_doubling(self):
+        # 8 KB .. 4 MB in 10 steps is exactly x2 per step.
+        sizes = log_spaced_sizes(8 * KiB, 4 * MiB, 10)
+        for small, large in zip(sizes, sizes[1:]):
+            assert large == 2 * small
+
+    def test_constant_log_step(self):
+        sizes = log_spaced_sizes(1000, 1_000_000, 7)
+        ratios = [math.log(b / a) for a, b in zip(sizes, sizes[1:])]
+        assert max(ratios) - min(ratios) < 0.02
+
+    def test_monotonically_increasing(self):
+        sizes = log_spaced_sizes(100, 10_000, 9)
+        assert sizes == sorted(sizes)
+
+    @pytest.mark.parametrize("low,high,count", [(0, 10, 3), (10, 5, 3), (8, 16, 1)])
+    def test_rejects_invalid_ranges(self, low, high, count):
+        with pytest.raises(ValueError):
+            log_spaced_sizes(low, high, count)
