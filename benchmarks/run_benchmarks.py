@@ -1,0 +1,241 @@
+"""Produce BENCH_simulator.json: simulator and executor performance numbers.
+
+Three measurement groups (see docs/PERFORMANCE.md for how to read them):
+
+1. **engine micro-benchmarks** — the two workloads of
+   ``test_simulator_performance.py``, run through pytest-benchmark, plus
+   the pre-optimization baselines recorded on the same workloads before
+   the event-loop/network fast paths landed (so the JSON carries
+   before/after evidence of the hot-path optimization);
+2. **end-to-end selection comparison** — a Table-3-style
+   ``selection_comparison`` wall-timed three ways: serial cold, parallel
+   cold (``--jobs``, default all cores), and serial against a warm
+   persistent cache (which must perform *zero* simulations);
+3. **metadata** — CPU count, Python version, platform — because the
+   parallel speedup claim is only meaningful relative to the core count
+   the run had.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py           # quick
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --full    # paper scale
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --jobs 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.clusters import GROS, MINICLUSTER  # noqa: E402
+from repro.exec import ParallelRunner, ResultCache, cpu_count  # noqa: E402
+from repro.units import KiB, MiB, log_spaced_sizes  # noqa: E402
+
+#: Best-of-several wall times of the two micro workloads at commit 8631bad
+#: (before the engine/network hot-path optimization), measured interleaved
+#: with the optimized code on the same machine to cancel load drift.  The
+#: optimized code measured 2.40 ms / 0.345 s in the same session (-16% /
+#: -7%); the "after" numbers recorded below come from the pytest-benchmark
+#: run of whatever machine regenerates this file.
+BASELINE_BEFORE = {
+    "small_bcast_16_ranks": 2.84e-3,
+    "paper_scale_bcast_p100": 0.370,
+}
+
+
+def run_pytest_benchmarks() -> dict:
+    """The two simulator micro-benchmarks, via pytest-benchmark."""
+    with tempfile.TemporaryDirectory() as tmp:
+        report = Path(tmp) / "bench.json"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(REPO / "benchmarks" / "test_simulator_performance.py"),
+                "-q",
+                f"--benchmark-json={report}",
+            ],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            env={
+                **os.environ,
+                "PYTHONPATH": str(REPO / "src")
+                + os.pathsep
+                + os.environ.get("PYTHONPATH", ""),
+            },
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"pytest-benchmark run failed:\n{proc.stdout}\n{proc.stderr}"
+            )
+        data = json.loads(report.read_text())
+    out = {}
+    for bench in data["benchmarks"]:
+        name = bench["name"].removeprefix("test_")
+        out[name] = {
+            "min_s": bench["stats"]["min"],
+            "mean_s": bench["stats"]["mean"],
+            "rounds": bench["stats"]["rounds"],
+        }
+    return out
+
+
+def selection_workload(full: bool):
+    """(spec, procs, sizes, calibration kwargs) of the end-to-end workload."""
+    if full:
+        spec = GROS.with_noise(0.0)
+        return spec, 100, log_spaced_sizes(8 * KiB, 4 * MiB, 10), dict(
+            procs=62, gamma_max_procs=7, max_reps=8
+        )
+    spec = MINICLUSTER
+    return spec, 16, log_spaced_sizes(8 * KiB, 1 * MiB, 6), dict(
+        procs=8, gamma_max_procs=5, max_reps=3
+    )
+
+
+def timed_comparison(spec, platform_model, procs, sizes, runner) -> tuple:
+    from repro.bench.runner import selection_comparison
+    from repro.selection.oracle import MeasuredOracle
+
+    oracle = MeasuredOracle(spec, max_reps=8, runner=runner)
+    start = time.perf_counter()
+    rows = selection_comparison(spec, platform_model, procs, sizes, oracle=oracle)
+    return time.perf_counter() - start, rows
+
+
+def run_selection_benchmark(full: bool, jobs: int) -> dict:
+    from repro.estimation.workflow import calibrate_platform
+
+    spec, procs, sizes, cal_kwargs = selection_workload(full)
+
+    setup = ParallelRunner(jobs=jobs)
+    platform_model = calibrate_platform(spec, runner=setup, **cal_kwargs).platform
+    setup.close()
+
+    serial = ParallelRunner(jobs=1)
+    serial_s, rows_serial = timed_comparison(
+        spec, platform_model, procs, sizes, serial
+    )
+    serial.close()
+
+    parallel = ParallelRunner(jobs=jobs)
+    parallel_s, rows_parallel = timed_comparison(
+        spec, platform_model, procs, sizes, parallel
+    )
+    parallel.close()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        seed_cache = ParallelRunner(jobs=jobs, cache=ResultCache(tmp))
+        timed_comparison(spec, platform_model, procs, sizes, seed_cache)
+        seed_cache.close()
+
+        warm = ParallelRunner(jobs=1, cache=ResultCache(tmp))
+        warm_s, rows_warm = timed_comparison(
+            spec, platform_model, procs, sizes, warm
+        )
+        warm_stats = warm.stats.as_dict()
+        warm.close()
+
+    if rows_parallel != rows_serial or rows_warm != rows_serial:
+        raise RuntimeError("parallel/warm results diverged from serial")
+    if warm_stats["simulations"] != 0:
+        raise RuntimeError(
+            f"warm-cache rerun simulated {warm_stats['simulations']} jobs"
+        )
+
+    return {
+        "workload": {
+            "cluster": spec.name,
+            "procs": procs,
+            "sizes": list(sizes),
+            "scale": "full" if full else "quick",
+        },
+        "serial_cold_s": serial_s,
+        "parallel_cold_s": parallel_s,
+        "parallel_jobs": jobs,
+        "warm_cache_s": warm_s,
+        "warm_cache_stats": warm_stats,
+        "speedup_parallel_vs_serial": serial_s / parallel_s,
+        "speedup_warm_vs_serial": serial_s / warm_s,
+        "results_bit_identical": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=str(REPO / "BENCH_simulator.json")
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=0, help="parallel workers (0 = all cores)"
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale workload (Gros P=100, 10 sizes) instead of quick",
+    )
+    parser.add_argument(
+        "--skip-micro",
+        action="store_true",
+        help="skip the pytest-benchmark micro workloads",
+    )
+    args = parser.parse_args(argv)
+    jobs = args.jobs if args.jobs else cpu_count()
+
+    report = {
+        "metadata": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "cpu_count": cpu_count(),
+            "note": (
+                "parallel speedup scales with cpu_count; on a single-core "
+                "machine parallel_cold_s ~= serial_cold_s plus pool overhead"
+            ),
+        },
+        "engine_microbenchmarks": {
+            "before_optimization_min_s": BASELINE_BEFORE,
+        },
+    }
+    if not args.skip_micro:
+        print("running simulator micro-benchmarks (pytest-benchmark)...")
+        after = run_pytest_benchmarks()
+        report["engine_microbenchmarks"]["after_optimization"] = after
+        for key, before in BASELINE_BEFORE.items():
+            match = next(
+                (v for k, v in after.items() if key.split("_")[0] in k), None
+            )
+            if match:
+                report["engine_microbenchmarks"][f"speedup_{key}"] = (
+                    before / match["min_s"]
+                )
+
+    print(f"running selection comparison (jobs={jobs})...")
+    report["selection_comparison"] = run_selection_benchmark(args.full, jobs)
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    sel = report["selection_comparison"]
+    print(
+        f"serial {sel['serial_cold_s']:.2f}s | "
+        f"parallel(x{jobs}) {sel['parallel_cold_s']:.2f}s | "
+        f"warm cache {sel['warm_cache_s']:.2f}s "
+        f"({sel['warm_cache_stats']['simulations']} simulations)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,7 @@ from repro.bench.runner import SelectionRow
 from repro.clusters.spec import ClusterSpec
 from repro.models.hockney import HockneyParams
 from repro.models.traditional import TRADITIONAL_BCAST_MODELS
-from repro.selection.oracle import MeasuredOracle
+from repro.selection.oracle import MeasuredOracle, Selection
 from repro.units import KiB, format_bytes
 
 
@@ -39,6 +39,17 @@ def fig1_series(
     """
     if oracle is None:
         oracle = MeasuredOracle(spec, segment_size=segment_size)
+    # Fan the whole measurement grid out through the oracle's runner first;
+    # only the requested algorithms, not the oracle's full candidate list.
+    oracle.prefetch(
+        procs,
+        [],
+        selections=[
+            (m, Selection(name, segment_size))
+            for name in algorithms
+            for m in sizes
+        ],
+    )
     series: dict[str, dict[int, float]] = {}
     for name in algorithms:
         model = TRADITIONAL_BCAST_MODELS[name](None)

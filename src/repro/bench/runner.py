@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -10,6 +11,8 @@ from repro.estimation.workflow import PlatformModel
 from repro.selection.model_based import ModelBasedSelector
 from repro.selection.ompi_fixed import OmpiFixedSelector
 from repro.selection.oracle import MeasuredOracle, Selection
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -49,17 +52,41 @@ def selection_comparison(
     This is the experiment behind Table 3 and the three curves of Fig. 5.
     Passing a shared ``oracle`` lets several configurations reuse the
     (memoised) measurements.
+
+    The whole experiment grid — every candidate algorithm at every size,
+    plus the model-based and Open MPI picks (whose segment sizes may
+    differ) — is prefetched through the oracle's runner up front, so with
+    a parallel runner all simulations fan out at once and the per-size
+    loop replays from the memo.
     """
     if oracle is None:
         oracle = MeasuredOracle(spec, max_reps=max_reps)
     model_selector = ModelBasedSelector(platform)
     ompi_selector = OmpiFixedSelector()
 
+    # The selectors are pure model/table lookups, so the full set of extra
+    # (algorithm, segment) pairs is known before any measurement runs.
+    picks = {
+        nbytes: (
+            model_selector.select(procs, nbytes),
+            ompi_selector.select(procs, nbytes),
+        )
+        for nbytes in sizes
+    }
+    oracle.prefetch(
+        procs,
+        sizes,
+        selections=[
+            (nbytes, choice)
+            for nbytes, pair in picks.items()
+            for choice in pair
+        ],
+    )
+
     rows: list[SelectionRow] = []
     for nbytes in sizes:
         best, best_time = oracle.best(procs, nbytes)
-        model = model_selector.select(procs, nbytes)
-        ompi = ompi_selector.select(procs, nbytes)
+        model, ompi = picks[nbytes]
         rows.append(
             SelectionRow(
                 nbytes=nbytes,
@@ -71,4 +98,12 @@ def selection_comparison(
                 ompi_time=oracle.measure_selection(procs, nbytes, ompi),
             )
         )
+    runner = oracle._runner()
+    logger.info(
+        "selection_comparison %s P=%d: oracle %s, runner %s",
+        spec.name,
+        procs,
+        oracle.stats.as_dict(),
+        runner.stats.as_dict(),
+    )
     return rows

@@ -10,12 +10,19 @@ Subcommands mirror the paper's workflow:
 * ``fig5`` — regenerate one panel of Fig. 5 (CSV + ASCII plot);
 * ``reduce-table`` — the future-work extension: MPI_Reduce selection;
 * ``decision-table`` — precompute and save a deployment decision table.
+
+Simulation-heavy subcommands share three execution flags: ``--jobs N``
+fans simulations out over N worker processes (0 = all cores), and the
+persistent result cache — on by default for the CLI — is controlled by
+``--no-cache`` / ``--cache-dir`` (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+import repro.exec as exec_
 
 from repro.bench.figures import ascii_plot, fig5_series, write_csv
 from repro.bench.runner import selection_comparison
@@ -222,6 +229,31 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _exec_flags() -> argparse.ArgumentParser:
+    """Shared parent parser: execution flags of simulation-heavy commands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("execution")
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for simulations (0 = all cores; default: 1)",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent simulation-result cache",
+    )
+    group.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache location (default: ~/.cache/repro)",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mpi",
@@ -229,12 +261,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(PaCT 2021 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    exec_flags = _exec_flags()
 
     sub.add_parser("clusters", help="list simulated cluster presets").set_defaults(
         func=_cmd_clusters
     )
 
-    calibrate = sub.add_parser("calibrate", help="run the full §4 calibration")
+    calibrate = sub.add_parser(
+        "calibrate", help="run the full §4 calibration", parents=[exec_flags]
+    )
     calibrate.add_argument("--cluster", required=True)
     calibrate.add_argument("--output", required=True)
     calibrate.add_argument("--procs", type=int, default=None)
@@ -254,18 +289,24 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("-m", "--message", required=True)
     select.set_defaults(func=_cmd_select)
 
-    table1 = sub.add_parser("table1", help="regenerate Table 1 (gamma)")
+    table1 = sub.add_parser(
+        "table1", help="regenerate Table 1 (gamma)", parents=[exec_flags]
+    )
     table1.add_argument("--clusters", default="grisou,gros")
     table1.add_argument("--seed", type=int, default=0)
     table1.set_defaults(func=_cmd_table1)
 
-    table2 = sub.add_parser("table2", help="regenerate Table 2 (alpha/beta)")
+    table2 = sub.add_parser(
+        "table2", help="regenerate Table 2 (alpha/beta)", parents=[exec_flags]
+    )
     table2.add_argument("--clusters", default="grisou,gros")
     table2.add_argument("--max-reps", type=int, default=8)
     table2.add_argument("--seed", type=int, default=0)
     table2.set_defaults(func=_cmd_table2)
 
-    table3 = sub.add_parser("table3", help="regenerate Table 3 (selection)")
+    table3 = sub.add_parser(
+        "table3", help="regenerate Table 3 (selection)", parents=[exec_flags]
+    )
     table3.add_argument("--cluster", required=True)
     table3.add_argument("-P", "--procs", type=int, required=True)
     table3.add_argument("--calibration", default=None)
@@ -273,7 +314,9 @@ def build_parser() -> argparse.ArgumentParser:
     table3.add_argument("--seed", type=int, default=0)
     table3.set_defaults(func=_cmd_table3)
 
-    fig5 = sub.add_parser("fig5", help="regenerate one Fig. 5 panel")
+    fig5 = sub.add_parser(
+        "fig5", help="regenerate one Fig. 5 panel", parents=[exec_flags]
+    )
     fig5.add_argument("--cluster", required=True)
     fig5.add_argument("-P", "--procs", type=int, required=True)
     fig5.add_argument("--calibration", default=None)
@@ -283,7 +326,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.set_defaults(func=_cmd_fig5)
 
     reduce_table = sub.add_parser(
-        "reduce-table", help="future-work extension: MPI_Reduce selection table"
+        "reduce-table",
+        help="future-work extension: MPI_Reduce selection table",
+        parents=[exec_flags],
     )
     reduce_table.add_argument("--cluster", required=True)
     reduce_table.add_argument("-P", "--procs", type=int, required=True)
@@ -319,6 +364,16 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if hasattr(args, "jobs"):
+            # Simulation-heavy command: install the process-wide runner.  The
+            # persistent cache is on by default for the CLI (interactive use
+            # benefits most from cross-invocation reuse); the library default
+            # stays cache-less.
+            exec_.configure(
+                jobs=args.jobs,
+                cache=not args.no_cache,
+                cache_dir=args.cache_dir,
+            )
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 
 from repro.errors import SimulationError
@@ -103,6 +105,46 @@ class ClusterSpec:
         return MpiWorld(
             Simulator(), fabric, placement, tracer=tracer, rank_to_port=ports
         )
+
+    def fingerprint(self) -> str:
+        """Stable content hash over every fidelity knob of this platform.
+
+        Two specs with equal fields produce equal fingerprints in any
+        process or session; changing *any* field — a network constant, the
+        noise level, the NIC count, a straggler entry — changes it.  This is
+        the cache-key foundation of :mod:`repro.exec`: a persisted
+        simulation result is only reusable if the platform that produced it
+        is byte-for-byte the platform being asked about.
+
+        The hash covers field *values*, not the preset name alone, so e.g.
+        ``GRISOU.with_noise(0.0)`` and ``GRISOU`` never collide.
+        """
+        net = self.network
+        payload = {
+            "name": self.name,
+            "nodes": self.nodes,
+            "procs_per_node": self.procs_per_node,
+            "noise_sigma": self.noise_sigma,
+            "nics_per_node": self.nics_per_node,
+            "slow_nodes": sorted(
+                (int(node), float(factor))
+                for node, factor in self.slow_nodes.items()
+            ),
+            "network": {
+                "latency": net.latency,
+                "byte_time_out": net.byte_time_out,
+                "byte_time_in": net.byte_time_in,
+                "per_message_overhead": net.per_message_overhead,
+                "send_overhead": net.send_overhead,
+                "recv_overhead": net.recv_overhead,
+                "eager_limit": net.eager_limit,
+                "control_latency": net.control_latency,
+                "shm_latency": net.shm_latency,
+                "shm_byte_time": net.shm_byte_time,
+            },
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def with_noise(self, sigma: float) -> "ClusterSpec":
         """A copy of this spec with a different default noise level."""

@@ -39,3 +39,7 @@ class EstimationError(ReproError):
 
 class SelectionError(ReproError):
     """Raised when algorithm selection is asked for an unknown operation."""
+
+
+class CacheError(ReproError):
+    """Raised when the persistent result cache cannot be read or written."""

@@ -29,7 +29,8 @@ from repro.clusters.spec import ClusterSpec
 from repro.errors import EstimationError
 from repro.estimation.regression import FitResult, get_regressor
 from repro.estimation.statistics import SampleStats, adaptive_measure
-from repro.measure import time_bcast_then_gather
+from repro.exec.job import SimJob
+from repro.exec.runner import ParallelRunner, default_runner
 from repro.models.base import BcastModel
 from repro.models.gather_models import linear_gather_coefficients
 from repro.models.hockney import HockneyParams
@@ -55,6 +56,43 @@ def default_gather_bytes(nbytes: int) -> int:
 
 #: Default gather schedule (see :func:`default_gather_bytes`).
 DEFAULT_GATHER_BYTES = default_gather_bytes
+
+
+def alphabeta_prefetch_jobs(
+    spec: ClusterSpec,
+    algorithm: str,
+    *,
+    procs: int,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    segment_size: int = 8 * KiB,
+    gather_bytes: int | Callable[[int], int] = DEFAULT_GATHER_BYTES,
+    seed: int = 0,
+    reps: int = 2,
+) -> list[SimJob]:
+    """The first ``reps`` repetitions of one algorithm's α/β sweep, as jobs.
+
+    Enumerates exactly the seeds :func:`estimate_alpha_beta`'s adaptive
+    loop will request, so prefetching these makes the loop replay from the
+    runner's memo.
+    """
+    gather_of = gather_bytes if callable(gather_bytes) else (lambda _m: gather_bytes)
+    batch: list[SimJob] = []
+    for index, nbytes in enumerate(sizes):
+        base = seed + 104_729 * (index + 1)
+        for rep in range(reps):
+            batch.append(
+                SimJob(
+                    spec=spec,
+                    kind="bcast_then_gather",
+                    procs=procs,
+                    algorithm=algorithm,
+                    nbytes=nbytes,
+                    segment_size=segment_size,
+                    gather_bytes=gather_of(nbytes),
+                    seed=base + 7919 * rep,
+                )
+            )
+    return batch
 
 
 @dataclass(frozen=True)
@@ -92,6 +130,8 @@ def estimate_alpha_beta(
     precision: float = 0.025,
     max_reps: int = 30,
     seed: int = 0,
+    runner: ParallelRunner | None = None,
+    prefetch: bool = True,
 ) -> AlphaBeta:
     """Fit α and β for ``model.algorithm`` on ``spec`` (paper §4.2).
 
@@ -99,6 +139,9 @@ def estimate_alpha_beta(
     larger numbers of nodes in the experiments will not change the
     estimation").  ``gather_bytes`` may be a constant or a function of the
     broadcast size ``m`` (the paper varies ``m_g`` with the experiment).
+    Simulations run through ``runner`` (default: the process-wide runner);
+    ``prefetch=False`` skips the warm-up batch when the caller has already
+    prefetched a larger one.
     """
     if procs is None:
         procs = max(2, spec.max_procs // 2)
@@ -110,6 +153,19 @@ def estimate_alpha_beta(
         raise EstimationError("need at least two message sizes to fit a line")
     fit_fn = get_regressor(regressor)
     gather_of = gather_bytes if callable(gather_bytes) else (lambda _m: gather_bytes)
+    runner = runner if runner is not None else default_runner()
+    if prefetch:
+        runner.prefetch(
+            alphabeta_prefetch_jobs(
+                spec,
+                model.algorithm,
+                procs=procs,
+                sizes=sizes,
+                segment_size=segment_size,
+                gather_bytes=gather_bytes,
+                seed=seed,
+            )
+        )
 
     xs: list[float] = []
     ys: list[float] = []
@@ -126,14 +182,17 @@ def estimate_alpha_beta(
         def measure_once(
             rep_seed: int, nbytes: int = nbytes, m_g: int = m_g
         ) -> float:
-            return time_bcast_then_gather(
-                spec,
-                model.algorithm,
-                procs,
-                nbytes,
-                segment_size,
-                m_g,
-                seed=rep_seed,
+            return runner.run_one(
+                SimJob(
+                    spec=spec,
+                    kind="bcast_then_gather",
+                    procs=procs,
+                    algorithm=model.algorithm,
+                    nbytes=nbytes,
+                    segment_size=segment_size,
+                    gather_bytes=m_g,
+                    seed=rep_seed,
+                )
             )
 
         sample = adaptive_measure(

@@ -32,7 +32,8 @@ from dataclasses import dataclass
 from repro.clusters.spec import ClusterSpec
 from repro.errors import EstimationError
 from repro.estimation.statistics import SampleStats, adaptive_measure
-from repro.measure import time_bcast, time_repeated_bcast_with_barriers
+from repro.exec.job import SimJob
+from repro.exec.runner import ParallelRunner, default_runner
 from repro.models.gamma import GammaFunction
 from repro.units import KiB
 
@@ -43,6 +44,71 @@ DEFAULT_SEGMENT_SIZE = 8 * KiB
 DEFAULT_MAX_PROCS = 7
 
 METHODS = ("direct", "paper")
+
+
+def _gamma_job(
+    spec: ClusterSpec,
+    method: str,
+    procs: int,
+    segment_size: int,
+    calls: int,
+    mapping: str,
+    rep_seed: int,
+) -> SimJob:
+    """The simulation job behind one γ repetition."""
+    if method == "direct":
+        return SimJob(
+            spec=spec,
+            kind="bcast",
+            procs=procs,
+            algorithm="linear",
+            nbytes=segment_size,
+            segment_size=0,
+            seed=rep_seed,
+            policy="global",
+            mapping=mapping,
+        )
+    return SimJob(
+        spec=spec,
+        kind="bcast_barrier_reps",
+        procs=procs,
+        algorithm="linear",
+        nbytes=segment_size,
+        segment_size=0,
+        calls=calls,
+        seed=rep_seed,
+        mapping=mapping,
+    )
+
+
+def gamma_prefetch_jobs(
+    spec: ClusterSpec,
+    *,
+    segment_size: int = DEFAULT_SEGMENT_SIZE,
+    max_procs: int = DEFAULT_MAX_PROCS,
+    method: str = "direct",
+    calls: int = 10,
+    seed: int = 0,
+    mapping: str = "spread",
+    reps: int = 2,
+) -> list[SimJob]:
+    """The first ``reps`` repetitions of every γ measurement, as jobs.
+
+    Enumerates exactly the seeds the adaptive loop in
+    :func:`estimate_gamma` will request, so prefetching these through a
+    runner makes the loop replay from the memo.
+    """
+    batch: list[SimJob] = []
+    for procs in range(2, max_procs + 1):
+        base = seed + 1_000_003 * procs
+        for rep in range(reps):
+            batch.append(
+                _gamma_job(
+                    spec, method, procs, segment_size, calls, mapping,
+                    base + 7919 * rep,
+                )
+            )
+    return batch
 
 
 @dataclass(frozen=True)
@@ -74,10 +140,15 @@ def estimate_gamma(
     max_reps: int = 30,
     seed: int = 0,
     mapping: str = "spread",
+    runner: ParallelRunner | None = None,
+    prefetch: bool = True,
 ) -> GammaEstimate:
     """Measure γ(P) for ``P = 2..max_procs`` on ``spec``.
 
     ``calls`` is the paper's ``N`` (only used by the ``"paper"`` method).
+    Simulations run through ``runner`` (default: the process-wide runner);
+    ``prefetch=False`` skips the warm-up batch when the caller has already
+    prefetched a larger one.
     """
     if method not in METHODS:
         raise EstimationError(f"unknown gamma method {method!r}; use {METHODS}")
@@ -88,37 +159,30 @@ def estimate_gamma(
             f"{spec.name} hosts at most {spec.max_procs} processes, "
             f"cannot measure gamma({max_procs})"
         )
+    runner = runner if runner is not None else default_runner()
+    if prefetch:
+        runner.prefetch(
+            gamma_prefetch_jobs(
+                spec,
+                segment_size=segment_size,
+                max_procs=max_procs,
+                method=method,
+                calls=calls,
+                seed=seed,
+                mapping=mapping,
+            )
+        )
 
     stats: dict[int, SampleStats] = {}
     for procs in range(2, max_procs + 1):
-        if method == "direct":
 
-            def measure_once(rep_seed: int, procs: int = procs) -> float:
-                return time_bcast(
-                    spec,
-                    "linear",
-                    procs,
-                    segment_size,
-                    0,
-                    seed=rep_seed,
-                    policy="global",
-                    mapping=mapping,
+        def measure_once(rep_seed: int, procs: int = procs) -> float:
+            total = runner.run_one(
+                _gamma_job(
+                    spec, method, procs, segment_size, calls, mapping, rep_seed
                 )
-
-        else:
-
-            def measure_once(rep_seed: int, procs: int = procs) -> float:
-                total = time_repeated_bcast_with_barriers(
-                    spec,
-                    "linear",
-                    procs,
-                    segment_size,
-                    0,
-                    calls,
-                    seed=rep_seed,
-                    mapping=mapping,
-                )
-                return total / calls
+            )
+            return total / calls if method == "paper" else total
 
         stats[procs] = adaptive_measure(
             measure_once,

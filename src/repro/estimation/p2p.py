@@ -18,12 +18,42 @@ from repro.clusters.spec import ClusterSpec
 from repro.errors import EstimationError
 from repro.estimation.regression import FitResult, get_regressor
 from repro.estimation.statistics import SampleStats, adaptive_measure
-from repro.measure import time_p2p_roundtrip
+from repro.exec.job import SimJob
+from repro.exec.runner import ParallelRunner, default_runner
 from repro.models.hockney import HockneyParams
 from repro.units import KiB, MiB, log_spaced_sizes
 
 #: Default ping-pong sweep (same range as the broadcast experiments).
 DEFAULT_P2P_SIZES = tuple(log_spaced_sizes(8 * KiB, 4 * MiB, 10))
+
+
+def _p2p_job(spec: ClusterSpec, nbytes: int, rep_seed: int) -> SimJob:
+    # time_p2p_roundtrip defaults to spread mapping; mirror it here so the
+    # job fingerprints the experiment actually run.
+    return SimJob(
+        spec=spec,
+        kind="p2p_roundtrip",
+        procs=2,
+        nbytes=nbytes,
+        seed=rep_seed,
+        mapping="spread",
+    )
+
+
+def p2p_prefetch_jobs(
+    spec: ClusterSpec,
+    *,
+    sizes: Sequence[int] = DEFAULT_P2P_SIZES,
+    seed: int = 0,
+    reps: int = 2,
+) -> list[SimJob]:
+    """The first ``reps`` repetitions of the ping-pong sweep, as jobs."""
+    batch: list[SimJob] = []
+    for index, nbytes in enumerate(sizes):
+        base = seed + 15_485_863 * (index + 1)
+        for rep in range(reps):
+            batch.append(_p2p_job(spec, nbytes, base + 7919 * rep))
+    return batch
 
 
 @dataclass(frozen=True)
@@ -52,16 +82,21 @@ def estimate_hockney_p2p(
     precision: float = 0.025,
     max_reps: int = 30,
     seed: int = 0,
+    runner: ParallelRunner | None = None,
+    prefetch: bool = True,
 ) -> P2pEstimate:
     """Fit Hockney α/β from ping-pong experiments between two ranks."""
     if len(sizes) < 2:
         raise EstimationError("need at least two message sizes to fit a line")
     fit_fn = get_regressor(regressor)
+    runner = runner if runner is not None else default_runner()
+    if prefetch:
+        runner.prefetch(p2p_prefetch_jobs(spec, sizes=sizes, seed=seed))
     stats: list[SampleStats] = []
     for index, nbytes in enumerate(sizes):
 
         def measure_once(rep_seed: int, nbytes: int = nbytes) -> float:
-            return time_p2p_roundtrip(spec, nbytes, seed=rep_seed)
+            return runner.run_one(_p2p_job(spec, nbytes, rep_seed))
 
         stats.append(
             adaptive_measure(

@@ -31,6 +31,7 @@ from repro.estimation.alphabeta import (
     DEFAULT_GATHER_BYTES,
     DEFAULT_SIZES,
     AlphaBeta,
+    alphabeta_prefetch_jobs,
     estimate_alpha_beta,
 )
 from repro.estimation.gamma import (
@@ -38,8 +39,14 @@ from repro.estimation.gamma import (
     DEFAULT_SEGMENT_SIZE,
     GammaEstimate,
     estimate_gamma,
+    gamma_prefetch_jobs,
 )
-from repro.estimation.p2p import P2pEstimate, estimate_hockney_p2p
+from repro.estimation.p2p import (
+    P2pEstimate,
+    estimate_hockney_p2p,
+    p2p_prefetch_jobs,
+)
+from repro.exec.runner import ParallelRunner, default_runner
 from repro.models.base import BcastModel
 from repro.models.derived import DERIVED_BCAST_MODELS
 from repro.models.gamma import GammaFunction
@@ -203,6 +210,7 @@ def calibrate_platform(
     precision: float = 0.025,
     max_reps: int = 30,
     seed: int = 0,
+    runner: ParallelRunner | None = None,
 ) -> CalibrationResult:
     """Run the paper's full calibration procedure on ``spec``.
 
@@ -210,6 +218,12 @@ def calibrate_platform(
     then per-algorithm α/β from broadcast+gather experiments fitted by
     Huber regression.  ``estimation="p2p"`` replaces step 2 with one
     ping-pong fit shared by all algorithms (the ablation baseline).
+
+    All simulations route through ``runner`` (default: the process-wide
+    runner).  The *entire* experiment schedule — γ plus every algorithm's
+    sweep — is prefetched as one batch up front, so with a parallel runner
+    the whole calibration's simulations run concurrently and the serial
+    estimation stages replay from the memo.
     """
     if estimation not in ESTIMATION_METHODS:
         raise EstimationError(
@@ -225,6 +239,30 @@ def calibrate_platform(
             name for name in family if name in PAPER_BCAST_ALGORITHMS
         )
 
+    runner = runner if runner is not None else default_runner()
+    batch = gamma_prefetch_jobs(
+        spec,
+        segment_size=segment_size,
+        max_procs=gamma_max_procs,
+        method=gamma_method,
+        seed=seed,
+    )
+    if estimation == "p2p":
+        batch += p2p_prefetch_jobs(spec, sizes=sizes, seed=seed)
+    else:
+        ab_procs = procs if procs is not None else max(2, spec.max_procs // 2)
+        for index, name in enumerate(algorithms):
+            batch += alphabeta_prefetch_jobs(
+                spec,
+                name,
+                procs=ab_procs,
+                sizes=sizes,
+                segment_size=segment_size,
+                gather_bytes=gather_bytes,
+                seed=seed + 2_000_017 * (index + 1),
+            )
+    runner.prefetch(batch)
+
     gamma_estimate = estimate_gamma(
         spec,
         segment_size=segment_size,
@@ -233,6 +271,8 @@ def calibrate_platform(
         precision=precision,
         max_reps=max_reps,
         seed=seed,
+        runner=runner,
+        prefetch=False,
     )
     gamma = gamma_estimate.function()
 
@@ -248,6 +288,8 @@ def calibrate_platform(
             precision=precision,
             max_reps=max_reps,
             seed=seed,
+            runner=runner,
+            prefetch=False,
         )
         parameters = {name: p2p_estimate.params for name in algorithms}
     else:
@@ -264,6 +306,8 @@ def calibrate_platform(
                 precision=precision,
                 max_reps=max_reps,
                 seed=seed + 2_000_017 * (index + 1),
+                runner=runner,
+                prefetch=False,
             )
             alpha_beta[name] = estimate
             parameters[name] = estimate.params

@@ -1,0 +1,213 @@
+"""Persistent, content-addressed cache of simulation results.
+
+Layout: one JSON-lines file per schema version, ``results-v1.jsonl``, in the
+cache directory (default ``~/.cache/repro``, overridable with the CLI's
+``--cache-dir`` or ``REPRO_CACHE_DIR``).  The first line is a header
+recording the schema version and a *code salt* — a hash of every source
+file whose behaviour can change a simulated time (the simulator substrate,
+the MPI layer, the collectives, the topologies, the platform presets and
+the experiment programs).  Each following line is one ``{"k": ..., "v": ...}``
+entry keyed by :meth:`repro.exec.job.SimJob.fingerprint`.
+
+Invalidation rules (documented in docs/PERFORMANCE.md):
+
+* **Platform change** — the job fingerprint embeds
+  :meth:`ClusterSpec.fingerprint`, so results for a modified platform are
+  simply new keys; old entries stay valid for the old platform.
+* **Code change** — when any salted source file changes, the header salt no
+  longer matches and the whole file is dropped (counted in
+  ``stats.invalidated``) before new results are written.
+* **Corruption** — unparseable lines are skipped and counted; the cache
+  never propagates a bad value.
+
+Writes are append-only single lines, flushed immediately, so concurrent
+readers of a live cache see a prefix of it and never a torn JSON document.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import CacheError
+
+#: Bump to force a global invalidation on cache format changes.
+CACHE_SCHEMA = 1
+
+#: Sub-packages / modules of ``repro`` whose code determines simulated times.
+_SALTED_SOURCES = (
+    "sim",
+    "mpi",
+    "topology",
+    "collectives",
+    "clusters",
+    "measure.py",
+    "units.py",
+)
+
+_code_salt: str | None = None
+
+
+def code_salt() -> str:
+    """Hash of the simulation-relevant source files (computed once).
+
+    Any edit to the simulator, the MPI layer, a collective algorithm, a
+    topology builder, a preset or an experiment program changes this salt
+    and therefore invalidates every cached result.
+    """
+    global _code_salt
+    if _code_salt is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for entry in _SALTED_SOURCES:
+            path = package_root / entry
+            files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+            for source in files:
+                digest.update(source.name.encode())
+                digest.update(source.read_bytes())
+        _code_salt = digest.hexdigest()
+    return _code_salt
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+@dataclass
+class CacheStats:
+    """Counters of one :class:`ResultCache` instance's activity."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Entries loaded from disk at open time.
+    loaded: int = 0
+    #: Entries dropped at open time (stale salt or unparseable lines).
+    invalidated: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "loaded": self.loaded,
+            "invalidated": self.invalidated,
+        }
+
+
+class ResultCache:
+    """A persistent ``fingerprint -> simulated seconds`` store."""
+
+    def __init__(self, directory: str | Path | None = None):
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.path = self.directory / f"results-v{CACHE_SCHEMA}.jsonl"
+        self.stats = CacheStats()
+        self._entries: dict[str, float] = {}
+        self._handle = None
+        self._load()
+
+    # -- persistence -------------------------------------------------------
+
+    def _load(self) -> None:
+        salt = code_salt()
+        stale = 0
+        if self.path.exists():
+            try:
+                handle = open(self.path, "r", encoding="utf-8")
+            except OSError as error:
+                raise CacheError(
+                    f"cannot read result cache at {self.path}: {error}"
+                ) from error
+            with handle:
+                header_line = handle.readline()
+                try:
+                    header = json.loads(header_line) if header_line else {}
+                except json.JSONDecodeError:
+                    header = {}
+                fresh = (
+                    header.get("schema") == CACHE_SCHEMA
+                    and header.get("salt") == salt
+                )
+                for line in handle:
+                    if not fresh:
+                        stale += 1
+                        continue
+                    try:
+                        entry = json.loads(line)
+                        self._entries[entry["k"]] = float(entry["v"])
+                    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                        self.stats.invalidated += 1
+                if not fresh:
+                    self.stats.invalidated += stale
+        self.stats.loaded = len(self._entries)
+        if stale or not self.path.exists():
+            self._rewrite(salt)
+
+    def _rewrite(self, salt: str) -> None:
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "w", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps({"schema": CACHE_SCHEMA, "salt": salt}) + "\n"
+                )
+                for key, value in self._entries.items():
+                    handle.write(json.dumps({"k": key, "v": value}) + "\n")
+        except OSError as error:
+            raise CacheError(
+                f"cannot write result cache at {self.path}: {error}"
+            ) from error
+
+    def _append(self, key: str, value: float) -> None:
+        if self._handle is None:
+            try:
+                self.directory.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            except OSError as error:
+                raise CacheError(
+                    f"cannot write result cache at {self.path}: {error}"
+                ) from error
+        self._handle.write(json.dumps({"k": key, "v": value}) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and release the append handle (safe to call repeatedly)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- store interface ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> float | None:
+        """The cached result for ``key``, or ``None`` (counted hit/miss)."""
+        value = self._entries.get(key)
+        if value is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: float) -> None:
+        """Store ``key -> value``, appending to the persistent file."""
+        if key in self._entries:
+            return
+        self._entries[key] = value
+        self.stats.stores += 1
+        self._append(key, value)
+
+    def clear(self) -> None:
+        """Drop every entry, in memory and on disk."""
+        self.close()
+        self._entries.clear()
+        self._rewrite(code_salt())

@@ -1,0 +1,207 @@
+"""Parallel execution of simulation jobs with layered caching.
+
+A :class:`ParallelRunner` takes batches of :class:`~repro.exec.job.SimJob`
+and returns their results *in batch order*.  Resolution is layered:
+
+1. **in-process memo** — every result this runner has ever produced,
+   keyed by job fingerprint (always on; this is what makes *prefetching*
+   work even with the persistent cache disabled);
+2. **persistent cache** — the cross-process, cross-session
+   :class:`~repro.exec.cache.ResultCache`, if configured;
+3. **execution** — remaining jobs run through
+   :func:`~repro.exec.job.execute_job`, either serially or on a
+   ``ProcessPoolExecutor`` with chunked dispatch.
+
+Determinism: simulations are seeded and share no state, worker dispatch
+preserves batch order (``Executor.map``), and a worker computes exactly the
+float the parent would — so results are bit-for-bit identical for any
+``jobs`` value, warm or cold cache.  Tests assert this
+(``tests/test_exec.py``).
+
+The typical access pattern is *prefetch then replay*: a hot caller submits
+the first repetitions of every measurement in its sweep as one parallel
+batch, then runs its (inherently sequential) adaptive-measurement loop,
+which finds each simulation already memoised.  Adaptive loops that need
+more repetitions than were prefetched fall through to serial execution of
+just the extra repetitions — semantics identical to the fully serial path.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.job import SimJob, execute_job
+
+
+@dataclass
+class ExecStats:
+    """Counters of one runner's activity.
+
+    ``simulations`` counts actual simulator executions; a fully warm rerun
+    of a benchmark shows ``simulations == 0``.
+    """
+
+    simulations: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+    batches: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "simulations": self.simulations,
+            "memo_hits": self.memo_hits,
+            "cache_hits": self.cache_hits,
+            "batches": self.batches,
+        }
+
+
+def cpu_count() -> int:
+    """Usable CPU count (respects affinity masks where available)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class ParallelRunner:
+    """Executes simulation jobs across processes, memoising every result.
+
+    ``jobs`` is the worker-process count: 1 (the default) executes inline
+    with no pool; ``0`` or ``None`` means "all cores".  The pool is created
+    lazily on the first parallel batch and reused across batches.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        cache: ResultCache | None = None,
+    ):
+        self.jobs = cpu_count() if not jobs else max(1, int(jobs))
+        self.cache = cache
+        self.stats = ExecStats()
+        self._memo: dict[str, float] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        atexit.register(self.close)
+
+    def close(self) -> None:
+        """Shut the worker pool down and release the cache handle."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        if self.cache is not None:
+            self.cache.close()
+
+    # -- execution ---------------------------------------------------------
+
+    def _execute_batch(self, jobs: list[SimJob]) -> list[float]:
+        if self.jobs == 1 or len(jobs) == 1:
+            return [execute_job(job) for job in jobs]
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        # Chunked dispatch: ship several jobs per IPC round trip, but keep
+        # enough chunks in flight (~4 per worker) that an unlucky chunk of
+        # heavy jobs cannot serialise the tail of the batch.
+        chunksize = max(1, len(jobs) // (self.jobs * 4))
+        return list(self._pool.map(execute_job, jobs, chunksize=chunksize))
+
+    def run(self, batch: Sequence[SimJob]) -> list[float]:
+        """Results of ``batch``, in order; simulates only unseen jobs."""
+        self.stats.batches += 1
+        results: list[float | None] = [None] * len(batch)
+        pending: list[tuple[int, SimJob, str]] = []
+        for index, job in enumerate(batch):
+            key = job.fingerprint()
+            value = self._memo.get(key)
+            if value is not None:
+                self.stats.memo_hits += 1
+                results[index] = value
+                continue
+            if self.cache is not None:
+                value = self.cache.get(key)
+                if value is not None:
+                    self.stats.cache_hits += 1
+                    self._memo[key] = value
+                    results[index] = value
+                    continue
+            pending.append((index, job, key))
+        if pending:
+            outcomes = self._execute_batch([job for _, job, _ in pending])
+            for (index, _job, key), value in zip(pending, outcomes):
+                self.stats.simulations += 1
+                self._memo[key] = value
+                if self.cache is not None:
+                    self.cache.put(key, value)
+                results[index] = value
+        return results  # type: ignore[return-value]
+
+    def run_one(self, job: SimJob) -> float:
+        """Result of a single job (memo -> cache -> execute)."""
+        return self.run([job])[0]
+
+    def prefetch(self, batch: Sequence[SimJob]) -> None:
+        """Warm the memo (and cache) with ``batch``, in parallel.
+
+        Duplicate fingerprints inside ``batch`` are collapsed before
+        dispatch, so callers can enumerate naively.
+        """
+        unique: dict[str, SimJob] = {}
+        for job in batch:
+            unique.setdefault(job.fingerprint(), job)
+        self.run(list(unique.values()))
+
+
+# -- process-wide default runner ------------------------------------------
+
+_default_runner: ParallelRunner | None = None
+
+
+def configure(
+    jobs: int | None = 1,
+    cache: bool = False,
+    cache_dir: str | None = None,
+) -> ParallelRunner:
+    """Install (and return) the process-wide default runner.
+
+    Called by the CLI's ``--jobs`` / ``--no-cache`` / ``--cache-dir`` flags;
+    library users can call it directly or pass explicit ``runner=`` objects
+    to the hot callers instead.
+    """
+    global _default_runner
+    if _default_runner is not None:
+        _default_runner.close()
+    _default_runner = ParallelRunner(
+        jobs=jobs, cache=ResultCache(cache_dir) if cache else None
+    )
+    return _default_runner
+
+
+def default_runner() -> ParallelRunner:
+    """The process-wide runner, built from the environment on first use.
+
+    ``REPRO_JOBS`` (int; 0 = all cores) and ``REPRO_CACHE`` (non-empty,
+    non-"0" enables the persistent cache at ``REPRO_CACHE_DIR`` or the
+    default location) configure it without code changes.  The zero-config
+    default is serial execution with in-process memoisation only — exactly
+    the seed behaviour.
+    """
+    global _default_runner
+    if _default_runner is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+        cache_on = os.environ.get("REPRO_CACHE", "") not in ("", "0")
+        _default_runner = ParallelRunner(
+            jobs=jobs, cache=ResultCache() if cache_on else None
+        )
+    return _default_runner
+
+
+def reset_default_runner() -> None:
+    """Tear down the default runner (tests; re-created on next use)."""
+    global _default_runner
+    if _default_runner is not None:
+        _default_runner.close()
+        _default_runner = None

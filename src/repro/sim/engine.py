@@ -93,6 +93,19 @@ class Future:
             self._callbacks = []
         self._callbacks.append(callback)
 
+    def remove_done_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Detach a pending ``callback``; a no-op if it is not registered.
+
+        Combinators use this to drop their completion hooks from losing
+        futures, so a long-lived future does not accumulate one dead
+        callback per ``any_of``/``waitany`` it ever participated in.
+        """
+        if self._callbacks is not None:
+            try:
+                self._callbacks.remove(callback)
+            except ValueError:
+                pass
+
 
 class Process(Future):
     """A running coroutine; completes with the generator's return value.
@@ -101,14 +114,21 @@ class Process(Future):
     another process to wait for its completion (fork/join).
     """
 
-    __slots__ = ("name", "_generator")
+    __slots__ = ("name", "_generator", "_resume_cb")
 
     def __init__(self, sim: "Simulator", generator: SimGen, name: str):
         super().__init__(sim)
         self.name = name
         self._generator = generator
+        # One reusable bound method: _step suspends tens of thousands of
+        # times per simulation, and ``self._resume`` would allocate a fresh
+        # bound-method object at each suspension.
+        self._resume_cb = self._resume
         sim._live_processes[id(self)] = self
-        sim._schedule_at(sim.now, lambda: self._step(None, None))
+        sim._schedule_at(sim.now, self._start)
+
+    def _start(self) -> None:
+        self._step(None, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done else "running"
@@ -119,12 +139,13 @@ class Process(Future):
         super()._finish(value, exception)
 
     def _step(self, send_value: Any, throw_exc: BaseException | None) -> None:
+        generator = self._generator
         while True:
             try:
                 if throw_exc is not None:
-                    target = self._generator.throw(throw_exc)
+                    target = generator.throw(throw_exc)
                 else:
-                    target = self._generator.send(send_value)
+                    target = generator.send(send_value)
             except StopIteration as stop:
                 self.succeed(stop.value)
                 return
@@ -145,7 +166,7 @@ class Process(Future):
                 throw_exc = target._exception
                 send_value = None if throw_exc is not None else target._value
                 continue
-            target.add_done_callback(self._resume)
+            target.add_done_callback(self._resume_cb)
             return
 
     def _resume(self, future: Future) -> None:
@@ -156,11 +177,18 @@ class Process(Future):
 
 
 class Simulator:
-    """The event loop: a clock plus a priority queue of callbacks."""
+    """The event loop: a clock plus a priority queue of events.
+
+    Heap entries are ``(when, seq, future, payload)`` tuples: when ``future``
+    is ``None`` the payload is a zero-argument callback to invoke; otherwise
+    the future is completed with the payload as its value.  Scheduling a
+    future directly (the ``timeout``/``at`` hot path — one per simulated
+    send, receive and compute call) avoids allocating a closure per event.
+    """
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, Future | None, Any]] = []
         self._sequence = 0
         self._live_processes: dict[int, Process] = {}
         self.events_processed = 0
@@ -173,7 +201,15 @@ class Simulator:
                 f"cannot schedule into the past: {when} < now={self.now}"
             )
         self._sequence += 1
-        heapq.heappush(self._heap, (when, self._sequence, callback))
+        heapq.heappush(self._heap, (when, self._sequence, None, callback))
+
+    def _schedule_future(self, when: float, future: Future, value: Any) -> None:
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past: {when} < now={self.now}"
+            )
+        self._sequence += 1
+        heapq.heappush(self._heap, (when, self._sequence, future, value))
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback()`` after ``delay`` simulated seconds."""
@@ -183,8 +219,10 @@ class Simulator:
 
     def timeout(self, delay: float, value: Any = None) -> Future:
         """A future that completes ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
         future = Future(self)
-        self.schedule(delay, lambda: future.succeed(value))
+        self._schedule_future(self.now + delay, future, value)
         return future
 
     def at(self, when: float, value: Any = None) -> Future:
@@ -194,7 +232,7 @@ class Simulator:
         (useful for "data was already delivered" completions).
         """
         future = Future(self)
-        self._schedule_at(max(when, self.now), lambda: future.succeed(value))
+        self._schedule_future(max(when, self.now), future, value)
         return future
 
     def process(self, generator: SimGen, name: str | None = None) -> Process:
@@ -224,6 +262,11 @@ class Simulator:
                 return
             if _completed._exception is not None:
                 result.fail(_completed._exception)
+                # Detach from the still-pending futures so they do not keep
+                # a dead callback alive for the rest of the simulation.
+                for future in futures:
+                    if not future._done:
+                        future.remove_done_callback(on_done)
                 return
             remaining -= 1
             if remaining == 0:
@@ -242,6 +285,7 @@ class Simulator:
         if not futures:
             raise SimulationError("any_of requires at least one future")
         result = Future(self)
+        callbacks: list[Callable[[Future], None]] = []
 
         def make_callback(index: int) -> Callable[[Future], None]:
             def on_done(completed: Future) -> None:
@@ -251,11 +295,19 @@ class Simulator:
                     result.fail(completed._exception)
                 else:
                     result.succeed((index, completed._value))
+                # The race is decided: detach from every losing future, so
+                # repeated waitany over long-lived requests does not grow
+                # their callback lists without bound.
+                for future, callback in zip(futures, callbacks):
+                    if not future._done:
+                        future.remove_done_callback(callback)
 
             return on_done
 
         for i, future in enumerate(futures):
-            future.add_done_callback(make_callback(i))
+            callback = make_callback(i)
+            callbacks.append(callback)
+            future.add_done_callback(callback)
         return result
 
     # -- execution -------------------------------------------------------
@@ -267,17 +319,21 @@ class Simulator:
         are still blocked — the simulated analogue of a hung MPI job.
         """
         heap = self._heap
+        heappop = heapq.heappop
         while heap:
-            when, _seq, callback = heap[0]
+            when, _seq, future, payload = heap[0]
             if until is not None and when > until:
                 self.now = until
                 return
-            heapq.heappop(heap)
+            heappop(heap)
             self.now = when
             self.events_processed += 1
             if max_events is not None and self.events_processed > max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")
-            callback()
+            if future is None:
+                payload()
+            else:
+                future.succeed(payload)
         if until is None and self._live_processes:
             raise DeadlockError([p.name for p in self._live_processes.values()])
         if until is not None and self.now < until:

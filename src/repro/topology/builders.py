@@ -3,9 +3,17 @@
 All builders shift ranks so the construction sees the root as virtual rank 0
 (``vrank = (rank - root) mod size``), exactly as Open MPI does, then express
 the result in actual ranks.
+
+Builders are memoised: :class:`Tree` is immutable and every rank of a
+simulated collective builds the same tree (as does every repetition of a
+measurement), so a P-rank broadcast would otherwise construct and validate
+P identical trees per run — a dominant cost in profiles of Table 3-scale
+sweeps.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 from repro.errors import TopologyError
 from repro.topology.tree import Tree, tree_from_children
@@ -22,6 +30,7 @@ def _actual(vrank: int, root: int, size: int) -> int:
     return (vrank + root) % size
 
 
+@lru_cache(maxsize=512)
 def build_kary_tree(fanout: int, size: int, root: int = 0) -> Tree:
     """Complete k-ary tree filled level by level (``topo_build_tree``).
 
@@ -49,6 +58,7 @@ def build_binary_tree(size: int, root: int = 0) -> Tree:
     return build_kary_tree(2, size, root)
 
 
+@lru_cache(maxsize=512)
 def build_binomial_tree(size: int, root: int = 0) -> Tree:
     """Balanced binomial tree (``topo_build_bmtree``), paper Fig. 2.
 
@@ -74,6 +84,7 @@ def build_binomial_tree(size: int, root: int = 0) -> Tree:
     return tree_from_children(root, size, children_map)
 
 
+@lru_cache(maxsize=512)
 def build_in_order_binomial_tree(size: int, root: int = 0) -> Tree:
     """Binomial tree with children in decreasing-subtree order.
 
@@ -89,6 +100,7 @@ def build_in_order_binomial_tree(size: int, root: int = 0) -> Tree:
     return tree
 
 
+@lru_cache(maxsize=512)
 def build_chain_tree(size: int, root: int = 0, chains: int = 1) -> Tree:
     """``chains`` pipelines hanging off the root (``topo_build_chain``).
 

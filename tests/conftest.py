@@ -13,6 +13,16 @@ from repro.estimation.workflow import CalibrationResult, calibrate_platform
 from repro.units import KiB, MiB, log_spaced_sizes
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Keep CLI-enabled persistent caches out of the user's ~/.cache."""
+    import os
+
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    os.environ.pop("REPRO_CACHE_DIR", None)
+
+
 @pytest.fixture(scope="session")
 def mini():
     """The deterministic 16-node test cluster."""

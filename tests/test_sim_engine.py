@@ -214,6 +214,36 @@ class TestCombinators:
         with pytest.raises(ValueError):
             _ = combined.value
 
+    def test_any_of_detaches_callbacks_from_losers(self):
+        # Regression: any_of used to leave its callback on every losing
+        # future, so a rank repeatedly racing the same long-lived futures
+        # (e.g. a timeout against a receive) accumulated one dead callback
+        # per call — an unbounded leak on the simulation hot path.
+        sim = Simulator()
+        losers = [Future(sim) for _ in range(3)]
+        winner = sim.timeout(1.0)
+        sim.any_of([winner] + losers)
+        sim.run(until=2)
+        assert all(not loser._callbacks for loser in losers)
+
+    def test_any_of_losers_can_still_complete(self):
+        sim = Simulator()
+        loser = Future(sim)
+        combined = sim.any_of([sim.timeout(1.0), loser])
+        sim.run(until=2)
+        assert combined.value[0] == 0
+        loser.succeed("late")  # no stale callback fires, no error
+        assert loser.value == "late"
+
+    def test_all_of_failure_detaches_from_pending(self):
+        sim = Simulator()
+        bad = Future(sim)
+        pending = Future(sim)
+        combined = sim.all_of([pending, bad])
+        bad.fail(ValueError("nope"))
+        assert combined.done
+        assert not pending._callbacks
+
 
 class TestDeadlockDetection:
     def test_blocked_process_raises_deadlock(self):
