@@ -1,0 +1,304 @@
+"""Load-test the selection service; append results to BENCH_service.json.
+
+The harness builds a selection artifact (quick: MINICLUSTER calibration;
+``--full``: noise-free Gros at paper scale), starts the asyncio HTTP
+server in a background thread, and drives it with concurrent keep-alive
+clients issuing a seeded mix of single and batched ``POST /select``
+requests.  It then:
+
+1. verifies every served selection is **bit-identical** to an offline
+   ``DecisionTable.select`` on the same artifact;
+2. computes client-side latency percentiles and asserts
+   **p99 < 50 ms** over **>= 1000 queries** (the ISSUE 2 acceptance
+   criterion);
+3. scrapes ``/metrics`` and records the server-side counters alongside.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_service_bench.py
+    PYTHONPATH=src python benchmarks/run_service_bench.py --clients 16
+    PYTHONPATH=src python benchmarks/run_service_bench.py --full
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import threading
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.clusters import GROS, MINICLUSTER  # noqa: E402
+from repro.exec import ParallelRunner, cpu_count  # noqa: E402
+from repro.service import (  # noqa: E402
+    ArtifactRegistry,
+    SelectionService,
+    ServiceThread,
+    build_artifact,
+)
+from repro.units import KiB, MiB, log_spaced_sizes  # noqa: E402
+
+#: Latency budget of the acceptance criterion (seconds).
+P99_BUDGET = 0.050
+
+BATCH_SIZE = 16
+BATCH_EVERY = 5  # every 5th request is a batch of BATCH_SIZE queries
+
+
+def build_bench_artifact(full: bool, jobs: int):
+    if full:
+        spec = GROS.with_noise(0.0)
+        kwargs = dict(procs=62, gamma_max_procs=7, max_reps=8)
+        grid = dict(size_points=log_spaced_sizes(8 * KiB, 4 * MiB, 10))
+    else:
+        spec = MINICLUSTER
+        sizes = log_spaced_sizes(8 * KiB, 1 * MiB, 6)
+        kwargs = dict(procs=8, gamma_max_procs=5, max_reps=3, sizes=sizes)
+        grid = dict(proc_points=range(2, 17, 2), size_points=sizes)
+    runner = ParallelRunner(jobs=jobs)
+    try:
+        artifact = build_artifact(spec, runner=runner, **kwargs, **grid)
+    finally:
+        runner.close()
+    return spec, artifact
+
+
+def make_queries(artifact, count: int, seed: int) -> list[dict]:
+    """A seeded mix of on-grid and off-grid (cluster, P, m) queries."""
+    rng = random.Random(seed)
+    entry = artifact.entries["bcast"]
+    procs_max = entry.table.proc_points[-1]
+    size_max = entry.table.size_points[-1]
+    queries = []
+    for _ in range(count):
+        if rng.random() < 0.5:  # on-grid point
+            procs = rng.choice(entry.table.proc_points)
+            nbytes = rng.choice(entry.table.size_points)
+        else:  # off-grid point, exercises floor semantics
+            procs = rng.randint(2, procs_max)
+            nbytes = rng.randint(1, size_max * 2)
+        queries.append(
+            {
+                "cluster": artifact.cluster,
+                "operation": "bcast",
+                "procs": procs,
+                "nbytes": nbytes,
+            }
+        )
+    return queries
+
+
+class ClientWorker(threading.Thread):
+    """One keep-alive client issuing a share of the query stream."""
+
+    def __init__(self, port: int, queries: list[dict]):
+        super().__init__(daemon=True)
+        self.port = port
+        self.queries = queries
+        self.latencies: list[float] = []
+        self.responses: list[tuple[dict, dict]] = []  # (query, result)
+        self.error: BaseException | None = None
+
+    def run(self) -> None:
+        try:
+            conn = HTTPConnection("127.0.0.1", self.port)
+            index = 0
+            request = 0
+            while index < len(self.queries):
+                if request % BATCH_EVERY == BATCH_EVERY - 1:
+                    chunk = self.queries[index:index + BATCH_SIZE]
+                    body = json.dumps({"queries": chunk})
+                else:
+                    chunk = self.queries[index:index + 1]
+                    body = json.dumps(chunk[0])
+                index += len(chunk)
+                request += 1
+                started = time.perf_counter()
+                conn.request(
+                    "POST", "/select", body,
+                    {"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+                self.latencies.append(time.perf_counter() - started)
+                if response.status != 200:
+                    raise RuntimeError(f"HTTP {response.status}: {payload}")
+                results = (
+                    payload["results"] if "results" in payload else [payload]
+                )
+                self.responses.extend(zip(chunk, results))
+            conn.close()
+        except BaseException as error:  # surfaced by the main thread
+            self.error = error
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def scrape_metrics(port: int) -> dict:
+    conn = HTTPConnection("127.0.0.1", port)
+    conn.request("GET", "/metrics")
+    text = conn.getresponse().read().decode()
+    conn.close()
+    wanted = (
+        "repro_select_queries_total",
+        "repro_query_cache_hits_total",
+        "repro_query_cache_misses_total",
+        "repro_query_cache_hit_ratio",
+        "repro_request_seconds_count",
+    )
+    out = {}
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        name = line.split("{")[0].split(" ")[0]
+        if name in wanted:
+            out[name] = out.get(name, 0.0) + float(line.rsplit(" ", 1)[1])
+    return out
+
+
+def run_bench(full: bool, clients: int, queries_per_client: int, jobs: int) -> dict:
+    print("building artifact...")
+    build_start = time.perf_counter()
+    spec, artifact = build_bench_artifact(full, jobs)
+    build_s = time.perf_counter() - build_start
+    table = artifact.entries["bcast"].table
+
+    registry = ArtifactRegistry()
+    registry.add(artifact)
+    service = SelectionService(registry)
+
+    with ServiceThread(service) as handle:
+        print(f"server on port {handle.port}; "
+              f"{clients} clients x {queries_per_client} queries...")
+        workers = [
+            ClientWorker(
+                handle.port,
+                make_queries(artifact, queries_per_client, seed=worker),
+            )
+            for worker in range(clients)
+        ]
+        load_start = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        load_s = time.perf_counter() - load_start
+        for worker in workers:
+            if worker.error is not None:
+                raise RuntimeError(f"client failed: {worker.error}")
+        metrics = scrape_metrics(handle.port)
+
+    # Bit-identity: every served selection equals the offline table lookup.
+    total_queries = 0
+    for worker in workers:
+        for query, result in worker.responses:
+            total_queries += 1
+            expected = table.select(query["procs"], query["nbytes"])
+            got = (result["algorithm"], result["segment_size"])
+            if got != (expected.algorithm, expected.segment_size):
+                raise RuntimeError(
+                    f"served selection diverged at {query}: "
+                    f"{got} != {(expected.algorithm, expected.segment_size)}"
+                )
+
+    latencies = sorted(
+        latency for worker in workers for latency in worker.latencies
+    )
+    p50 = percentile(latencies, 0.50)
+    p95 = percentile(latencies, 0.95)
+    p99 = percentile(latencies, 0.99)
+
+    if total_queries < 1000:
+        raise RuntimeError(f"only {total_queries} queries; need >= 1000")
+    if p99 >= P99_BUDGET:
+        raise RuntimeError(f"p99 {p99 * 1e3:.2f} ms exceeds 50 ms budget")
+
+    return {
+        "metadata": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "cpu_count": cpu_count(),
+        },
+        "workload": {
+            "cluster": spec.name,
+            "scale": "full" if full else "quick",
+            "clients": clients,
+            "queries_per_client": queries_per_client,
+            "batch_every": BATCH_EVERY,
+            "batch_size": BATCH_SIZE,
+            "grid": f"{len(table.proc_points)}x{len(table.size_points)}",
+        },
+        "artifact": {
+            "id": artifact.artifact_id,
+            "build_s": build_s,
+        },
+        "requests": len(latencies),
+        "queries": total_queries,
+        "duration_s": load_s,
+        "queries_per_s": total_queries / load_s if load_s else 0.0,
+        "latency_ms": {
+            "p50": p50 * 1e3,
+            "p95": p95 * 1e3,
+            "p99": p99 * 1e3,
+            "max": latencies[-1] * 1e3,
+        },
+        "p99_budget_ms": P99_BUDGET * 1e3,
+        "selections_bit_identical": True,
+        "server_metrics": metrics,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=str(REPO / "BENCH_service.json"))
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument(
+        "--queries", type=int, default=500, help="queries per client"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="workers for the artifact build (0 = all cores)",
+    )
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale artifact (noise-free Gros)")
+    args = parser.parse_args(argv)
+
+    run = run_bench(
+        args.full, args.clients, args.queries, args.jobs or cpu_count()
+    )
+
+    output = Path(args.output)
+    if output.exists():
+        document = json.loads(output.read_text())
+    else:
+        document = {"runs": []}
+    document["runs"].append(run)
+    output.write_text(json.dumps(document, indent=2) + "\n")
+
+    latency = run["latency_ms"]
+    print(f"wrote {output}")
+    print(
+        f"{run['queries']} queries in {run['duration_s']:.2f}s "
+        f"({run['queries_per_s']:.0f} q/s) | "
+        f"p50 {latency['p50']:.2f} ms, p95 {latency['p95']:.2f} ms, "
+        f"p99 {latency['p99']:.2f} ms (budget 50 ms) | bit-identical: "
+        f"{run['selections_bit_identical']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

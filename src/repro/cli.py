@@ -9,7 +9,13 @@ Subcommands mirror the paper's workflow:
 * ``table1`` / ``table2`` / ``table3`` — regenerate the paper's tables;
 * ``fig5`` — regenerate one panel of Fig. 5 (CSV + ASCII plot);
 * ``reduce-table`` — the future-work extension: MPI_Reduce selection;
-* ``decision-table`` — precompute and save a deployment decision table.
+* ``decision-table`` — precompute and save a deployment decision table;
+* ``decision-fn`` — compile a decision table to C or Python source;
+* ``artifact build`` / ``artifact verify`` — package calibration + tables
+  + generated code into a versioned, content-hashed artifact;
+* ``serve`` — run the online selection server over an artifact directory;
+* ``cache stats`` / ``cache clear`` — inspect or prune the persistent
+  simulation-result cache.
 
 Simulation-heavy subcommands share three execution flags: ``--jobs N``
 fans simulations out over N worker processes (0 = all cores), and the
@@ -20,7 +26,9 @@ persistent result cache — on by default for the CLI — is controlled by
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 import repro.exec as exec_
 
@@ -215,6 +223,104 @@ def _cmd_decision_table(args) -> int:
     return 0
 
 
+def _cmd_decision_fn(args) -> int:
+    from repro.selection.codegen import generate_c, generate_python
+    from repro.selection.decision_table import DecisionTable
+
+    try:
+        table = DecisionTable.load(args.table)
+    except (OSError, json.JSONDecodeError, KeyError, TypeError) as error:
+        raise ReproError(f"cannot load decision table {args.table}: {error}") from error
+    if args.backend == "c":
+        source = generate_c(table, function_name=args.function_name
+                            or "coll_bcast_dec_generated")
+    else:
+        source = generate_python(table, function_name=args.function_name
+                                 or "select_bcast")
+    with open(args.out, "w") as handle:
+        handle.write(source)
+    print(
+        f"{args.backend} decision function "
+        f"({len(table.proc_points)}x{len(table.size_points)} grid) "
+        f"written to {args.out}"
+    )
+    return 0
+
+
+def _cmd_artifact_build(args) -> int:
+    from repro.service.artifact import build_artifact
+
+    spec = get_preset(args.cluster)
+    proc_points = None
+    if args.max_procs:
+        proc_points = range(args.min_procs, args.max_procs + 1, args.procs_step)
+    artifact = build_artifact(
+        spec,
+        collectives=[c.strip() for c in args.collectives.split(",")],
+        proc_points=proc_points,
+        procs=args.procs,
+        max_reps=args.max_reps,
+        seed=args.seed,
+    )
+    artifact.verify()
+    artifact.save(args.output)
+    print(f"artifact {artifact.artifact_id} written to {args.output}")
+    for operation, info in artifact.summary()["operations"].items():
+        print(
+            f"  {operation}: {info['proc_points']}x{info['size_points']} grid, "
+            f"algorithms: {', '.join(info['algorithms'])}"
+        )
+    return 0
+
+
+def _cmd_artifact_verify(args) -> int:
+    from repro.service.artifact import load_artifact
+
+    artifact = load_artifact(args.path)
+    artifact.verify()
+    print(f"artifact {artifact.artifact_id} OK "
+          f"(schema valid, hash verified, codegen agrees with tables)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.server import serve
+
+    return serve(
+        args.artifacts,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+    )
+
+
+def _cmd_cache(args) -> int:
+    from repro.exec.cache import CACHE_SCHEMA, ResultCache, default_cache_dir
+
+    directory = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    path = directory / f"results-v{CACHE_SCHEMA}.jsonl"
+    if args.cache_command == "stats":
+        if not path.exists():
+            print(f"cache at {directory}: empty (no {path.name})")
+            return 0
+        cache = ResultCache(directory)
+        info = cache.describe()
+        print(f"cache at {directory}:")
+        print(f"  entries   {info['entries']}")
+        print(f"  file size {info['file_bytes']} bytes")
+        print(f"  loaded    {info['loaded']}")
+        print(f"  dropped   {info['invalidated']} (stale salt / unparseable)")
+        cache.close()
+        return 0
+    # clear: safe pruning — rewrites the file with a fresh header.
+    cache = ResultCache(directory)
+    removed = len(cache)
+    cache.clear()
+    cache.close()
+    print(f"cache at {directory}: removed {removed} entries")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.models.report import render_report
 
@@ -349,6 +455,68 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--emit-python", default=None,
                        help="also write a generated Python decision function")
     table.set_defaults(func=_cmd_decision_table)
+
+    decision_fn = sub.add_parser(
+        "decision-fn",
+        help="compile a decision table to C or Python source",
+    )
+    decision_fn.add_argument("--table", required=True,
+                             help="decision table JSON (from decision-table)")
+    decision_fn.add_argument("--backend", choices=("c", "python"),
+                             required=True)
+    decision_fn.add_argument("--out", required=True)
+    decision_fn.add_argument("--function-name", default=None)
+    decision_fn.set_defaults(func=_cmd_decision_fn)
+
+    artifact = sub.add_parser(
+        "artifact", help="build / verify versioned selection artifacts"
+    )
+    artifact_sub = artifact.add_subparsers(dest="artifact_command", required=True)
+    build = artifact_sub.add_parser(
+        "build",
+        help="calibrate, build tables, generate code, package",
+        parents=[exec_flags],
+    )
+    build.add_argument("--cluster", required=True)
+    build.add_argument("--output", required=True)
+    build.add_argument("--collectives", default="bcast",
+                       help="comma-separated (bcast,reduce)")
+    build.add_argument("--procs", type=int, default=None,
+                       help="calibration communicator size")
+    build.add_argument("--min-procs", type=int, default=2)
+    build.add_argument("--max-procs", type=int, default=None,
+                       help="decision grid upper bound (default: cluster capacity)")
+    build.add_argument("--procs-step", type=int, default=2)
+    build.add_argument("--max-reps", type=int, default=8)
+    build.add_argument("--seed", type=int, default=0)
+    build.set_defaults(func=_cmd_artifact_build)
+    verify = artifact_sub.add_parser(
+        "verify", help="validate schema, content hash and codegen agreement"
+    )
+    verify.add_argument("path")
+    verify.set_defaults(func=_cmd_artifact_verify)
+
+    serve = sub.add_parser(
+        "serve", help="run the online selection server"
+    )
+    serve.add_argument("--artifacts", required=True,
+                       help="directory of artifact JSON files")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="LRU query-cache capacity")
+    serve.set_defaults(func=_cmd_serve)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or prune the persistent result cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser("stats", help="size and hit statistics")
+    cache_stats.add_argument("--cache-dir", default=None)
+    cache_stats.set_defaults(func=_cmd_cache)
+    cache_clear = cache_sub.add_parser("clear", help="drop every cached result")
+    cache_clear.add_argument("--cache-dir", default=None)
+    cache_clear.set_defaults(func=_cmd_cache)
 
     report = sub.add_parser(
         "report", help="render a calibration as a Markdown report"

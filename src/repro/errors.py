@@ -43,3 +43,11 @@ class SelectionError(ReproError):
 
 class CacheError(ReproError):
     """Raised when the persistent result cache cannot be read or written."""
+
+
+class ArtifactError(ReproError):
+    """Raised when a selection artifact is invalid, corrupt or mismatched."""
+
+
+class ServiceError(ReproError):
+    """Raised for invalid requests to or misuse of the selection service."""

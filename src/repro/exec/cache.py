@@ -211,3 +211,13 @@ class ResultCache:
         self.close()
         self._entries.clear()
         self._rewrite(code_salt())
+
+    def describe(self) -> dict:
+        """Inspection view used by ``repro cache stats``."""
+        return {
+            "directory": str(self.directory),
+            "file": str(self.path),
+            "entries": len(self._entries),
+            "file_bytes": self.path.stat().st_size if self.path.exists() else 0,
+            **self.stats.as_dict(),
+        }

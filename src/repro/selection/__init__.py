@@ -14,6 +14,7 @@ Three selectors, matching the three curves of the paper's Fig. 5:
 would ship.
 """
 
+from repro.selection.codegen import compile_python, generate_c, generate_python
 from repro.selection.decision_table import DecisionTable, build_decision_table
 from repro.selection.model_based import ModelBasedSelector
 from repro.selection.ompi_fixed import OmpiFixedSelector, ompi_bcast_decision
@@ -26,5 +27,8 @@ __all__ = [
     "OmpiFixedSelector",
     "Selection",
     "build_decision_table",
+    "compile_python",
+    "generate_c",
+    "generate_python",
     "ompi_bcast_decision",
 ]

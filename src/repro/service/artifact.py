@@ -1,0 +1,431 @@
+"""Versioned, content-hashed selection artifacts.
+
+An *artifact* is the deployable unit of the paper's method: everything a
+call site needs to answer "(collective, P, m) → algorithm" for one
+cluster, frozen into a single JSON document —
+
+* the calibrated :class:`~repro.estimation.workflow.PlatformModel`
+  (per-algorithm Hockney parameters plus γ) that produced the decisions;
+* one precomputed :class:`~repro.selection.decision_table.DecisionTable`
+  per collective operation;
+* the generated Python decision function source
+  (:func:`repro.selection.codegen.generate_python`), so a consumer
+  without this package can still decide.
+
+Artifacts are *versioned* (``ARTIFACT_SCHEMA``) and *content-hashed*: the
+document carries a SHA-256 over its canonical payload, and
+:func:`load_artifact` rejects any file whose schema or hash does not
+match — a corrupted or hand-edited artifact never reaches a server.  The
+cluster is identified both by name and by
+:meth:`ClusterSpec.fingerprint`, so a registry can tell two differently
+parameterised "gros" platforms apart.
+
+:func:`build_artifact` runs the full pipeline — §4 calibration → model
+fit → decision-table grid → code generation → packaging.  All
+simulations route through a :class:`repro.exec.ParallelRunner`, so a
+build parallelises across cores and a warm persistent cache rebuilds an
+artifact without simulating anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import repro
+from repro.clusters.spec import ClusterSpec
+from repro.errors import ArtifactError
+from repro.estimation.workflow import PlatformModel, calibrate_platform
+from repro.exec.runner import ParallelRunner, default_runner
+from repro.selection.codegen import generate_python
+from repro.selection.decision_table import DecisionTable, build_decision_table
+from repro.selection.model_based import ModelBasedSelector
+from repro.units import KiB, MiB, log_spaced_sizes
+
+#: Bump on any change to the artifact document layout.
+ARTIFACT_SCHEMA = 1
+
+#: Default decision grid: the paper's ten log-spaced sizes, 8 KB – 4 MB.
+DEFAULT_SIZE_POINTS = tuple(log_spaced_sizes(8 * KiB, 4 * MiB, 10))
+
+
+@dataclass(frozen=True)
+class ArtifactEntry:
+    """One collective operation's decision data inside an artifact."""
+
+    operation: str
+    platform: PlatformModel
+    table: DecisionTable
+    function_name: str
+    source: str
+
+    def compile(self):
+        """Execute the stored generated source; return the decision callable."""
+        namespace: dict = {}
+        try:
+            exec(compile(self.source, f"<artifact {self.operation}>", "exec"),
+                 namespace)
+            return namespace[self.function_name]
+        except (SyntaxError, KeyError) as error:
+            raise ArtifactError(
+                f"stored decision function for {self.operation!r} does not "
+                f"compile: {error}"
+            ) from error
+
+    def to_dict(self) -> dict:
+        return {
+            "operation": self.operation,
+            "platform": self.platform.to_dict(),
+            "table": self.table.to_dict(),
+            "function_name": self.function_name,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArtifactEntry":
+        return cls(
+            operation=data["operation"],
+            platform=PlatformModel.from_dict(data["platform"]),
+            table=DecisionTable.from_dict(data["table"]),
+            function_name=data["function_name"],
+            source=data["source"],
+        )
+
+
+@dataclass(frozen=True)
+class SelectionArtifact:
+    """A deployable decision package for one cluster.
+
+    ``entries`` maps collective operation names (``"bcast"``, ...) to
+    their :class:`ArtifactEntry`.  The content hash is computed lazily
+    over the canonical payload and memoised.
+    """
+
+    cluster: str
+    cluster_fingerprint: str
+    entries: dict[str, ArtifactEntry]
+    builder_version: str = repro.__version__
+    _hash: list = field(default_factory=list, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ArtifactError("artifact needs at least one collective entry")
+        for operation, entry in self.entries.items():
+            if entry.operation != operation:
+                raise ArtifactError(
+                    f"entry keyed {operation!r} describes {entry.operation!r}"
+                )
+
+    @property
+    def operations(self) -> list[str]:
+        """Collective operations this artifact can decide, sorted."""
+        return sorted(self.entries)
+
+    def payload(self) -> dict:
+        """The canonical hashed content (everything but schema and hash)."""
+        return {
+            "cluster": self.cluster,
+            "cluster_fingerprint": self.cluster_fingerprint,
+            "builder_version": self.builder_version,
+            "entries": {
+                operation: self.entries[operation].to_dict()
+                for operation in self.operations
+            },
+        }
+
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical JSON payload (memoised)."""
+        if not self._hash:
+            canonical = json.dumps(
+                self.payload(), sort_keys=True, separators=(",", ":")
+            )
+            self._hash.append(hashlib.sha256(canonical.encode()).hexdigest())
+        return self._hash[0]
+
+    @property
+    def artifact_id(self) -> str:
+        """Short stable identifier: cluster name plus hash prefix."""
+        return f"{self.cluster}-{self.content_hash()[:12]}"
+
+    def select(self, operation: str, procs: int, nbytes: int):
+        """Table lookup for one query (the server's hot path)."""
+        try:
+            entry = self.entries[operation]
+        except KeyError:
+            raise ArtifactError(
+                f"artifact {self.artifact_id} has no {operation!r} table; "
+                f"operations: {', '.join(self.operations)}"
+            ) from None
+        return entry.table.select(procs, nbytes)
+
+    def summary(self) -> dict:
+        """Registry-listing view: identity plus grid shapes, no tables."""
+        return {
+            "id": self.artifact_id,
+            "cluster": self.cluster,
+            "cluster_fingerprint": self.cluster_fingerprint,
+            "builder_version": self.builder_version,
+            "schema": ARTIFACT_SCHEMA,
+            "content_hash": self.content_hash(),
+            "operations": {
+                operation: {
+                    "algorithms": self.entries[operation].platform.algorithms,
+                    "proc_points": len(self.entries[operation].table.proc_points),
+                    "size_points": len(self.entries[operation].table.size_points),
+                }
+                for operation in self.operations
+            },
+        }
+
+    def verify(self) -> None:
+        """Cross-check the packaged representations against each other.
+
+        The stored generated source must compile and agree with the
+        decision table on every grid cell — the bit-identity invariant the
+        service later relies on.  Raises :class:`ArtifactError` on any
+        disagreement.
+        """
+        for operation, entry in self.entries.items():
+            fn = entry.compile()
+            table = entry.table
+            for i, procs in enumerate(table.proc_points):
+                for j, nbytes in enumerate(table.size_points):
+                    expected = table.choices[i][j]
+                    got = fn(procs, nbytes)
+                    if got != (expected.algorithm, expected.segment_size):
+                        raise ArtifactError(
+                            f"{operation} decision function disagrees with "
+                            f"table at P={procs} m={nbytes}: "
+                            f"{got} != {(expected.algorithm, expected.segment_size)}"
+                        )
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": ARTIFACT_SCHEMA,
+            "content_hash": self.content_hash(),
+            "payload": self.payload(),
+        }
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SelectionArtifact":
+        try:
+            schema = data["schema"]
+            stored_hash = data["content_hash"]
+            payload = data["payload"]
+        except (KeyError, TypeError) as error:
+            raise ArtifactError(
+                f"not a selection artifact: missing {error}"
+            ) from None
+        if schema != ARTIFACT_SCHEMA:
+            raise ArtifactError(
+                f"artifact schema {schema!r} not supported "
+                f"(expected {ARTIFACT_SCHEMA})"
+            )
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        actual = hashlib.sha256(canonical.encode()).hexdigest()
+        if actual != stored_hash:
+            raise ArtifactError(
+                f"artifact content hash mismatch: stored {stored_hash[:12]}…, "
+                f"computed {actual[:12]}… — file corrupt or edited"
+            )
+        try:
+            return cls(
+                cluster=payload["cluster"],
+                cluster_fingerprint=payload["cluster_fingerprint"],
+                builder_version=payload.get("builder_version", "unknown"),
+                entries={
+                    operation: ArtifactEntry.from_dict(entry)
+                    for operation, entry in payload["entries"].items()
+                },
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ArtifactError(f"malformed artifact payload: {error}") from error
+
+
+def load_artifact(path: str | Path) -> SelectionArtifact:
+    """Read and *validate* an artifact file.
+
+    Rejects (with :class:`ArtifactError`) unreadable files, non-JSON
+    content, unsupported schema versions and any payload whose content
+    hash does not match the stored one.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise ArtifactError(f"cannot read artifact {path}: {error}") from error
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ArtifactError(f"artifact {path} is not JSON: {error}") from error
+    return SelectionArtifact.from_dict(data)
+
+
+def default_proc_points(spec: ClusterSpec, step: int = 2) -> tuple[int, ...]:
+    """Even grid of communicator sizes, 2 .. the cluster's capacity."""
+    return tuple(range(2, spec.max_procs + 1, step)) or (2,)
+
+
+def build_artifact(
+    spec: ClusterSpec,
+    *,
+    collectives: Sequence[str] = ("bcast",),
+    proc_points: Sequence[int] | None = None,
+    size_points: Sequence[int] = DEFAULT_SIZE_POINTS,
+    platforms: Mapping[str, PlatformModel] | None = None,
+    procs: int | None = None,
+    gamma_max_procs: int | None = None,
+    sizes: Sequence[int] | None = None,
+    max_reps: int = 8,
+    seed: int = 0,
+    runner: ParallelRunner | None = None,
+) -> SelectionArtifact:
+    """Run the full pipeline and package the result.
+
+    calibrate → fit per-algorithm Hockney models → build one decision
+    table per collective over the ``(proc_points, size_points)`` grid →
+    generate the Python decision function → freeze into a
+    :class:`SelectionArtifact`.
+
+    ``platforms`` short-circuits calibration with precomputed
+    :class:`PlatformModel` objects (keyed by operation) — used by tests
+    and by rebuilds from a saved calibration.  Otherwise ``"bcast"``
+    entries run :func:`calibrate_platform` (through ``runner``, so the
+    build is parallel and cache-aware) and ``"reduce"`` entries run
+    :func:`repro.estimation.reduce_calibration.calibrate_reduce`.
+    """
+    runner = runner if runner is not None else default_runner()
+    grid_procs = (
+        tuple(proc_points) if proc_points else default_proc_points(spec)
+    )
+    calib_kwargs: dict = {"max_reps": max_reps, "seed": seed}
+    if procs is not None:
+        calib_kwargs["procs"] = procs
+    if gamma_max_procs is not None:
+        calib_kwargs["gamma_max_procs"] = gamma_max_procs
+    if sizes is not None:
+        calib_kwargs["sizes"] = sizes
+
+    entries: dict[str, ArtifactEntry] = {}
+    for operation in collectives:
+        if platforms is not None and operation in platforms:
+            platform = platforms[operation]
+        elif operation == "bcast":
+            platform = calibrate_platform(
+                spec, runner=runner, **calib_kwargs
+            ).platform
+        elif operation == "reduce":
+            from repro.estimation.reduce_calibration import calibrate_reduce
+
+            reduce_kwargs = dict(calib_kwargs)
+            reduce_kwargs.pop("gamma_max_procs", None)
+            platform, _estimates = calibrate_reduce(spec, **reduce_kwargs)
+        else:
+            raise ArtifactError(
+                f"no calibration pipeline for collective {operation!r}; "
+                "pass a precomputed platform via platforms={...}"
+            )
+        selector = ModelBasedSelector(platform)
+        table = build_decision_table(selector, grid_procs, size_points)
+        function_name = f"select_{operation}"
+        entries[operation] = ArtifactEntry(
+            operation=operation,
+            platform=platform,
+            table=table,
+            function_name=function_name,
+            source=generate_python(table, function_name=function_name),
+        )
+    return SelectionArtifact(
+        cluster=spec.name,
+        cluster_fingerprint=spec.fingerprint(),
+        entries=entries,
+    )
+
+
+class ArtifactRegistry:
+    """The artifacts a server is willing to answer for.
+
+    Backed by a directory of ``*.json`` artifact files (plus any paths
+    registered directly).  Loading is strict — an invalid file is skipped
+    and recorded in :attr:`errors`, never silently served.  Lookup is by
+    ``(cluster, operation)``; when several artifacts cover the same pair
+    the lexically last file wins (deterministic across rescans).
+    """
+
+    def __init__(self, directory: str | Path | None = None):
+        self.directory = Path(directory) if directory else None
+        self.artifacts: dict[str, SelectionArtifact] = {}
+        self.errors: dict[str, str] = {}
+        self._by_query: dict[tuple[str, str], SelectionArtifact] = {}
+        if self.directory is not None:
+            self.rescan()
+
+    def rescan(self) -> None:
+        """Reload every artifact from the directory (hot reload)."""
+        if self.directory is None:
+            return
+        artifacts: dict[str, SelectionArtifact] = {}
+        errors: dict[str, str] = {}
+        if not self.directory.is_dir():
+            raise ArtifactError(
+                f"artifact directory {self.directory} does not exist"
+            )
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                artifact = load_artifact(path)
+            except ArtifactError as error:
+                errors[path.name] = str(error)
+                continue
+            artifacts[path.name] = artifact
+        self.artifacts = artifacts
+        self.errors = errors
+        self._reindex()
+
+    def add(self, artifact: SelectionArtifact, name: str | None = None) -> None:
+        """Register an in-memory artifact (tests, embedded use)."""
+        self.artifacts[name or artifact.artifact_id] = artifact
+        self._reindex()
+
+    def _reindex(self) -> None:
+        index: dict[tuple[str, str], SelectionArtifact] = {}
+        for _name, artifact in sorted(self.artifacts.items()):
+            for operation in artifact.operations:
+                index[(artifact.cluster, operation)] = artifact
+        self._by_query = index
+
+    def __len__(self) -> int:
+        return len(self.artifacts)
+
+    def lookup(self, cluster: str, operation: str) -> SelectionArtifact:
+        """The artifact serving ``(cluster, operation)``.
+
+        Raises :class:`ArtifactError` when nothing covers the pair.
+        """
+        try:
+            return self._by_query[(cluster, operation)]
+        except KeyError:
+            known = sorted(
+                f"{cluster}/{operation}"
+                for cluster, operation in self._by_query
+            )
+            raise ArtifactError(
+                f"no artifact for cluster {cluster!r} operation {operation!r}; "
+                f"serving: {', '.join(known) or '<none>'}"
+            ) from None
+
+    def summaries(self) -> list[dict]:
+        """Listing view for ``GET /artifacts``."""
+        return [
+            dict(self.artifacts[name].summary(), file=name)
+            for name in sorted(self.artifacts)
+        ]

@@ -1,0 +1,507 @@
+"""The online algorithm-selection server.
+
+Three pieces, separable for testing:
+
+* :class:`SelectionService` — transport-independent query engine: input
+  validation, an LRU cache in front of decision-table lookup, metrics,
+  and hot reload of the artifact registry;
+* :class:`HttpServer` — a stdlib-only asyncio HTTP/1.1 front end with
+  keep-alive, bounded bodies, typed JSON error responses and graceful
+  drain (stop accepting, finish in-flight requests, then close);
+* :class:`ServiceThread` — runs an :class:`HttpServer` on a private
+  event loop in a background thread, for tests and the load harness.
+
+Endpoints (reference in docs/SERVICE.md):
+
+========  ============  =================================================
+method    path          behaviour
+========  ============  =================================================
+POST      /select       one query object, or ``{"queries": [...]}``
+GET       /artifacts    registry listing (ids, grids, load errors)
+GET       /healthz      liveness + artifact count
+GET       /metrics      Prometheus text format
+POST      /reload       rescan the artifact directory (also ``SIGHUP``)
+========  ============  =================================================
+
+The hot path is dictionary + bisect work only — no simulation, no model
+evaluation — so a query costs microseconds; the load harness
+(``benchmarks/run_service_bench.py``) asserts p99 latency and that served
+selections are bit-identical to offline ``DecisionTable.select``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.errors import ArtifactError, ServiceError
+from repro.service.artifact import ArtifactRegistry, SelectionArtifact
+from repro.service.metrics import ServiceMetrics
+
+#: Most queries allowed in one batched ``POST /select``.
+MAX_BATCH = 4096
+
+#: Largest accepted request body, in bytes.
+MAX_BODY = 4 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class RequestError(ServiceError):
+    """A client error with an HTTP status and a stable machine code."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+    def body(self) -> dict:
+        return {"error": {"code": self.code, "message": str(self)}}
+
+
+class LruCache:
+    """Bounded query cache with hit/miss accounting."""
+
+    def __init__(self, maxsize: int = 4096):
+        self.maxsize = max(1, int(maxsize))
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key):
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+def _require_int(query: dict, name: str, minimum: int, index: int | None) -> int:
+    where = "" if index is None else f" (query #{index})"
+    value = query.get(name)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError(
+            400, "validation",
+            f"{name!r} must be an integer{where}, got {value!r}",
+        )
+    if value < minimum:
+        raise RequestError(
+            400, "validation", f"{name!r} must be >= {minimum}{where}, got {value}"
+        )
+    return value
+
+
+class SelectionService:
+    """Answers "(cluster, collective, P, m) → algorithm" queries."""
+
+    def __init__(
+        self,
+        registry: ArtifactRegistry,
+        *,
+        cache_size: int = 4096,
+        metrics: ServiceMetrics | None = None,
+    ):
+        self.registry = registry
+        self.metrics = metrics or ServiceMetrics()
+        self.cache = LruCache(cache_size)
+        self.metrics.artifacts_loaded.set(len(registry))
+
+    def reload(self) -> dict:
+        """Rescan the artifact directory and drop the query cache."""
+        self.registry.rescan()
+        self.cache.clear()
+        self.metrics.reloads.inc()
+        self.metrics.artifacts_loaded.set(len(self.registry))
+        return {
+            "artifacts": len(self.registry),
+            "errors": dict(self.registry.errors),
+        }
+
+    def _validate(self, query, index: int | None = None) -> tuple:
+        where = "" if index is None else f" (query #{index})"
+        if not isinstance(query, dict):
+            raise RequestError(
+                400, "validation", f"each query must be a JSON object{where}"
+            )
+        cluster = query.get("cluster")
+        if not isinstance(cluster, str) or not cluster:
+            raise RequestError(
+                400, "validation", f"'cluster' must be a non-empty string{where}"
+            )
+        operation = query.get("operation", "bcast")
+        if not isinstance(operation, str) or not operation:
+            raise RequestError(
+                400, "validation", f"'operation' must be a non-empty string{where}"
+            )
+        procs = _require_int(query, "procs", 1, index)
+        nbytes = _require_int(query, "nbytes", 0, index)
+        return cluster, operation, procs, nbytes
+
+    def select_one(self, query, index: int | None = None) -> dict:
+        """Validate and answer a single query (LRU-cached)."""
+        key = self._validate(query, index)
+        self.metrics.queries.inc()
+        result = self.cache.get(key)
+        if result is not None:
+            self.metrics.cache_hits.inc()
+        else:
+            self.metrics.cache_misses.inc()
+            cluster, operation, procs, nbytes = key
+            try:
+                artifact = self.registry.lookup(cluster, operation)
+            except ArtifactError as error:
+                raise RequestError(404, "unknown_artifact", str(error)) from None
+            selection = artifact.select(operation, procs, nbytes)
+            result = {
+                "cluster": cluster,
+                "operation": operation,
+                "procs": procs,
+                "nbytes": nbytes,
+                "algorithm": selection.algorithm,
+                "segment_size": selection.segment_size,
+                "artifact": artifact.artifact_id,
+            }
+            self.cache.put(key, result)
+        self.metrics.selections.inc(
+            operation=result["operation"], algorithm=result["algorithm"]
+        )
+        return result
+
+    def handle_select(self, payload) -> dict:
+        """The ``POST /select`` body: one query or ``{"queries": [...]}``."""
+        if isinstance(payload, dict) and "queries" in payload:
+            queries = payload["queries"]
+            if not isinstance(queries, list):
+                raise RequestError(
+                    400, "validation", "'queries' must be a JSON array"
+                )
+            if len(queries) > MAX_BATCH:
+                raise RequestError(
+                    400, "batch_too_large",
+                    f"batch of {len(queries)} exceeds the limit of {MAX_BATCH}",
+                )
+            return {
+                "results": [
+                    self.select_one(query, index)
+                    for index, query in enumerate(queries)
+                ]
+            }
+        return self.select_one(payload)
+
+
+class HttpServer:
+    """Asyncio HTTP front end with keep-alive and graceful drain."""
+
+    def __init__(
+        self,
+        service: SelectionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        drain_timeout: float = 5.0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.drain_timeout = drain_timeout
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._shutdown = asyncio.Event()
+        self._draining = False
+
+    async def start(self) -> None:
+        """Bind and start accepting; resolves :attr:`port` when ephemeral."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def request_shutdown(self) -> None:
+        """Begin graceful shutdown (signal handlers call this)."""
+        self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until :meth:`request_shutdown`, then drain and close."""
+        await self._shutdown.wait()
+        await self.drain()
+
+    async def drain(self) -> None:
+        """Stop accepting, wait for in-flight requests, close connections."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        try:
+            await asyncio.wait_for(self._idle.wait(), self.drain_timeout)
+        except asyncio.TimeoutError:
+            pass
+        for writer in list(self._writers):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self._writers.add(writer)
+        try:
+            while not self._draining:
+                try:
+                    request = await self._read_request(reader)
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    ValueError,
+                ):
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                self._inflight += 1
+                self._idle.clear()
+                started = time.perf_counter()
+                try:
+                    status, payload, content_type = self._dispatch(
+                        method, path, body
+                    )
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.set()
+                elapsed = time.perf_counter() - started
+                metrics = self.service.metrics
+                metrics.request_seconds.observe(elapsed)
+                metrics.requests.inc(endpoint=path, status=str(status))
+                try:
+                    writer.write(
+                        self._render(status, payload, content_type, keep_alive)
+                    )
+                    await writer.drain()
+                except ConnectionError:
+                    break
+                if not keep_alive:
+                    break
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader):
+        """Parse one request; ``None`` at EOF; raises on malformed input."""
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin1").split()
+        if len(parts) != 3:
+            raise ValueError("malformed request line")
+        method, target, _version = parts
+        path = target.split("?", 1)[0]
+        headers: dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n"):
+                break
+            if not raw:
+                raise ValueError("truncated headers")
+            name, _, value = raw.decode("latin1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY:
+            raise ValueError("request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, path, headers, body
+
+    def _dispatch(self, method: str, path: str, body: bytes):
+        """Route one request; returns ``(status, payload, content_type)``."""
+        try:
+            if path == "/metrics" and method == "GET":
+                return 200, self.service.metrics.render(), "text/plain; version=0.0.4"
+            if path == "/healthz" and method == "GET":
+                return (
+                    200,
+                    {"status": "ok", "artifacts": len(self.service.registry)},
+                    "application/json",
+                )
+            if path == "/artifacts" and method == "GET":
+                return (
+                    200,
+                    {
+                        "artifacts": self.service.registry.summaries(),
+                        "errors": dict(self.service.registry.errors),
+                    },
+                    "application/json",
+                )
+            if path == "/select" and method == "POST":
+                try:
+                    payload = json.loads(body.decode("utf-8") or "null")
+                except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                    raise RequestError(
+                        400, "bad_json", f"request body is not JSON: {error}"
+                    ) from None
+                return 200, self.service.handle_select(payload), "application/json"
+            if path == "/reload" and method == "POST":
+                try:
+                    return 200, self.service.reload(), "application/json"
+                except ArtifactError as error:
+                    raise RequestError(500, "reload_failed", str(error)) from None
+            if path in ("/select", "/reload", "/metrics", "/healthz", "/artifacts"):
+                raise RequestError(
+                    405, "method_not_allowed", f"{method} not allowed on {path}"
+                )
+            raise RequestError(404, "not_found", f"no such endpoint: {path}")
+        except RequestError as error:
+            return error.status, error.body(), "application/json"
+        except Exception as error:  # never leak a traceback as a hung socket
+            return (
+                500,
+                {"error": {"code": "internal", "message": str(error)}},
+                "application/json",
+            )
+
+    @staticmethod
+    def _render(status, payload, content_type: str, keep_alive: bool) -> bytes:
+        body = (
+            payload.encode("utf-8")
+            if isinstance(payload, str)
+            else json.dumps(payload).encode("utf-8")
+        )
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        return head.encode("latin1") + body
+
+
+async def _serve_async(service: SelectionService, host: str, port: int) -> int:
+    server = HttpServer(service, host, port)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, server.request_shutdown)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    try:
+        loop.add_signal_handler(signal.SIGHUP, service.reload)
+    except (NotImplementedError, RuntimeError, AttributeError):  # pragma: no cover
+        pass
+    print(
+        f"repro selection service on http://{server.host}:{server.port} "
+        f"({len(service.registry)} artifacts); SIGTERM drains, SIGHUP reloads"
+    )
+    await server.serve_until_shutdown()
+    print("drained; bye")
+    return 0
+
+
+def serve(
+    directory: str | Path,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    cache_size: int = 4096,
+) -> int:
+    """Blocking entry point used by ``repro serve``."""
+    registry = ArtifactRegistry(directory)
+    service = SelectionService(registry, cache_size=cache_size)
+    return asyncio.run(_serve_async(service, host, port))
+
+
+class ServiceThread:
+    """An :class:`HttpServer` on a private loop in a daemon thread.
+
+    Context-manager: ``with ServiceThread(service) as handle:`` gives a
+    running server at ``handle.port``; exit drains it.  Used by the test
+    suite and the load harness — signal handlers are not installed
+    (they only work on the main thread).
+    """
+
+    def __init__(
+        self,
+        service: SelectionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.server: HttpServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+
+    def start(self) -> "ServiceThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise ServiceError("service thread did not start within 10 s")
+        if self._error is not None:
+            raise ServiceError(f"service thread failed: {self._error}")
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self.server = HttpServer(self.service, self.host, self.port)
+        try:
+            await self.server.start()
+        except OSError as error:
+            self._error = error
+            self._ready.set()
+            return
+        self.port = self.server.port
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.server.serve_until_shutdown()
+
+    def stop(self) -> None:
+        if self._loop is not None and self.server is not None:
+            self._loop.call_soon_threadsafe(self.server.request_shutdown)
+        self._thread.join(timeout=10)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

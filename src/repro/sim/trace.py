@@ -9,7 +9,9 @@ nothing when disabled.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterator
 
 
@@ -67,6 +69,100 @@ class Tracer:
 
     def clear(self) -> None:
         self.events.clear()
+
+    # -- Chrome trace-event export -----------------------------------------
+
+    def to_chrome_events(self) -> list[dict]:
+        """The trace as Chrome trace-event dicts (``chrome://tracing``).
+
+        ``send_post``/``send_complete`` (and ``recv_*``) pairs with the
+        same ``(rank, peer, tag)`` are matched FIFO into complete ("X")
+        duration events — one bar per message on the posting rank's row —
+        so a simulated schedule can be inspected visually: ranks are
+        threads, simulated seconds become microsecond timestamps, and the
+        payload size rides along in ``args``.  A ``post`` that never
+        completes becomes a zero-duration bar; a ``complete`` with no
+        matching ``post`` becomes an instant ("i") event.
+        """
+        scale = 1e6  # simulated seconds -> trace microseconds
+        chrome: list[dict] = []
+        ranks: set[int] = set()
+        open_spans: dict[tuple, list[TraceEvent]] = {}
+        matched: list[tuple[TraceEvent, TraceEvent]] = []
+        for event in self.events:
+            ranks.add(event.rank)
+            verb, _, phase = event.kind.partition("_")
+            key = (verb, event.rank, event.peer, event.tag)
+            if phase == "post":
+                open_spans.setdefault(key, []).append(event)
+            elif phase == "complete" and open_spans.get(key):
+                matched.append((open_spans[key].pop(0), event))
+            else:
+                chrome.append({
+                    "name": f"{event.kind} peer={event.peer}",
+                    "cat": verb,
+                    "ph": "i",
+                    "ts": event.time * scale,
+                    "pid": 0,
+                    "tid": event.rank,
+                    "s": "t",
+                    "args": {"tag": event.tag, "nbytes": event.nbytes},
+                })
+        for leftovers in open_spans.values():
+            for event in leftovers:
+                matched.append((event, event))
+        for start, end in matched:
+            verb = start.kind.partition("_")[0]
+            arrow = "->" if verb == "send" else "<-"
+            # A receive is posted before the payload size is known (-1);
+            # the completion event carries the real size.
+            nbytes = end.nbytes if start.nbytes < 0 else start.nbytes
+            chrome.append({
+                "name": f"{verb} {start.rank}{arrow}{start.peer} "
+                        f"({nbytes} B)",
+                "cat": verb,
+                "ph": "X",
+                "ts": start.time * scale,
+                "dur": (end.time - start.time) * scale,
+                "pid": 0,
+                "tid": start.rank,
+                "args": {
+                    "peer": start.peer,
+                    "tag": start.tag,
+                    "nbytes": nbytes,
+                },
+            })
+        chrome.sort(key=lambda e: (e["ts"], e["tid"]))
+        meta = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "args": {"name": "repro simulation"},
+            }
+        ] + [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+            for rank in sorted(ranks)
+        ]
+        return meta + chrome
+
+    def to_chrome_json(self, *, indent: int | None = None) -> str:
+        """The trace as a ``chrome://tracing`` / Perfetto JSON document."""
+        document = {
+            "traceEvents": self.to_chrome_events(),
+            "displayTimeUnit": "ms",
+        }
+        return json.dumps(document, indent=indent)
+
+    def save_chrome_trace(self, path: str | Path) -> None:
+        """Write :meth:`to_chrome_json` to ``path`` (open in Perfetto)."""
+        Path(path).write_text(self.to_chrome_json(indent=1) + "\n")
 
 
 #: Shared disabled tracer used when no tracing was requested.

@@ -45,6 +45,10 @@ class TestParser:
             "fig5",
             "reduce-table",
             "decision-table",
+            "decision-fn",
+            "artifact",
+            "serve",
+            "cache",
         ):
             assert command in text
 
@@ -108,3 +112,104 @@ class TestCommands:
         code = main(["calibrate", "--cluster", "atlantis", "--output", "/tmp/x.json"])
         assert code == 1
         assert "unknown cluster" in capsys.readouterr().err
+
+    @pytest.fixture(scope="class")
+    def table_file(self, tmp_path_factory, calibration_file):
+        path = tmp_path_factory.mktemp("cli") / "table.json"
+        code = main(
+            [
+                "decision-table",
+                "--calibration", str(calibration_file),
+                "--output", str(path),
+                "--min-procs", "2",
+                "--max-procs", "8",
+                "--procs-step", "2",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_decision_fn_python_backend(self, capsys, table_file, tmp_path):
+        out = tmp_path / "decide.py"
+        code = main(
+            [
+                "decision-fn",
+                "--table", str(table_file),
+                "--backend", "python",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert "python decision function" in capsys.readouterr().out
+        namespace = {}
+        exec(compile(out.read_text(), str(out), "exec"), namespace)
+        algorithm, segment = namespace["select_bcast"](8, 64 * KiB)
+        assert isinstance(algorithm, str) and segment >= 0
+
+    def test_decision_fn_c_backend(self, table_file, tmp_path):
+        out = tmp_path / "decide.c"
+        code = main(
+            [
+                "decision-fn",
+                "--table", str(table_file),
+                "--backend", "c",
+                "--out", str(out),
+                "--function-name", "my_decider",
+            ]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "int my_decider(" in text and "*segsize" in text
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        from repro.exec import ResultCache
+
+        cache = ResultCache(tmp_path)
+        cache.put("deadbeef", 1.5)
+        cache.close()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries   1" in out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        assert "entries   0" in capsys.readouterr().out
+
+    def test_cache_stats_without_cache_file(self, capsys, tmp_path):
+        empty = tmp_path / "fresh"
+        assert main(["cache", "stats", "--cache-dir", str(empty)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_artifact_verify(self, capsys, mini_platform, tmp_path):
+        from repro.clusters import MINICLUSTER
+        from repro.service import build_artifact
+        from repro.units import log_spaced_sizes
+
+        artifact = build_artifact(
+            MINICLUSTER,
+            proc_points=(2, 8, 16),
+            size_points=log_spaced_sizes(8 * KiB, 1 * MiB, 4),
+            platforms={"bcast": mini_platform},
+        )
+        path = artifact.save(tmp_path / "artifact.json")
+        assert main(["artifact", "verify", str(path)]) == 0
+        assert "hash verified" in capsys.readouterr().out
+
+    def test_artifact_verify_rejects_corruption(self, capsys, mini_platform,
+                                                tmp_path):
+        from repro.clusters import MINICLUSTER
+        from repro.service import build_artifact
+        from repro.units import log_spaced_sizes
+
+        artifact = build_artifact(
+            MINICLUSTER,
+            proc_points=(2, 16),
+            size_points=log_spaced_sizes(8 * KiB, 1 * MiB, 4),
+            platforms={"bcast": mini_platform},
+        )
+        path = artifact.save(tmp_path / "artifact.json")
+        data = json.loads(path.read_text())
+        data["payload"]["cluster"] = "tampered"
+        path.write_text(json.dumps(data))
+        assert main(["artifact", "verify", str(path)]) == 1
+        assert "hash mismatch" in capsys.readouterr().err

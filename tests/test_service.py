@@ -1,0 +1,405 @@
+"""Tests for the deployment subsystem: artifacts + the selection server.
+
+The round-trip invariant under test (ISSUE 2 satellite): build → save →
+load → serve must agree with offline ``DecisionTable.select`` and with
+the ``compile_python`` decision function on every grid cell and on
+off-grid points.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.clusters import MINICLUSTER
+from repro.errors import ArtifactError
+from repro.selection.codegen import compile_python
+from repro.service import (
+    ARTIFACT_SCHEMA,
+    ArtifactRegistry,
+    LruCache,
+    SelectionService,
+    ServiceThread,
+    build_artifact,
+    load_artifact,
+)
+from repro.service.metrics import Histogram, ServiceMetrics
+from repro.units import KiB, MiB, log_spaced_sizes
+
+GRID_PROCS = tuple(range(2, 17, 2))
+GRID_SIZES = tuple(log_spaced_sizes(8 * KiB, 1 * MiB, 6))
+
+
+@pytest.fixture(scope="module")
+def artifact(mini_platform):
+    """An artifact over the shared test calibration (no re-simulation)."""
+    return build_artifact(
+        MINICLUSTER,
+        proc_points=GRID_PROCS,
+        size_points=GRID_SIZES,
+        platforms={"bcast": mini_platform},
+    )
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(artifact, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("artifacts")
+    artifact.save(directory / "minicluster.json")
+    return directory
+
+
+def off_grid_points(count=20, seed=7):
+    rng = random.Random(seed)
+    return [
+        (rng.randint(2, GRID_PROCS[-1] + 5), rng.randint(1, 2 * GRID_SIZES[-1]))
+        for _ in range(count)
+    ]
+
+
+class TestArtifact:
+    def test_identity_fields(self, artifact):
+        assert artifact.cluster == "minicluster"
+        assert artifact.cluster_fingerprint == MINICLUSTER.fingerprint()
+        assert artifact.operations == ["bcast"]
+        assert artifact.artifact_id.startswith("minicluster-")
+
+    def test_verify_passes(self, artifact):
+        artifact.verify()
+
+    def test_content_hash_deterministic(self, artifact, mini_platform):
+        rebuilt = build_artifact(
+            MINICLUSTER,
+            proc_points=GRID_PROCS,
+            size_points=GRID_SIZES,
+            platforms={"bcast": mini_platform},
+        )
+        assert rebuilt.content_hash() == artifact.content_hash()
+
+    def test_save_load_round_trip(self, artifact, tmp_path):
+        path = artifact.save(tmp_path / "a.json")
+        loaded = load_artifact(path)
+        assert loaded.content_hash() == artifact.content_hash()
+        assert loaded.entries["bcast"].table == artifact.entries["bcast"].table
+        loaded.verify()
+
+    def test_round_trip_agrees_on_grid_and_off_grid(self, artifact, tmp_path):
+        """Grid cells + 20 off-grid points: table == compiled fn == loaded."""
+        loaded = load_artifact(artifact.save(tmp_path / "b.json"))
+        table = artifact.entries["bcast"].table
+        fn = compile_python(table)
+        stored_fn = loaded.entries["bcast"].compile()
+        points = [
+            (p, m) for p in table.proc_points for m in table.size_points
+        ] + off_grid_points(20)
+        for procs, nbytes in points:
+            expected = table.select(procs, nbytes)
+            assert loaded.select("bcast", procs, nbytes) == expected
+            pair = (expected.algorithm, expected.segment_size)
+            assert fn(procs, nbytes) == pair
+            assert stored_fn(procs, nbytes) == pair
+
+    def test_load_rejects_tampered_payload(self, artifact, tmp_path):
+        path = artifact.save(tmp_path / "c.json")
+        data = json.loads(path.read_text())
+        data["payload"]["cluster"] = "impostor"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ArtifactError, match="hash mismatch"):
+            load_artifact(path)
+
+    def test_load_rejects_wrong_schema(self, artifact, tmp_path):
+        path = artifact.save(tmp_path / "d.json")
+        data = json.loads(path.read_text())
+        data["schema"] = ARTIFACT_SCHEMA + 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(ArtifactError, match="schema"):
+            load_artifact(path)
+
+    def test_load_rejects_non_json(self, tmp_path):
+        path = tmp_path / "e.json"
+        path.write_text("not an artifact")
+        with pytest.raises(ArtifactError, match="not JSON"):
+            load_artifact(path)
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactError, match="cannot read"):
+            load_artifact(tmp_path / "absent.json")
+
+    def test_unknown_collective_needs_platform(self):
+        with pytest.raises(ArtifactError, match="no calibration pipeline"):
+            build_artifact(MINICLUSTER, collectives=("allgather",))
+
+
+class TestRegistry:
+    def test_scan_lookup_and_errors(self, artifact, tmp_path):
+        artifact.save(tmp_path / "good.json")
+        (tmp_path / "bad.json").write_text("{}")
+        registry = ArtifactRegistry(tmp_path)
+        assert len(registry) == 1
+        assert "bad.json" in registry.errors
+        found = registry.lookup("minicluster", "bcast")
+        assert found.content_hash() == artifact.content_hash()
+        with pytest.raises(ArtifactError, match="no artifact"):
+            registry.lookup("minicluster", "reduce")
+        summaries = registry.summaries()
+        assert summaries[0]["cluster"] == "minicluster"
+        assert summaries[0]["file"] == "good.json"
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(ArtifactError, match="does not exist"):
+            ArtifactRegistry(tmp_path / "nowhere")
+
+
+class TestLruCache:
+    def test_hit_miss_accounting(self):
+        cache = LruCache(maxsize=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_evicts_least_recently_used(self):
+        cache = LruCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b is now oldest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+
+class TestMetrics:
+    def test_histogram_buckets_cumulative(self):
+        histogram = Histogram("h", "help", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 2.0):
+            histogram.observe(value)
+        lines = histogram.render()
+        assert 'h_bucket{le="0.1"} 1' in lines
+        assert 'h_bucket{le="1.0"} 2' in lines
+        assert 'h_bucket{le="+Inf"} 3' in lines
+        assert "h_count 3" in lines
+
+    def test_render_is_prometheus_text(self):
+        metrics = ServiceMetrics()
+        metrics.requests.inc(endpoint="/select", status="200")
+        text = metrics.render()
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_requests_total{endpoint="/select",status="200"} 1' in text
+        assert "# TYPE repro_request_seconds histogram" in text
+        assert "repro_query_cache_hit_ratio" in text
+
+
+class Client:
+    """Tiny keep-alive JSON client for the test server."""
+
+    def __init__(self, port):
+        self.conn = HTTPConnection("127.0.0.1", port, timeout=10)
+
+    def request(self, method, path, payload=None):
+        body = None if payload is None else json.dumps(payload)
+        self.conn.request(method, path, body)
+        response = self.conn.getresponse()
+        raw = response.read()
+        content_type = response.getheader("Content-Type", "")
+        data = json.loads(raw) if "json" in content_type else raw.decode()
+        return response.status, data
+
+    def close(self):
+        self.conn.close()
+
+
+@pytest.fixture(scope="module")
+def server(artifact_dir):
+    service = SelectionService(ArtifactRegistry(artifact_dir), cache_size=64)
+    with ServiceThread(service) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server):
+    client = Client(server.port)
+    yield client
+    client.close()
+
+
+class TestServer:
+    def test_healthz(self, client):
+        status, data = client.request("GET", "/healthz")
+        assert status == 200
+        assert data == {"status": "ok", "artifacts": 1}
+
+    def test_single_select_matches_offline_table(self, client, artifact):
+        table = artifact.entries["bcast"].table
+        status, data = client.request(
+            "POST", "/select",
+            {"cluster": "minicluster", "procs": 12, "nbytes": 200_000},
+        )
+        assert status == 200
+        expected = table.select(12, 200_000)
+        assert data["algorithm"] == expected.algorithm
+        assert data["segment_size"] == expected.segment_size
+        assert data["operation"] == "bcast"
+        assert data["artifact"] == artifact.artifact_id
+
+    def test_batched_select_bit_identical_everywhere(self, client, artifact):
+        """Served batch == offline table on every grid cell + 20 off-grid."""
+        table = artifact.entries["bcast"].table
+        fn = compile_python(table)
+        points = [
+            (p, m) for p in table.proc_points for m in table.size_points
+        ] + off_grid_points(20)
+        queries = [
+            {"cluster": "minicluster", "operation": "bcast",
+             "procs": p, "nbytes": m}
+            for p, m in points
+        ]
+        status, data = client.request("POST", "/select", {"queries": queries})
+        assert status == 200
+        assert len(data["results"]) == len(points)
+        for (procs, nbytes), result in zip(points, data["results"]):
+            expected = table.select(procs, nbytes)
+            assert result["algorithm"] == expected.algorithm
+            assert result["segment_size"] == expected.segment_size
+            assert fn(procs, nbytes) == (
+                result["algorithm"], result["segment_size"]
+            )
+
+    @pytest.mark.parametrize(
+        "query,fragment",
+        [
+            ({"procs": 4, "nbytes": 100}, "cluster"),
+            ({"cluster": "minicluster", "nbytes": 100}, "procs"),
+            ({"cluster": "minicluster", "procs": 0, "nbytes": 1}, "procs"),
+            ({"cluster": "minicluster", "procs": 4, "nbytes": -1}, "nbytes"),
+            ({"cluster": "minicluster", "procs": True, "nbytes": 1}, "procs"),
+            ({"cluster": "minicluster", "procs": 4}, "nbytes"),
+        ],
+    )
+    def test_validation_errors_are_typed_400s(self, client, query, fragment):
+        status, data = client.request("POST", "/select", query)
+        assert status == 400
+        assert data["error"]["code"] == "validation"
+        assert fragment in data["error"]["message"]
+
+    def test_batch_error_names_the_query_index(self, client):
+        queries = [
+            {"cluster": "minicluster", "procs": 4, "nbytes": 100},
+            {"cluster": "minicluster", "procs": "four", "nbytes": 100},
+        ]
+        status, data = client.request("POST", "/select", {"queries": queries})
+        assert status == 400
+        assert "query #1" in data["error"]["message"]
+
+    def test_unknown_cluster_is_404(self, client):
+        status, data = client.request(
+            "POST", "/select",
+            {"cluster": "atlantis", "procs": 4, "nbytes": 100},
+        )
+        assert status == 404
+        assert data["error"]["code"] == "unknown_artifact"
+
+    def test_bad_json_body(self, server):
+        conn = HTTPConnection("127.0.0.1", server.port, timeout=10)
+        conn.request("POST", "/select", "{not json")
+        response = conn.getresponse()
+        data = json.loads(response.read())
+        conn.close()
+        assert response.status == 400
+        assert data["error"]["code"] == "bad_json"
+
+    def test_unknown_endpoint_and_wrong_method(self, client):
+        status, data = client.request("GET", "/nope")
+        assert status == 404 and data["error"]["code"] == "not_found"
+        status, data = client.request("GET", "/select")
+        assert status == 405 and data["error"]["code"] == "method_not_allowed"
+
+    def test_artifacts_listing(self, client, artifact):
+        status, data = client.request("GET", "/artifacts")
+        assert status == 200
+        assert data["errors"] == {}
+        [summary] = data["artifacts"]
+        assert summary["id"] == artifact.artifact_id
+        assert summary["content_hash"] == artifact.content_hash()
+        assert summary["operations"]["bcast"]["proc_points"] == len(GRID_PROCS)
+
+    def test_repeat_query_hits_lru_cache(self, client, server):
+        query = {"cluster": "minicluster", "procs": 14, "nbytes": 123_456}
+        before = server.service.metrics.cache_hits.total()
+        client.request("POST", "/select", query)
+        client.request("POST", "/select", query)
+        assert server.service.metrics.cache_hits.total() > before
+
+    def test_metrics_endpoint_exposes_counters(self, client):
+        client.request(
+            "POST", "/select",
+            {"cluster": "minicluster", "procs": 4, "nbytes": 8192},
+        )
+        status, text = client.request("GET", "/metrics")
+        assert status == 200
+        assert 'repro_requests_total{endpoint="/select",status="200"}' in text
+        assert "repro_request_seconds_bucket" in text
+        assert 'repro_selections_total{algorithm="' in text
+        assert "repro_query_cache_hit_ratio" in text
+        assert "repro_artifacts_loaded 1" in text
+
+
+class TestReload:
+    def test_hot_reload_picks_up_new_artifact(self, artifact, mini_platform,
+                                              tmp_path):
+        artifact.save(tmp_path / "one.json")
+        service = SelectionService(ArtifactRegistry(tmp_path))
+        with ServiceThread(service) as handle:
+            client = Client(handle.port)
+            # A second artifact with a coarser grid appears on disk...
+            coarse = build_artifact(
+                MINICLUSTER,
+                proc_points=(2, 16),
+                size_points=GRID_SIZES,
+                platforms={"bcast": mini_platform},
+            )
+            coarse.save(tmp_path / "two.json")
+            status, data = client.request("GET", "/artifacts")
+            assert len(data["artifacts"]) == 1
+            status, data = client.request("POST", "/reload")
+            assert status == 200 and data["artifacts"] == 2
+            status, data = client.request("GET", "/artifacts")
+            assert len(data["artifacts"]) == 2
+            # ...and lexically-last file now answers the queries.
+            status, data = client.request(
+                "POST", "/select",
+                {"cluster": "minicluster", "procs": 8, "nbytes": 8192},
+            )
+            assert data["artifact"] == coarse.artifact_id
+            client.close()
+
+
+class TestConcurrency:
+    def test_parallel_clients_get_bit_identical_answers(self, server, artifact):
+        table = artifact.entries["bcast"].table
+        points = off_grid_points(40, seed=13)
+        failures: list[str] = []
+
+        def worker():
+            client = Client(server.port)
+            for procs, nbytes in points:
+                _, data = client.request(
+                    "POST", "/select",
+                    {"cluster": "minicluster", "procs": procs,
+                     "nbytes": nbytes},
+                )
+                expected = table.select(procs, nbytes)
+                if (data["algorithm"], data["segment_size"]) != (
+                    expected.algorithm, expected.segment_size
+                ):
+                    failures.append(f"{procs},{nbytes}: {data}")
+            client.close()
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
