@@ -3,21 +3,28 @@
 :mod:`repro.bench.runner` orchestrates the paper's experiments (selection
 comparisons, model-vs-measurement curves); :mod:`repro.bench.tables`
 formats them as the paper's Tables 1-3; :mod:`repro.bench.figures`
-produces the data series of Figs. 1 and 5 with CSV output and ASCII plots.
+produces the data series of Figs. 1 and 5 with CSV output and ASCII plots;
+:mod:`repro.bench.chaos` re-runs the selection comparison under injected
+faults and reports the model-vs-oracle drift.
 """
 
+from repro.bench.chaos import ChaosReport, chaos_sweep, format_chaos, severity_plan
 from repro.bench.runner import SelectionRow, selection_comparison
 from repro.bench.tables import format_table1, format_table2, format_table3
 from repro.bench.figures import ascii_plot, fig1_series, fig5_series, write_csv
 
 __all__ = [
+    "ChaosReport",
     "SelectionRow",
     "ascii_plot",
+    "chaos_sweep",
     "fig1_series",
     "fig5_series",
+    "format_chaos",
     "format_table1",
     "format_table2",
     "format_table3",
     "selection_comparison",
+    "severity_plan",
     "write_csv",
 ]

@@ -247,6 +247,33 @@ def _cmd_decision_fn(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.bench.chaos import chaos_sweep, format_chaos
+
+    spec = get_preset(args.cluster)
+    severities = tuple(
+        float(s) for s in args.severities.split(",") if s.strip()
+    )
+    kwargs = {}
+    if args.screen_mad is not None:  # else chaos_sweep's default (3.5)
+        kwargs["screen_mad"] = args.screen_mad
+    reports = chaos_sweep(
+        spec,
+        procs=args.procs,
+        severities=severities,
+        max_reps=args.max_reps,
+        seed=args.seed,
+        retry_budget=args.retry_budget,
+        **kwargs,
+    )
+    print(format_chaos(reports))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump([report.as_dict() for report in reports], handle, indent=2)
+        print(f"drift report written to {args.json}")
+    return 0
+
+
 def _cmd_artifact_build(args) -> int:
     from repro.service.artifact import build_artifact
 
@@ -261,6 +288,9 @@ def _cmd_artifact_build(args) -> int:
         procs=args.procs,
         max_reps=args.max_reps,
         seed=args.seed,
+        strict=args.strict,
+        screen_mad=args.screen_mad,
+        retry_budget=args.retry_budget,
     )
     artifact.verify()
     artifact.save(args.output)
@@ -489,12 +519,40 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--procs-step", type=int, default=2)
     build.add_argument("--max-reps", type=int, default=8)
     build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--strict", action="store_true",
+                       help="refuse to package fits that fail the "
+                            "calibration quality gate")
+    build.add_argument("--screen-mad", type=float, default=None,
+                       help="MAD outlier-screening threshold (off by default)")
+    build.add_argument("--retry-budget", type=int, default=0,
+                       help="re-measurements allowed per non-converged "
+                            "experiment")
     build.set_defaults(func=_cmd_artifact_build)
     verify = artifact_sub.add_parser(
         "verify", help="validate schema, content hash and codegen agreement"
     )
     verify.add_argument("path")
     verify.set_defaults(func=_cmd_artifact_verify)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="measure selection drift under injected faults",
+        parents=[exec_flags],
+    )
+    chaos.add_argument("--cluster", required=True)
+    chaos.add_argument("-P", "--procs", type=int, default=None,
+                       help="communicator size (default: half the cluster)")
+    chaos.add_argument("--severities", default="0,0.01,0.02,0.05,0.1",
+                       help="comma-separated straggler severities")
+    chaos.add_argument("--max-reps", type=int, default=6)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--screen-mad", type=float,
+                       default=None,
+                       help="MAD screening threshold (default: 3.5)")
+    chaos.add_argument("--retry-budget", type=int, default=1)
+    chaos.add_argument("--json", default=None,
+                       help="also write the full drift report as JSON")
+    chaos.set_defaults(func=_cmd_chaos)
 
     serve = sub.add_parser(
         "serve", help="run the online selection server"

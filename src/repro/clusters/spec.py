@@ -7,6 +7,9 @@ import json
 from dataclasses import dataclass, field, replace
 
 from repro.errors import SimulationError
+from repro.faults.fabric import FaultyFabric
+from repro.faults.noise import compose_noise
+from repro.faults.plan import FaultPlan
 from repro.mpi.communicator import MpiWorld
 from repro.sim.engine import Simulator
 from repro.sim.network import Fabric, NetworkParams
@@ -36,6 +39,9 @@ class ClusterSpec:
     nics_per_node: int = 1
     #: Per-node NIC slowdown factors (straggler nodes), e.g. ``{60: 6.0}``.
     slow_nodes: dict = field(default_factory=dict)
+    #: Optional fault plan (:mod:`repro.faults`); ``None`` — and an empty,
+    #: inert plan — leave every code path and fingerprint untouched.
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -83,7 +89,6 @@ class ClusterSpec:
         measurement).
         """
         sigma = self.noise_sigma if noise_sigma is None else noise_sigma
-        noise = LognormalNoise(sigma=sigma, seed=seed) if sigma > 0 else NoNoise()
         placement = self.rank_to_node(procs, mapping=mapping)
         slots_seen: dict[int, int] = {}
         ports = []
@@ -91,19 +96,52 @@ class ClusterSpec:
             slot = slots_seen.get(node, 0)
             slots_seen[node] = slot + 1
             ports.append(slot % self.nics_per_node)
-        fabric = Fabric(
-            params=self.network,
-            num_nodes=max(placement) + 1,
-            noise=noise,
-            ports_per_node=self.nics_per_node,
-            degradation={
-                node: factor
-                for node, factor in self.slow_nodes.items()
-                if node <= max(placement)
-            },
-        )
+        num_nodes = max(placement) + 1
+        degradation = {
+            node: factor
+            for node, factor in self.slow_nodes.items()
+            if node <= max(placement)
+        }
+        plan = self.faults
+        if plan is not None and plan.enabled():
+            fabric: Fabric = FaultyFabric(
+                params=self.network,
+                num_nodes=num_nodes,
+                noise=compose_noise(sigma, plan.noise, seed),
+                ports_per_node=self.nics_per_node,
+                degradation=degradation,
+                plan=plan,
+                seed=seed,
+            )
+            slow_cpu = {
+                s.node: s.compute_factor
+                for s in plan.stragglers
+                if s.node < num_nodes and s.compute_factor != 1.0
+            }
+            compute_factor = (
+                [slow_cpu.get(node, 1.0) for node in placement]
+                if slow_cpu
+                else None
+            )
+        else:
+            noise = (
+                LognormalNoise(sigma=sigma, seed=seed) if sigma > 0 else NoNoise()
+            )
+            fabric = Fabric(
+                params=self.network,
+                num_nodes=num_nodes,
+                noise=noise,
+                ports_per_node=self.nics_per_node,
+                degradation=degradation,
+            )
+            compute_factor = None
         return MpiWorld(
-            Simulator(), fabric, placement, tracer=tracer, rank_to_port=ports
+            Simulator(),
+            fabric,
+            placement,
+            tracer=tracer,
+            rank_to_port=ports,
+            compute_factor=compute_factor,
         )
 
     def fingerprint(self) -> str:
@@ -143,6 +181,12 @@ class ClusterSpec:
                 "shm_byte_time": net.shm_byte_time,
             },
         }
+        if self.faults is not None and self.faults.enabled():
+            # Key added only for an *enabled* plan: specs without faults
+            # (or with an inert empty plan) keep their pre-fault
+            # fingerprints, so existing cache entries and artifact hashes
+            # survive this feature bit-for-bit.
+            payload["faults"] = self.faults.payload()
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -160,6 +204,16 @@ class ClusterSpec:
         position.
         """
         return replace(self, slow_nodes=dict(slow_nodes))
+
+    def with_faults(self, faults: FaultPlan | None) -> "ClusterSpec":
+        """A copy of this spec carrying a fault plan (``None`` clears it).
+
+        The plan flows through :meth:`make_world` (fault-aware fabric,
+        straggler CPU factors) and :meth:`fingerprint` (faulty results get
+        their own cache keys), so every downstream consumer — measurement,
+        the result cache, calibration, benchmarks — sees it automatically.
+        """
+        return replace(self, faults=faults)
 
     def describe(self) -> str:
         """One-line summary used by the CLI."""

@@ -49,5 +49,13 @@ class ArtifactError(ReproError):
     """Raised when a selection artifact is invalid, corrupt or mismatched."""
 
 
+class FaultError(ReproError):
+    """Raised when a fault plan is malformed or cannot be applied."""
+
+
 class ServiceError(ReproError):
     """Raised for invalid requests to or misuse of the selection service."""
+
+
+class PortInUseError(ServiceError):
+    """Raised when the selection server's listen port is already bound."""

@@ -19,17 +19,23 @@ traditional models and the ablation), and :mod:`repro.estimation.workflow`
 (one-call calibration of a platform).
 """
 
-from repro.estimation.alphabeta import AlphaBeta, estimate_alpha_beta
+from repro.estimation.alphabeta import AlphaBeta, FitQuality, estimate_alpha_beta
 from repro.estimation.gamma import estimate_gamma
 from repro.estimation.p2p import estimate_hockney_p2p
-from repro.estimation.regression import huber_fit, ols_fit
+from repro.estimation.regression import huber_fit, mad_screen, ols_fit
 from repro.estimation.statistics import SampleStats, adaptive_measure
 from repro.estimation.reduce_calibration import calibrate_reduce
-from repro.estimation.workflow import PlatformModel, calibrate_platform
+from repro.estimation.workflow import (
+    PlatformModel,
+    QualityThresholds,
+    calibrate_platform,
+)
 
 __all__ = [
     "AlphaBeta",
+    "FitQuality",
     "PlatformModel",
+    "QualityThresholds",
     "SampleStats",
     "adaptive_measure",
     "calibrate_platform",
@@ -38,5 +44,6 @@ __all__ = [
     "estimate_gamma",
     "estimate_hockney_p2p",
     "huber_fit",
+    "mad_screen",
     "ols_fit",
 ]

@@ -27,7 +27,12 @@ from typing import Callable, Sequence
 
 from repro.clusters.spec import ClusterSpec
 from repro.errors import EstimationError
-from repro.estimation.regression import FitResult, get_regressor
+from repro.estimation.regression import (
+    DEFAULT_SCREEN_THRESHOLD,
+    FitResult,
+    get_regressor,
+    mad_screen,
+)
 from repro.estimation.statistics import SampleStats, adaptive_measure
 from repro.exec.job import SimJob
 from repro.exec.runner import ParallelRunner, default_runner
@@ -95,6 +100,65 @@ def alphabeta_prefetch_jobs(
     return batch
 
 
+#: Seed stride separating retry attempts of a non-converged measurement
+#: from each other and from the primary repetition stream.
+RETRY_SEED_STRIDE = 15_485_863
+
+
+@dataclass(frozen=True)
+class FitQuality:
+    """Per-fit quality diagnostics: how trustworthy are these α/β?
+
+    Recorded by :func:`estimate_alpha_beta` for every fit (the knobs that
+    *change* the fit — screening, retries — stay opt-in, but diagnosing it
+    is free), surfaced through :class:`CalibrationResult` and the strict
+    artifact build's quality gate.
+    """
+
+    #: Canonical points available / dropped by MAD screening / fitted.
+    points: int
+    screened: int
+    fitted: int
+    #: Largest |residual| of the final fit over the fitted points.
+    max_abs_residual: float
+    #: ``max_abs_residual`` relative to the mean |y| of the fitted points —
+    #: the scale-free "is this line actually describing the data" number.
+    relative_residual: float
+    #: Measurements whose CI met the precision target / total measurements.
+    converged: int
+    #: Measurements that were re-run under the retry budget.
+    retried: int
+    #: Mean CI half-width over mean, across all measurements.
+    mean_relative_precision: float
+
+    @property
+    def converged_fraction(self) -> float:
+        return self.converged / self.points if self.points else 1.0
+
+    def ok(
+        self,
+        max_relative_residual: float = 0.5,
+        min_converged_fraction: float = 0.5,
+    ) -> bool:
+        """Whether this fit passes the (strict-build) quality gate."""
+        return (
+            self.relative_residual <= max_relative_residual
+            and self.converged_fraction >= min_converged_fraction
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "points": self.points,
+            "screened": self.screened,
+            "fitted": self.fitted,
+            "max_abs_residual": self.max_abs_residual,
+            "relative_residual": self.relative_residual,
+            "converged": self.converged,
+            "retried": self.retried,
+            "mean_relative_precision": self.mean_relative_precision,
+        }
+
+
 @dataclass(frozen=True)
 class AlphaBeta:
     """Fitted per-algorithm Hockney parameters plus fit diagnostics."""
@@ -108,6 +172,8 @@ class AlphaBeta:
     sizes: tuple[int, ...]
     #: Statistics of each experiment's time measurement.
     stats: tuple[SampleStats, ...]
+    #: Quality diagnostics of the fit (None for legacy constructions).
+    quality: FitQuality | None = None
 
     @property
     def alpha(self) -> float:
@@ -132,6 +198,8 @@ def estimate_alpha_beta(
     seed: int = 0,
     runner: ParallelRunner | None = None,
     prefetch: bool = True,
+    screen_mad: float | None = None,
+    retry_budget: int = 0,
 ) -> AlphaBeta:
     """Fit α and β for ``model.algorithm`` on ``spec`` (paper §4.2).
 
@@ -142,6 +210,14 @@ def estimate_alpha_beta(
     Simulations run through ``runner`` (default: the process-wide runner);
     ``prefetch=False`` skips the warm-up batch when the caller has already
     prefetched a larger one.
+
+    Robustness knobs (both default *off* so the vanilla estimate is
+    bit-identical to earlier releases): ``screen_mad`` enables MAD-based
+    outlier screening of the canonical points before the fit (see
+    :func:`~repro.estimation.regression.mad_screen`), and ``retry_budget``
+    re-runs each measurement whose CI misses the precision target up to
+    that many times with fresh seeds, keeping the tightest sample.  Quality
+    diagnostics are recorded in ``AlphaBeta.quality`` either way.
     """
     if procs is None:
         procs = max(2, spec.max_procs // 2)
@@ -170,6 +246,7 @@ def estimate_alpha_beta(
     xs: list[float] = []
     ys: list[float] = []
     stats: list[SampleStats] = []
+    retried = 0
     for index, nbytes in enumerate(sizes):
         m_g = gather_of(nbytes)
         coeffs = model.coefficients(procs, nbytes, segment_size)
@@ -195,19 +272,56 @@ def estimate_alpha_beta(
                 )
             )
 
+        base_seed = seed + 104_729 * (index + 1)
         sample = adaptive_measure(
             measure_once,
             precision=precision,
             max_reps=max_reps,
-            seed=seed + 104_729 * (index + 1),
+            seed=base_seed,
         )
+        attempt = 0
+        while not sample.converged and attempt < retry_budget:
+            # A fresh seed gives an independent noise realisation; keep
+            # whichever sample pinned the mean down tighter.
+            attempt += 1
+            retried += 1
+            candidate = adaptive_measure(
+                measure_once,
+                precision=precision,
+                max_reps=max_reps,
+                seed=base_seed + RETRY_SEED_STRIDE * attempt,
+            )
+            if candidate.relative_precision < sample.relative_precision:
+                sample = candidate
         stats.append(sample)
         xs.append(total.c_beta / total.c_alpha)
         ys.append(sample.mean / total.c_alpha)
 
-    fit = fit_fn(xs, ys)
+    if screen_mad is not None and len(xs) > 2:
+        kept = mad_screen(xs, ys, threshold=screen_mad)
+    else:
+        kept = list(range(len(xs)))
+    screened = len(xs) - len(kept)
+    fit = fit_fn([xs[i] for i in kept], [ys[i] for i in kept])
     alpha = max(fit.intercept, 0.0)
     beta = max(fit.slope, 0.0)
+    mean_abs_y = sum(abs(ys[i]) for i in kept) / len(kept)
+    quality = FitQuality(
+        points=len(xs),
+        screened=screened,
+        fitted=len(kept),
+        # float() casts: residuals are numpy scalars, and quality dicts
+        # must serialise to JSON (artifact documents, CLI output).
+        max_abs_residual=float(fit.max_abs_residual),
+        relative_residual=float(
+            fit.max_abs_residual / mean_abs_y if mean_abs_y > 0 else 0.0
+        ),
+        converged=sum(1 for s in stats if s.converged),
+        retried=retried,
+        mean_relative_precision=float(
+            sum(s.relative_precision for s in stats) / len(stats)
+        ),
+    )
     return AlphaBeta(
         algorithm=model.algorithm,
         params=HockneyParams(alpha=alpha, beta=beta),
@@ -215,4 +329,5 @@ def estimate_alpha_beta(
         points=tuple(zip(xs, ys)),
         sizes=tuple(sizes),
         stats=tuple(stats),
+        quality=quality,
     )

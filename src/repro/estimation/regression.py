@@ -118,6 +118,48 @@ def huber_fit(
     return FitResult(intercept, slope, tuple(residuals), iterations=iterations)
 
 
+#: Modified z-score cutoff for :func:`mad_screen` (Iglewicz & Hoaglin's
+#: conventional 3.5).
+DEFAULT_SCREEN_THRESHOLD = 3.5
+
+#: Fraction of points :func:`mad_screen` may drop at most.  Screening is a
+#: guard against a few wrecked experiments, not a licence to discard data:
+#: if more than a quarter of the sweep looks like outliers, the fit should
+#: *see* that (and the quality gate should reject it) rather than paper
+#: over it.
+_MAX_SCREEN_FRACTION = 0.25
+
+
+def mad_screen(xs, ys, threshold: float = DEFAULT_SCREEN_THRESHOLD) -> list[int]:
+    """Indices of points that survive MAD-based outlier screening.
+
+    Fits a preliminary OLS line, computes modified z-scores
+    ``0.6745 · (r - median(r)) / MAD(r)`` of its residuals, and drops
+    points beyond ``threshold`` — the classical pre-screen applied before
+    a robust fit so that gross outliers (a wrecked experiment, a fault
+    window) cannot drag even the Huber estimate.  At most a quarter of the
+    points (and never below two) are dropped; with zero MAD (deterministic
+    data) everything is kept.
+    """
+    if threshold <= 0:
+        raise EstimationError(f"screen threshold must be positive, got {threshold}")
+    x, y = _as_arrays(xs, ys)
+    n = len(x)
+    fit = ols_fit(x, y)
+    residuals = np.asarray(fit.residuals)
+    median = np.median(residuals)
+    mad = np.median(np.abs(residuals - median))
+    if mad == 0:
+        return list(range(n))
+    z = np.abs(0.6745 * (residuals - median) / mad)
+    kept = [i for i in range(n) if z[i] <= threshold]
+    floor = max(2, n - int(n * _MAX_SCREEN_FRACTION))
+    if len(kept) < floor:
+        order = np.argsort(z, kind="stable")
+        kept = sorted(int(i) for i in order[:floor])
+    return kept
+
+
 REGRESSORS = {"ols": ols_fit, "huber": huber_fit}
 
 

@@ -31,6 +31,7 @@ from repro.estimation.alphabeta import (
     DEFAULT_GATHER_BYTES,
     DEFAULT_SIZES,
     AlphaBeta,
+    FitQuality,
     alphabeta_prefetch_jobs,
     estimate_alpha_beta,
 )
@@ -185,6 +186,27 @@ class PlatformModel:
 
 
 @dataclass(frozen=True)
+class QualityThresholds:
+    """Acceptance gate for calibration fits (the ``--strict`` build).
+
+    ``max_relative_residual`` bounds the worst residual of a fit relative
+    to the data scale; ``min_converged_fraction`` requires that share of a
+    sweep's measurements to have met the paper's CI precision target.  The
+    residual default is deliberately generous (0.5): some model-form error
+    is inherent even on a noiseless cluster (e.g. split-binary on very
+    small worlds), and the gate's job is to catch *noise-wrecked*
+    calibrations, not to relitigate the model family.
+    """
+
+    max_relative_residual: float = 0.5
+    min_converged_fraction: float = 0.5
+
+
+#: Default gate used by ``repro artifact build --strict``.
+DEFAULT_QUALITY = QualityThresholds()
+
+
+@dataclass(frozen=True)
 class CalibrationResult:
     """A :class:`PlatformModel` plus the raw estimates behind it."""
 
@@ -192,6 +214,28 @@ class CalibrationResult:
     gamma_estimate: GammaEstimate
     alpha_beta: dict[str, AlphaBeta]
     p2p_estimate: P2pEstimate | None
+
+    def quality_report(self) -> dict[str, dict]:
+        """Per-algorithm fit diagnostics, JSON-ready (empty for p2p runs)."""
+        return {
+            name: estimate.quality.as_dict()
+            for name, estimate in sorted(self.alpha_beta.items())
+            if estimate.quality is not None
+        }
+
+    def check_quality(
+        self, thresholds: QualityThresholds = DEFAULT_QUALITY
+    ) -> list[str]:
+        """Names of algorithms whose fit fails ``thresholds`` (empty = pass)."""
+        return [
+            name
+            for name, estimate in sorted(self.alpha_beta.items())
+            if estimate.quality is not None
+            and not estimate.quality.ok(
+                max_relative_residual=thresholds.max_relative_residual,
+                min_converged_fraction=thresholds.min_converged_fraction,
+            )
+        ]
 
 
 def calibrate_platform(
@@ -211,6 +255,9 @@ def calibrate_platform(
     max_reps: int = 30,
     seed: int = 0,
     runner: ParallelRunner | None = None,
+    screen_mad: float | None = None,
+    retry_budget: int = 0,
+    strict: QualityThresholds | None = None,
 ) -> CalibrationResult:
     """Run the paper's full calibration procedure on ``spec``.
 
@@ -224,6 +271,12 @@ def calibrate_platform(
     sweep — is prefetched as one batch up front, so with a parallel runner
     the whole calibration's simulations run concurrently and the serial
     estimation stages replay from the memo.
+
+    Robustness knobs (all default off; the vanilla calibration is
+    bit-identical to earlier releases): ``screen_mad`` / ``retry_budget``
+    are forwarded to :func:`estimate_alpha_beta`; passing ``strict``
+    thresholds makes the calibration *fail* (:class:`EstimationError`)
+    instead of silently returning fits that miss them.
     """
     if estimation not in ESTIMATION_METHODS:
         raise EstimationError(
@@ -308,6 +361,8 @@ def calibrate_platform(
                 seed=seed + 2_000_017 * (index + 1),
                 runner=runner,
                 prefetch=False,
+                screen_mad=screen_mad,
+                retry_budget=retry_budget,
             )
             alpha_beta[name] = estimate
             parameters[name] = estimate.params
@@ -319,9 +374,20 @@ def calibrate_platform(
         parameters=parameters,
         model_family=model_family,
     )
-    return CalibrationResult(
+    result = CalibrationResult(
         platform=platform,
         gamma_estimate=gamma_estimate,
         alpha_beta=alpha_beta,
         p2p_estimate=p2p_estimate,
     )
+    if strict is not None:
+        failed = result.check_quality(strict)
+        if failed:
+            details = "; ".join(
+                f"{name}: {alpha_beta[name].quality.as_dict()}" for name in failed
+            )
+            raise EstimationError(
+                f"{spec.name}: calibration quality gate failed for "
+                f"{', '.join(failed)} ({details})"
+            )
+    return result

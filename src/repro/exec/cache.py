@@ -44,6 +44,7 @@ _SALTED_SOURCES = (
     "topology",
     "collectives",
     "clusters",
+    "faults",
     "measure.py",
     "units.py",
 )
@@ -91,8 +92,11 @@ class CacheStats:
     stores: int = 0
     #: Entries loaded from disk at open time.
     loaded: int = 0
-    #: Entries dropped at open time (stale salt or unparseable lines).
+    #: Entries dropped at open time because the code salt went stale.
     invalidated: int = 0
+    #: Lines skipped at open time because they were corrupt or half-written
+    #: (torn JSON, truncated tail, non-UTF-8 bytes, wrong entry shape).
+    corrupt_lines: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -101,6 +105,7 @@ class CacheStats:
             "stores": self.stores,
             "loaded": self.loaded,
             "invalidated": self.invalidated,
+            "corrupt_lines": self.corrupt_lines,
         }
 
 
@@ -120,36 +125,62 @@ class ResultCache:
     def _load(self) -> None:
         salt = code_salt()
         stale = 0
+        torn_tail = False
         if self.path.exists():
+            # Binary mode so a line of non-UTF-8 garbage (a torn page, a
+            # disk-level scribble) surfaces as a per-line decode error we
+            # can skip, not a mid-iteration crash of the whole run.
             try:
-                handle = open(self.path, "r", encoding="utf-8")
+                handle = open(self.path, "rb")
             except OSError as error:
                 raise CacheError(
                     f"cannot read result cache at {self.path}: {error}"
                 ) from error
             with handle:
-                header_line = handle.readline()
+                raw_header = handle.readline()
                 try:
-                    header = json.loads(header_line) if header_line else {}
-                except json.JSONDecodeError:
+                    header = json.loads(raw_header) if raw_header.strip() else {}
+                except (json.JSONDecodeError, UnicodeDecodeError, ValueError):
+                    header = {}
+                if not isinstance(header, dict):
+                    # Valid JSON that isn't an object (a bare number, a
+                    # list) must not crash the salt check below.
                     header = {}
                 fresh = (
                     header.get("schema") == CACHE_SCHEMA
                     and header.get("salt") == salt
                 )
-                for line in handle:
+                for raw in handle:
                     if not fresh:
                         stale += 1
                         continue
+                    if not raw.endswith(b"\n"):
+                        # A half-written final line: even if it happens to
+                        # parse, the next append would concatenate with it,
+                        # so drop it and force a sanitising rewrite.
+                        torn_tail = True
+                        self.stats.corrupt_lines += 1
+                        continue
                     try:
-                        entry = json.loads(line)
+                        entry = json.loads(raw)
                         self._entries[entry["k"]] = float(entry["v"])
-                    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                        self.stats.invalidated += 1
+                    except (
+                        json.JSONDecodeError,
+                        UnicodeDecodeError,
+                        KeyError,
+                        TypeError,
+                        ValueError,
+                    ):
+                        self.stats.corrupt_lines += 1
                 if not fresh:
                     self.stats.invalidated += stale
         self.stats.loaded = len(self._entries)
-        if stale or not self.path.exists():
+        if (
+            stale
+            or torn_tail
+            or self.stats.corrupt_lines
+            or not self.path.exists()
+        ):
             self._rewrite(salt)
 
     def _rewrite(self, salt: str) -> None:

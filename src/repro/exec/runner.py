@@ -30,12 +30,20 @@ from __future__ import annotations
 
 import atexit
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.exec.cache import ResultCache
 from repro.exec.job import SimJob, execute_job
+
+#: Sleep before each pool-rebuild attempt after a worker crash.  Short:
+#: the common killer (OOM, an operator's stray ``kill``) either clears
+#: immediately or keeps recurring, in which case we stop paying for pools
+#: and fall back to in-process execution.
+_POOL_RETRY_BACKOFF = (0.05, 0.25)
 
 
 @dataclass
@@ -43,13 +51,18 @@ class ExecStats:
     """Counters of one runner's activity.
 
     ``simulations`` counts actual simulator executions; a fully warm rerun
-    of a benchmark shows ``simulations == 0``.
+    of a benchmark shows ``simulations == 0``.  ``pool_failures`` counts
+    worker-pool crashes survived by rebuilding the pool;
+    ``fallback_batches`` counts batches that exhausted the retries and ran
+    in-process instead.
     """
 
     simulations: int = 0
     memo_hits: int = 0
     cache_hits: int = 0
     batches: int = 0
+    pool_failures: int = 0
+    fallback_batches: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -57,6 +70,8 @@ class ExecStats:
             "memo_hits": self.memo_hits,
             "cache_hits": self.cache_hits,
             "batches": self.batches,
+            "pool_failures": self.pool_failures,
+            "fallback_batches": self.fallback_batches,
         }
 
 
@@ -98,16 +113,40 @@ class ParallelRunner:
 
     # -- execution ---------------------------------------------------------
 
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.jobs)
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
     def _execute_batch(self, jobs: list[SimJob]) -> list[float]:
         if self.jobs == 1 or len(jobs) == 1:
             return [execute_job(job) for job in jobs]
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        # Chunked dispatch: ship several jobs per IPC round trip, but keep
-        # enough chunks in flight (~4 per worker) that an unlucky chunk of
-        # heavy jobs cannot serialise the tail of the batch.
-        chunksize = max(1, len(jobs) // (self.jobs * 4))
-        return list(self._pool.map(execute_job, jobs, chunksize=chunksize))
+        # A worker dying mid-batch (OOM killer, stray signal, container
+        # eviction) surfaces as BrokenProcessPool and poisons the whole
+        # executor.  Jobs are pure functions of their fingerprint, so the
+        # batch is safely re-runnable: rebuild the pool and retry, then
+        # give up on parallelism and finish in-process.  Results stay
+        # bit-identical on every path — the same simulations run, only the
+        # process executing them changes.
+        for backoff in _POOL_RETRY_BACKOFF:
+            try:
+                if self._pool is None:
+                    self._pool = self._make_pool()
+                # Chunked dispatch: ship several jobs per IPC round trip,
+                # but keep enough chunks in flight (~4 per worker) that an
+                # unlucky chunk of heavy jobs cannot serialise the tail of
+                # the batch.
+                chunksize = max(1, len(jobs) // (self.jobs * 4))
+                return list(self._pool.map(execute_job, jobs, chunksize=chunksize))
+            except BrokenProcessPool:
+                self.stats.pool_failures += 1
+                self._discard_pool()
+                time.sleep(backoff)
+        self.stats.fallback_batches += 1
+        return [execute_job(job) for job in jobs]
 
     def run(self, batch: Sequence[SimJob]) -> list[float]:
         """Results of ``batch``, in order; simulates only unseen jobs."""

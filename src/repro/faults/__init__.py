@@ -1,0 +1,45 @@
+"""Deterministic fault injection for the simulated cluster.
+
+Public surface:
+
+* :class:`FaultPlan` and its parts (:class:`StragglerFault`,
+  :class:`LinkFault`, :class:`MessageLoss`, :class:`HeavyTailSpec`) —
+  declarative, hashable fault scenarios;
+* :class:`FaultyFabric` — the fabric that executes a plan;
+* heavy-tailed noise models (:class:`ParetoNoise`, :class:`MixtureNoise`,
+  :class:`CompositeNoise`) and the :func:`compose_noise` helper.
+
+Attach a plan with ``spec.with_faults(plan)``; everything downstream
+(measurement, caching, calibration, benchmarks) picks it up through the
+spec fingerprint.
+"""
+
+from repro.faults.fabric import FaultyFabric
+from repro.faults.noise import (
+    CompositeNoise,
+    MixtureNoise,
+    ParetoNoise,
+    compose_noise,
+    make_fault_noise,
+)
+from repro.faults.plan import (
+    FaultPlan,
+    HeavyTailSpec,
+    LinkFault,
+    MessageLoss,
+    StragglerFault,
+)
+
+__all__ = [
+    "CompositeNoise",
+    "FaultPlan",
+    "FaultyFabric",
+    "HeavyTailSpec",
+    "LinkFault",
+    "MessageLoss",
+    "MixtureNoise",
+    "ParetoNoise",
+    "StragglerFault",
+    "compose_noise",
+    "make_fault_noise",
+]

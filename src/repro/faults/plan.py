@@ -1,0 +1,288 @@
+"""Declarative, deterministic fault plans for the simulator.
+
+A :class:`FaultPlan` describes *what goes wrong* on a simulated cluster:
+straggler nodes (slow injection and/or slow CPU), degraded or flapping
+links (time-windowed latency/bandwidth multipliers on node pairs),
+message loss with a timeout + retransmit cost, and heavy-tailed noise
+replacing the default lognormal jitter.
+
+Plans are plain frozen dataclasses of primitives, so they are hashable,
+picklable and canonically serialisable.  A plan never owns an RNG: every
+random draw it induces is made by the fabric from a PRNG seeded with the
+measurement seed, which is what makes faulty runs bit-reproducible — the
+same ``(cluster, FaultPlan, seed)`` triple yields the same timings in any
+process, serial or in a worker pool.
+
+Plans ride on :class:`~repro.clusters.spec.ClusterSpec` (see
+``ClusterSpec.with_faults``) and therefore flow into
+:meth:`ClusterSpec.fingerprint` and every ``SimJob`` fingerprint: faulty
+results are cached under their own keys, and a spec without a plan keeps
+its pre-fault fingerprint bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import FaultError
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """One slow node.
+
+    ``inject_factor`` multiplies the node's egress injection cost (NIC or
+    TCP-stack pathology, composing with ``ClusterSpec.slow_nodes``);
+    ``compute_factor`` multiplies CPU time charged to ranks on the node
+    (``send_overhead`` and explicit ``compute`` calls) — an overloaded or
+    thermally-throttled host.
+    """
+
+    node: int
+    inject_factor: float = 1.0
+    compute_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise FaultError(f"straggler node must be >= 0, got {self.node}")
+        if self.inject_factor < 1.0 or self.compute_factor < 1.0:
+            raise FaultError(
+                f"straggler factors must be >= 1, got inject={self.inject_factor} "
+                f"compute={self.compute_factor} for node {self.node}"
+            )
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """A degraded link between two nodes, optionally time-windowed/flapping.
+
+    The fault applies to messages from ``src`` to ``dst`` (directional; add
+    the mirrored fault for a symmetric pathology).  ``latency_factor``
+    multiplies the wire latency, ``byte_factor`` the per-byte costs (i.e.
+    divides effective bandwidth).  The fault is active for message start
+    times in ``[start, end)``; with ``period > 0`` it *flaps*: within each
+    period, only the first ``on_fraction`` of it is degraded.
+    """
+
+    src: int
+    dst: int
+    latency_factor: float = 1.0
+    byte_factor: float = 1.0
+    start: float = 0.0
+    end: float = math.inf
+    period: float = 0.0
+    on_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise FaultError(f"link endpoints must be >= 0, got {self.src}->{self.dst}")
+        if self.latency_factor < 1.0 or self.byte_factor < 1.0:
+            raise FaultError(
+                f"link factors must be >= 1, got latency={self.latency_factor} "
+                f"byte={self.byte_factor} for {self.src}->{self.dst}"
+            )
+        if self.start < 0 or self.end < self.start:
+            raise FaultError(
+                f"link window must satisfy 0 <= start <= end, got "
+                f"[{self.start}, {self.end})"
+            )
+        if self.period < 0:
+            raise FaultError(f"link period must be >= 0, got {self.period}")
+        if not 0.0 <= self.on_fraction <= 1.0:
+            raise FaultError(
+                f"on_fraction must be in [0, 1], got {self.on_fraction}"
+            )
+
+    def active(self, t: float) -> bool:
+        """Whether the fault degrades a message starting at time ``t``."""
+        if not self.start <= t < self.end:
+            return False
+        if self.period <= 0.0:
+            return True
+        phase = math.fmod(t - self.start, self.period)
+        return phase < self.on_fraction * self.period
+
+
+@dataclass(frozen=True)
+class MessageLoss:
+    """Uniform per-message loss with sender-side timeout + retransmit.
+
+    Each inter-node payload message is lost with probability ``rate``
+    (drawn from the fabric's seeded PRNG); a lost attempt costs the full
+    injection plus ``timeout`` seconds before the sender re-injects.  After
+    ``max_retries`` losses the next attempt always succeeds, so transfers
+    terminate.  Control messages (RTS/CTS) are never lost — modelling a
+    reliable transport whose *payload* path suffers (e.g. TCP
+    retransmission timers firing on bulk data).
+    """
+
+    rate: float
+    timeout: float
+    max_retries: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise FaultError(f"loss rate must be in [0, 1), got {self.rate}")
+        if self.timeout < 0:
+            raise FaultError(f"loss timeout must be >= 0, got {self.timeout}")
+        if self.max_retries < 0:
+            raise FaultError(f"max_retries must be >= 0, got {self.max_retries}")
+
+
+@dataclass(frozen=True)
+class HeavyTailSpec:
+    """Heavy-tailed noise replacing/augmenting the lognormal default.
+
+    ``kind="pareto"``: unit-mean Pareto factors with shape ``tail_index``
+    (smaller = heavier tail; must be > 1 so the mean exists).
+
+    ``kind="mixture"``: unit-mean lognormal base (``sigma``) that with
+    probability ``spike_probability`` is multiplied by a Pareto spike of
+    mean ``spike_scale`` — the "mostly quiet, occasionally terrible"
+    profile of shared clusters.
+    """
+
+    kind: str = "pareto"
+    tail_index: float = 2.5
+    sigma: float = 0.02
+    spike_probability: float = 0.01
+    spike_scale: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("pareto", "mixture"):
+            raise FaultError(f"unknown heavy-tail kind {self.kind!r}")
+        if self.tail_index <= 1.0:
+            raise FaultError(
+                f"tail_index must be > 1 for a finite mean, got {self.tail_index}"
+            )
+        if self.sigma < 0:
+            raise FaultError(f"sigma must be >= 0, got {self.sigma}")
+        if not 0.0 <= self.spike_probability <= 1.0:
+            raise FaultError(
+                f"spike_probability must be in [0, 1], got {self.spike_probability}"
+            )
+        if self.spike_scale < 1.0:
+            raise FaultError(f"spike_scale must be >= 1, got {self.spike_scale}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete fault scenario: what breaks, where, when, and how badly.
+
+    An empty plan (the default) is inert: ``ClusterSpec.make_world``
+    builds the exact pre-fault world for it, and the spec fingerprint is
+    unchanged — "faults disabled" and "no fault layer" are the same thing,
+    bit for bit.  ``salt`` separates the fault RNG streams of otherwise
+    identical plans (e.g. to draw independent loss realisations).
+    """
+
+    stragglers: tuple[StragglerFault, ...] = ()
+    links: tuple[LinkFault, ...] = ()
+    loss: MessageLoss | None = None
+    noise: HeavyTailSpec | None = None
+    salt: int = 0
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for straggler in self.stragglers:
+            if straggler.node in seen:
+                raise FaultError(f"duplicate straggler for node {straggler.node}")
+            seen.add(straggler.node)
+
+    def enabled(self) -> bool:
+        """Whether this plan perturbs anything at all."""
+        return bool(
+            self.stragglers or self.links or self.loss is not None
+            or self.noise is not None
+        )
+
+    # -- serialisation -----------------------------------------------------
+
+    def payload(self) -> dict:
+        """Canonical JSON-able form (stable field order via sort_keys)."""
+        return {
+            "stragglers": [
+                {
+                    "node": s.node,
+                    "inject_factor": s.inject_factor,
+                    "compute_factor": s.compute_factor,
+                }
+                for s in self.stragglers
+            ],
+            "links": [
+                {
+                    "src": l.src,
+                    "dst": l.dst,
+                    "latency_factor": l.latency_factor,
+                    "byte_factor": l.byte_factor,
+                    "start": l.start,
+                    "end": l.end if math.isfinite(l.end) else "inf",
+                    "period": l.period,
+                    "on_fraction": l.on_fraction,
+                }
+                for l in self.links
+            ],
+            "loss": None
+            if self.loss is None
+            else {
+                "rate": self.loss.rate,
+                "timeout": self.loss.timeout,
+                "max_retries": self.loss.max_retries,
+            },
+            "noise": None
+            if self.noise is None
+            else {
+                "kind": self.noise.kind,
+                "tail_index": self.noise.tail_index,
+                "sigma": self.noise.sigma,
+                "spike_probability": self.noise.spike_probability,
+                "spike_scale": self.noise.spike_scale,
+            },
+            "salt": self.salt,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash over every knob of this plan."""
+        canonical = json.dumps(self.payload(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_payload(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`payload` (used by the chaos CLI's JSON input)."""
+        try:
+            stragglers = tuple(
+                StragglerFault(**entry) for entry in data.get("stragglers", ())
+            )
+            links = []
+            for entry in data.get("links", ()):
+                entry = dict(entry)
+                if entry.get("end") == "inf":
+                    entry["end"] = math.inf
+                links.append(LinkFault(**entry))
+            loss = data.get("loss")
+            noise = data.get("noise")
+            return cls(
+                stragglers=stragglers,
+                links=tuple(links),
+                loss=None if loss is None else MessageLoss(**loss),
+                noise=None if noise is None else HeavyTailSpec(**noise),
+                salt=int(data.get("salt", 0)),
+            )
+        except TypeError as error:
+            raise FaultError(f"malformed fault plan payload: {error}") from error
+
+    def describe(self) -> str:
+        """One-line summary for CLI output."""
+        parts = []
+        if self.stragglers:
+            parts.append(f"{len(self.stragglers)} straggler(s)")
+        if self.links:
+            parts.append(f"{len(self.links)} degraded link(s)")
+        if self.loss is not None:
+            parts.append(f"loss {self.loss.rate:.2%}")
+        if self.noise is not None:
+            parts.append(f"{self.noise.kind} noise")
+        return ", ".join(parts) if parts else "no faults"

@@ -52,6 +52,7 @@ class MpiWorld:
         rank_to_node: Sequence[int],
         tracer: Tracer = NULL_TRACER,
         rank_to_port: Sequence[int] | None = None,
+        compute_factor: Sequence[float] | None = None,
     ):
         if not rank_to_node:
             raise MpiError("world needs at least one rank")
@@ -69,6 +70,18 @@ class MpiWorld:
             if not 0 <= port < fabric.ports_per_node:
                 raise MpiError(f"rank {rank} mapped to unknown NIC port {port}")
         self.rank_to_port = list(rank_to_port)
+        if compute_factor is not None:
+            if len(compute_factor) != len(self.rank_to_node):
+                raise MpiError("compute_factor length must match rank_to_node")
+            for rank, factor in enumerate(compute_factor):
+                if factor < 1.0:
+                    raise MpiError(
+                        f"compute factor must be >= 1, got {factor} for rank {rank}"
+                    )
+            compute_factor = list(compute_factor)
+        #: Per-rank CPU slowdown (straggler hosts); ``None`` — the default —
+        #: keeps every per-call cost exactly as configured.
+        self.compute_factor = compute_factor
         self.tracer = tracer
         self.size = len(rank_to_node)
         self.engines = [MatchingEngine() for _ in range(self.size)]
@@ -283,7 +296,10 @@ class Communicator:
         if nbytes < 0:
             raise MpiError(f"negative message size {nbytes}")
         world = self.world
-        yield world.sim.timeout(world.fabric.params.send_overhead)
+        overhead = world.fabric.params.send_overhead
+        if world.compute_factor is not None:
+            overhead *= world.compute_factor[self.group[self.rank]]
+        yield world.sim.timeout(overhead)
         request = Request(world.sim, "send", self.rank, dest, tag, nbytes)
         world._start_send(self.cid, self.group, self.rank, dest, nbytes, tag, request)
         return request
@@ -364,5 +380,8 @@ class Communicator:
 
         Used by reduction collectives to charge per-byte operator cost.
         """
+        factors = self.world.compute_factor
+        if factors is not None:
+            seconds *= factors[self.group[self.rank]]
         if seconds > 0:
             yield self.world.sim.timeout(seconds)

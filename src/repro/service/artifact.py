@@ -37,8 +37,13 @@ from typing import Mapping, Sequence
 
 import repro
 from repro.clusters.spec import ClusterSpec
-from repro.errors import ArtifactError
-from repro.estimation.workflow import PlatformModel, calibrate_platform
+from repro.errors import ArtifactError, EstimationError
+from repro.estimation.workflow import (
+    DEFAULT_QUALITY,
+    PlatformModel,
+    QualityThresholds,
+    calibrate_platform,
+)
 from repro.exec.runner import ParallelRunner, default_runner
 from repro.selection.codegen import generate_python
 from repro.selection.decision_table import DecisionTable, build_decision_table
@@ -108,6 +113,12 @@ class SelectionArtifact:
     cluster_fingerprint: str
     entries: dict[str, ArtifactEntry]
     builder_version: str = repro.__version__
+    #: Calibration quality diagnostics per operation (see
+    #: :meth:`CalibrationResult.quality_report`).  Deliberately *outside*
+    #: the hashed payload: diagnostics describe the build, not the
+    #: decisions, so adding them never changes a content hash — artifacts
+    #: built before this field existed keep their hashes bit-for-bit.
+    quality: dict = field(default_factory=dict, compare=False)
     _hash: list = field(default_factory=list, compare=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -205,11 +216,16 @@ class SelectionArtifact:
     # -- serialisation -----------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "schema": ARTIFACT_SCHEMA,
             "content_hash": self.content_hash(),
             "payload": self.payload(),
         }
+        if self.quality:
+            # Sibling of the payload, not part of it: absent for quality-less
+            # builds so pre-existing artifact files round-trip byte-for-byte.
+            doc["quality"] = self.quality
+        return doc
 
     def save(self, path: str | Path) -> Path:
         path = Path(path)
@@ -238,6 +254,7 @@ class SelectionArtifact:
                 f"artifact content hash mismatch: stored {stored_hash[:12]}…, "
                 f"computed {actual[:12]}… — file corrupt or edited"
             )
+        quality = data.get("quality")
         try:
             return cls(
                 cluster=payload["cluster"],
@@ -247,6 +264,7 @@ class SelectionArtifact:
                     operation: ArtifactEntry.from_dict(entry)
                     for operation, entry in payload["entries"].items()
                 },
+                quality=quality if isinstance(quality, dict) else {},
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ArtifactError(f"malformed artifact payload: {error}") from error
@@ -289,6 +307,10 @@ def build_artifact(
     max_reps: int = 8,
     seed: int = 0,
     runner: ParallelRunner | None = None,
+    strict: bool = False,
+    thresholds: QualityThresholds = DEFAULT_QUALITY,
+    screen_mad: float | None = None,
+    retry_budget: int = 0,
 ) -> SelectionArtifact:
     """Run the full pipeline and package the result.
 
@@ -303,6 +325,13 @@ def build_artifact(
     entries run :func:`calibrate_platform` (through ``runner``, so the
     build is parallel and cache-aware) and ``"reduce"`` entries run
     :func:`repro.estimation.reduce_calibration.calibrate_reduce`.
+
+    ``strict=True`` refuses to package a calibration whose fits fail the
+    quality ``thresholds`` (raising :class:`ArtifactError`); fit
+    diagnostics are recorded in the artifact's unhashed ``quality``
+    section either way.  ``screen_mad`` / ``retry_budget`` forward to
+    :func:`calibrate_platform` and default off, so a vanilla build is
+    bit-identical to earlier releases.
     """
     runner = runner if runner is not None else default_runner()
     grid_procs = (
@@ -317,13 +346,28 @@ def build_artifact(
         calib_kwargs["sizes"] = sizes
 
     entries: dict[str, ArtifactEntry] = {}
+    quality: dict[str, dict] = {}
     for operation in collectives:
         if platforms is not None and operation in platforms:
             platform = platforms[operation]
         elif operation == "bcast":
-            platform = calibrate_platform(
-                spec, runner=runner, **calib_kwargs
-            ).platform
+            try:
+                result = calibrate_platform(
+                    spec,
+                    runner=runner,
+                    screen_mad=screen_mad,
+                    retry_budget=retry_budget,
+                    strict=thresholds if strict else None,
+                    **calib_kwargs,
+                )
+            except EstimationError as error:
+                raise ArtifactError(
+                    f"strict build refused: {error}"
+                ) from error
+            platform = result.platform
+            report = result.quality_report()
+            if report:
+                quality[operation] = report
         elif operation == "reduce":
             from repro.estimation.reduce_calibration import calibrate_reduce
 
@@ -349,6 +393,7 @@ def build_artifact(
         cluster=spec.name,
         cluster_fingerprint=spec.fingerprint(),
         entries=entries,
+        quality=quality,
     )
 
 
@@ -360,12 +405,23 @@ class ArtifactRegistry:
     and recorded in :attr:`errors`, never silently served.  Lookup is by
     ``(cluster, operation)``; when several artifacts cover the same pair
     the lexically last file wins (deterministic across rescans).
+
+    **Degraded mode.**  When a *rescan* finds that a previously-served
+    file is now invalid (tampered, truncated mid-write, wrong hash), the
+    last-known-good copy keeps serving and the file is recorded in
+    :attr:`degraded` — a corrupt reload must never take working decisions
+    away from clients.  A file that was never valid is only an error; a
+    file that was *deleted* drops out (removal is an operator action,
+    corruption is not).
     """
 
     def __init__(self, directory: str | Path | None = None):
         self.directory = Path(directory) if directory else None
         self.artifacts: dict[str, SelectionArtifact] = {}
         self.errors: dict[str, str] = {}
+        #: Files currently served from their last-known-good copy, mapped
+        #: to the error that made the on-disk version unloadable.
+        self.degraded: dict[str, str] = {}
         self._by_query: dict[tuple[str, str], SelectionArtifact] = {}
         if self.directory is not None:
             self.rescan()
@@ -376,6 +432,7 @@ class ArtifactRegistry:
             return
         artifacts: dict[str, SelectionArtifact] = {}
         errors: dict[str, str] = {}
+        degraded: dict[str, str] = {}
         if not self.directory.is_dir():
             raise ArtifactError(
                 f"artifact directory {self.directory} does not exist"
@@ -385,10 +442,15 @@ class ArtifactRegistry:
                 artifact = load_artifact(path)
             except ArtifactError as error:
                 errors[path.name] = str(error)
+                previous = self.artifacts.get(path.name)
+                if previous is not None:
+                    artifacts[path.name] = previous
+                    degraded[path.name] = str(error)
                 continue
             artifacts[path.name] = artifact
         self.artifacts = artifacts
         self.errors = errors
+        self.degraded = degraded
         self._reindex()
 
     def add(self, artifact: SelectionArtifact, name: str | None = None) -> None:

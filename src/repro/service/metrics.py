@@ -185,6 +185,16 @@ class ServiceMetrics:
             "repro_artifact_reloads_total",
             "Hot artifact-registry rescans performed.",
         )
+        self.reload_failures = Counter(
+            "repro_artifact_reload_failures_total",
+            "Rescans that failed outright; the previous registry state "
+            "keeps serving.",
+        )
+        self.degraded = Gauge(
+            "repro_service_degraded",
+            "1 while serving last-known-good data (failed reload or "
+            "corrupted artifact on disk), 0 when healthy.",
+        )
 
     def cache_hit_ratio(self) -> float:
         hits = self.cache_hits.total()
@@ -208,5 +218,7 @@ class ServiceMetrics:
             ]
             + self.artifacts_loaded.render()
             + self.reloads.render()
+            + self.reload_failures.render()
+            + self.degraded.render()
         )
         return "\n".join(parts) + "\n"

@@ -32,6 +32,7 @@ selections are bit-identical to offline ``DecisionTable.select``.
 from __future__ import annotations
 
 import asyncio
+import errno
 import json
 import signal
 import threading
@@ -39,7 +40,7 @@ import time
 from collections import OrderedDict
 from pathlib import Path
 
-from repro.errors import ArtifactError, ServiceError
+from repro.errors import ArtifactError, PortInUseError, ServiceError
 from repro.service.artifact import ArtifactRegistry, SelectionArtifact
 from repro.service.metrics import ServiceMetrics
 
@@ -48,6 +49,10 @@ MAX_BATCH = 4096
 
 #: Largest accepted request body, in bytes.
 MAX_BODY = 4 << 20
+
+#: Seconds a connection may sit idle (or dribble a request) before the
+#: server closes it; bounds the damage of slow-loris style clients.
+DEFAULT_READ_TIMEOUT = 30.0
 
 _REASONS = {
     200: "OK",
@@ -132,17 +137,51 @@ class SelectionService:
         self.metrics = metrics or ServiceMetrics()
         self.cache = LruCache(cache_size)
         self.metrics.artifacts_loaded.set(len(registry))
+        #: Why the service is serving last-known-good data, or ``None``
+        #: while healthy.  Set by :meth:`reload`, surfaced by /healthz.
+        self.degraded_reason: str | None = None
+        self._refresh_degraded()
+
+    def _refresh_degraded(self) -> None:
+        if self.registry.degraded:
+            names = ", ".join(sorted(self.registry.degraded))
+            self.degraded_reason = f"serving last-known-good for: {names}"
+        else:
+            self.degraded_reason = None
+        self.metrics.degraded.set(1.0 if self.degraded_reason else 0.0)
 
     def reload(self) -> dict:
-        """Rescan the artifact directory and drop the query cache."""
-        self.registry.rescan()
-        self.cache.clear()
-        self.metrics.reloads.inc()
-        self.metrics.artifacts_loaded.set(len(self.registry))
-        return {
+        """Rescan the artifact directory and drop the query cache.
+
+        Never raises: a reload that fails outright (the directory became
+        unreadable mid-scan, say) leaves the previous registry state — and
+        the query cache — untouched, flips the service into degraded mode,
+        and counts a ``reload_failures``.  A rescan that *succeeds* but
+        finds corrupted previously-served files likewise keeps serving
+        their last-known-good versions (see :class:`ArtifactRegistry`)
+        and reports degraded.  Either way in-flight and subsequent
+        ``/select`` queries keep getting answers.
+        """
+        try:
+            self.registry.rescan()
+        except Exception as error:  # noqa: BLE001 — SIGHUP must not kill us
+            self.metrics.reload_failures.inc()
+            self.degraded_reason = f"reload failed: {error}"
+            self.metrics.degraded.set(1.0)
+        else:
+            self.cache.clear()
+            self.metrics.reloads.inc()
+            self.metrics.artifacts_loaded.set(len(self.registry))
+            self._refresh_degraded()
+        result = {
             "artifacts": len(self.registry),
             "errors": dict(self.registry.errors),
         }
+        if self.degraded_reason is not None:
+            result["status"] = "degraded"
+            result["reason"] = self.degraded_reason
+            result["degraded"] = dict(self.registry.degraded)
+        return result
 
     def _validate(self, query, index: int | None = None) -> tuple:
         where = "" if index is None else f" (query #{index})"
@@ -226,11 +265,13 @@ class HttpServer:
         port: int = 0,
         *,
         drain_timeout: float = 5.0,
+        read_timeout: float = DEFAULT_READ_TIMEOUT,
     ):
         self.service = service
         self.host = host
         self.port = port
         self.drain_timeout = drain_timeout
+        self.read_timeout = read_timeout
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._inflight = 0
@@ -240,10 +281,23 @@ class HttpServer:
         self._draining = False
 
     async def start(self) -> None:
-        """Bind and start accepting; resolves :attr:`port` when ephemeral."""
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
-        )
+        """Bind and start accepting; resolves :attr:`port` when ephemeral.
+
+        Raises :class:`~repro.errors.PortInUseError` when the port is
+        already bound, so callers can tell "pick another port" apart from
+        other socket failures.
+        """
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+        except OSError as error:
+            if error.errno == errno.EADDRINUSE:
+                raise PortInUseError(
+                    f"cannot listen on {self.host}:{self.port}: "
+                    "address already in use"
+                ) from error
+            raise
         self.port = self._server.sockets[0].getsockname()[1]
 
     def request_shutdown(self) -> None:
@@ -276,9 +330,27 @@ class HttpServer:
         try:
             while not self._draining:
                 try:
-                    request = await self._read_request(reader)
+                    request = await asyncio.wait_for(
+                        self._read_request(reader), self.read_timeout
+                    )
+                except RequestError as error:
+                    # Body limit exceeded: the remaining body is unread, so
+                    # the connection cannot be reused — answer and close.
+                    try:
+                        writer.write(self._render(
+                            error.status, error.body(),
+                            "application/json", keep_alive=False,
+                        ))
+                        await writer.drain()
+                    except ConnectionError:
+                        pass
+                    self.service.metrics.requests.inc(
+                        endpoint="(read)", status=str(error.status)
+                    )
+                    break
                 except (
                     asyncio.IncompleteReadError,
+                    asyncio.TimeoutError,
                     ConnectionError,
                     ValueError,
                 ):
@@ -342,7 +414,11 @@ class HttpServer:
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or "0")
         if length > MAX_BODY:
-            raise ValueError("request body too large")
+            raise RequestError(
+                413, "body_too_large",
+                f"request body of {length} bytes exceeds the limit of "
+                f"{MAX_BODY}",
+            )
         body = await reader.readexactly(length) if length else b""
         return method, path, headers, body
 
@@ -352,11 +428,16 @@ class HttpServer:
             if path == "/metrics" and method == "GET":
                 return 200, self.service.metrics.render(), "text/plain; version=0.0.4"
             if path == "/healthz" and method == "GET":
-                return (
-                    200,
-                    {"status": "ok", "artifacts": len(self.service.registry)},
-                    "application/json",
-                )
+                # The healthy shape is frozen ({"status": "ok", ...});
+                # degraded adds a reason so probes can alert on it.
+                health = {
+                    "status": "ok",
+                    "artifacts": len(self.service.registry),
+                }
+                if self.service.degraded_reason is not None:
+                    health["status"] = "degraded"
+                    health["reason"] = self.service.degraded_reason
+                return 200, health, "application/json"
             if path == "/artifacts" and method == "GET":
                 return (
                     200,
@@ -375,10 +456,9 @@ class HttpServer:
                     ) from None
                 return 200, self.service.handle_select(payload), "application/json"
             if path == "/reload" and method == "POST":
-                try:
-                    return 200, self.service.reload(), "application/json"
-                except ArtifactError as error:
-                    raise RequestError(500, "reload_failed", str(error)) from None
+                # reload() never raises — a failed rescan flips the
+                # service into degraded mode and keeps serving.
+                return 200, self.service.reload(), "application/json"
             if path in ("/select", "/reload", "/metrics", "/healthz", "/artifacts"):
                 raise RequestError(
                     405, "method_not_allowed", f"{method} not allowed on {path}"
@@ -459,10 +539,13 @@ class ServiceThread:
         service: SelectionService,
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        read_timeout: float = DEFAULT_READ_TIMEOUT,
     ):
         self.service = service
         self.host = host
         self.port = port
+        self.read_timeout = read_timeout
         self.server: HttpServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._ready = threading.Event()
@@ -476,6 +559,8 @@ class ServiceThread:
         if not self._ready.wait(timeout=10):
             raise ServiceError("service thread did not start within 10 s")
         if self._error is not None:
+            if isinstance(self._error, ServiceError):
+                raise self._error  # typed: e.g. PortInUseError
             raise ServiceError(f"service thread failed: {self._error}")
         return self
 
@@ -483,10 +568,13 @@ class ServiceThread:
         asyncio.run(self._main())
 
     async def _main(self) -> None:
-        self.server = HttpServer(self.service, self.host, self.port)
+        self.server = HttpServer(
+            self.service, self.host, self.port,
+            read_timeout=self.read_timeout,
+        )
         try:
             await self.server.start()
-        except OSError as error:
+        except (OSError, ServiceError) as error:
             self._error = error
             self._ready.set()
             return
@@ -496,9 +584,15 @@ class ServiceThread:
         await self.server.serve_until_shutdown()
 
     def stop(self) -> None:
+        """Drain and join.  Idempotent: safe to call repeatedly, after a
+        failed :meth:`start`, or on a thread that never started."""
         if self._loop is not None and self.server is not None:
-            self._loop.call_soon_threadsafe(self.server.request_shutdown)
-        self._thread.join(timeout=10)
+            try:
+                self._loop.call_soon_threadsafe(self.server.request_shutdown)
+            except RuntimeError:
+                pass  # loop already closed by a previous stop()
+        if self._thread.ident is not None:
+            self._thread.join(timeout=10)
 
     def __enter__(self) -> "ServiceThread":
         return self.start()

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
-from repro.sim.noise import NoNoise, NoiseModel
+from repro.sim.noise import LognormalNoise, NoNoise, NoiseModel
 
 
 @dataclass(frozen=True)
@@ -190,9 +190,12 @@ class Fabric:
         self.messages_transferred = 0
         # Deterministic fabrics (the default in tests and benchmarks) skip
         # the per-cost noise draws entirely: ``transfer`` is the simulator's
-        # innermost loop, and four virtual calls per message add up.
+        # innermost loop, and four virtual calls per message add up.  The
+        # check is deliberately exact about *which* models are unit-valued:
+        # other models (e.g. a spiking mixture) may carry a zero ``sigma``
+        # attribute yet still produce non-unit factors.
         self._unit_noise = isinstance(self.noise, NoNoise) or (
-            getattr(self.noise, "sigma", None) == 0.0
+            isinstance(self.noise, LognormalNoise) and self.noise.sigma == 0.0
         )
 
     def _slowdown(self, node: int) -> float:

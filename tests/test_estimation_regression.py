@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.errors import EstimationError
-from repro.estimation.regression import get_regressor, huber_fit, ols_fit
+from repro.estimation.regression import (
+    get_regressor,
+    huber_fit,
+    mad_screen,
+    ols_fit,
+)
 
 
 def make_line(intercept, slope, xs, noise=0.0, seed=0):
@@ -105,3 +110,45 @@ class TestRegistry:
     def test_unknown_name(self):
         with pytest.raises(EstimationError, match="unknown regressor"):
             get_regressor("lasso")
+
+
+class TestMadScreen:
+    def test_clean_line_keeps_everything(self):
+        x = np.arange(1.0, 11.0)
+        y = 2.0 + 0.5 * x + np.sin(x) * 1e-3
+        assert mad_screen(x, y) == list(range(10))
+
+    def test_zero_mad_keeps_everything(self):
+        x = np.arange(1.0, 9.0)
+        y = 3.0 + 0.25 * x
+        assert mad_screen(x, y) == list(range(8))
+
+    def test_gross_outlier_dropped(self):
+        x = np.arange(1.0, 13.0)
+        y = 2.0 + 0.5 * x
+        y[4] += 50.0
+        kept = mad_screen(x, y)
+        assert 4 not in kept
+        assert len(kept) == 11
+
+    def test_drop_fraction_capped(self):
+        # Half the points are "outliers": screening must refuse to drop
+        # more than a quarter of the sweep.
+        x = np.arange(1.0, 13.0)
+        y = 2.0 + 0.5 * x
+        y[::2] += 40.0
+        kept = mad_screen(x, y)
+        assert len(kept) >= 9  # 12 - floor(12 * 0.25)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(EstimationError, match="threshold"):
+            mad_screen([1.0, 2.0, 3.0], [1.0, 2.0, 3.0], threshold=0.0)
+
+    def test_screened_huber_ignores_wrecked_point(self):
+        x = np.arange(1.0, 11.0)
+        y = 1.0 + 0.75 * x
+        y[7] *= 30.0
+        kept = mad_screen(x, y)
+        fit = huber_fit(x[kept], y[kept])
+        assert fit.intercept == pytest.approx(1.0, rel=1e-6)
+        assert fit.slope == pytest.approx(0.75, rel=1e-6)

@@ -4,10 +4,15 @@ import pytest
 
 from repro.clusters import MINICLUSTER
 from repro.errors import EstimationError
-from repro.estimation.workflow import PlatformModel, calibrate_platform
+from repro.estimation.workflow import (
+    DEFAULT_QUALITY,
+    PlatformModel,
+    QualityThresholds,
+    calibrate_platform,
+)
 from repro.models.gamma import GammaFunction
 from repro.models.hockney import HockneyParams
-from repro.units import KiB
+from repro.units import KiB, log_spaced_sizes
 
 
 class TestCalibration:
@@ -122,3 +127,86 @@ class TestPlatformModel:
                 parameters={},
                 model_family="bogus",
             )
+
+
+class TestCalibrationQuality:
+    def test_quality_attached_to_every_fit(self, mini_calibration):
+        for name, estimate in mini_calibration.alpha_beta.items():
+            assert estimate.quality is not None, name
+            q = estimate.quality
+            assert q.fitted <= q.points
+            assert q.screened == q.points - q.fitted
+            assert 0.0 <= q.converged_fraction <= 1.0
+            assert q.relative_residual >= 0.0
+
+    def test_quality_report_is_json_ready(self, mini_calibration):
+        report = mini_calibration.quality_report()
+        assert set(report) == set(mini_calibration.alpha_beta)
+        import json
+
+        json.dumps(report)  # must not raise
+
+    def test_clean_cluster_passes_default_gate(self, mini_calibration):
+        assert mini_calibration.check_quality() == []
+
+    def test_impossible_gate_fails_everything(self, mini_calibration):
+        gate = QualityThresholds(
+            max_relative_residual=0.0, min_converged_fraction=1.1
+        )
+        failed = mini_calibration.check_quality(gate)
+        assert set(failed) == set(mini_calibration.alpha_beta)
+
+    def test_strict_calibration_raises_on_impossible_gate(self):
+        gate = QualityThresholds(
+            max_relative_residual=0.0, min_converged_fraction=1.1
+        )
+        with pytest.raises(EstimationError, match="quality gate"):
+            calibrate_platform(
+                MINICLUSTER,
+                procs=4,
+                sizes=log_spaced_sizes(8 * KiB, 64 * KiB, 3),
+                gamma_max_procs=4,
+                max_reps=3,
+                strict=gate,
+            )
+
+    def test_strict_calibration_passes_default_gate(self):
+        result = calibrate_platform(
+            MINICLUSTER,
+            procs=4,
+            sizes=log_spaced_sizes(8 * KiB, 64 * KiB, 3),
+            gamma_max_procs=4,
+            max_reps=3,
+            strict=DEFAULT_QUALITY,
+        )
+        assert result.check_quality() == []
+
+    def test_screening_does_not_change_clean_calibration(self):
+        kwargs = dict(
+            procs=4,
+            sizes=log_spaced_sizes(8 * KiB, 64 * KiB, 3),
+            gamma_max_procs=4,
+            max_reps=3,
+        )
+        plain = calibrate_platform(MINICLUSTER, **kwargs)
+        screened = calibrate_platform(MINICLUSTER, screen_mad=3.5, **kwargs)
+        for name in plain.alpha_beta:
+            assert screened.alpha_beta[name].alpha == pytest.approx(
+                plain.alpha_beta[name].alpha
+            )
+            assert screened.alpha_beta[name].beta == pytest.approx(
+                plain.alpha_beta[name].beta
+            )
+
+    def test_retry_budget_counts_no_retries_on_converged_data(self):
+        result = calibrate_platform(
+            MINICLUSTER,
+            procs=4,
+            sizes=log_spaced_sizes(8 * KiB, 64 * KiB, 3),
+            gamma_max_procs=4,
+            max_reps=3,
+            retry_budget=2,
+        )
+        for estimate in result.alpha_beta.values():
+            assert estimate.quality is not None
+            assert estimate.quality.retried >= 0

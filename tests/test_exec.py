@@ -139,7 +139,49 @@ class TestResultCache:
             handle.write("{not json\n")
         reopened = ResultCache(tmp_path)
         assert len(reopened) == 1
-        assert reopened.stats.invalidated == 1
+        assert reopened.stats.corrupt_lines == 1
+        assert reopened.get("good") == 2.0
+        reopened.close()
+
+    def test_truncated_tail_skipped_and_sanitized(self, tmp_path):
+        """A line torn mid-write (crash, full disk) is dropped, counted,
+        and scrubbed from the file so the next open is clean."""
+        cache = ResultCache(tmp_path)
+        cache.put("good", 2.0)
+        cache.put("torn", 3.0)
+        cache.close()
+        raw = cache.path.read_bytes()
+        cache.path.write_bytes(raw[:-9])  # tear the final record
+
+        reopened = ResultCache(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.get("good") == 2.0
+        assert reopened.get("torn") is None
+        assert reopened.stats.corrupt_lines == 1
+        reopened.close()
+
+        clean = ResultCache(tmp_path)  # rewrite scrubbed the torn line
+        assert clean.stats.corrupt_lines == 0
+        assert len(clean) == 1
+        clean.close()
+
+    def test_binary_garbage_and_bad_header_tolerated(self, tmp_path):
+        path = tmp_path / f"results-v{CACHE_SCHEMA}.jsonl"
+        lines = [
+            json.dumps(["not", "a", "dict"]).encode(),  # header not a dict
+            b"\xff\xfe garbage \x00",                   # not UTF-8
+            json.dumps({"k": "ok", "v": 4.0}).encode(),
+        ]
+        path.write_bytes(b"\n".join(lines) + b"\n")
+        cache = ResultCache(tmp_path)
+        # Non-dict header counts as a salt mismatch: entries invalidated.
+        assert cache.get("ok") is None
+        assert len(cache) == 0
+        cache.put("fresh", 1.0)
+        cache.close()
+        reopened = ResultCache(tmp_path)
+        assert reopened.get("fresh") == 1.0
+        assert reopened.stats.corrupt_lines == 0
         reopened.close()
 
     def test_stats_count_traffic(self, tmp_path):
@@ -154,6 +196,7 @@ class TestResultCache:
             "stores": 1,
             "loaded": 0,
             "invalidated": 0,
+            "corrupt_lines": 0,
         }
         cache.close()
 
@@ -197,6 +240,79 @@ class TestParallelRunner:
         assert second.stats.simulations == 0
         assert second.stats.cache_hits == len(self.BATCH)
         second.close()
+
+
+class _ExplodingPool:
+    """Stands in for an executor whose workers have all died."""
+
+    def map(self, fn, jobs, chunksize=1):
+        from concurrent.futures.process import BrokenProcessPool
+
+        raise BrokenProcessPool("worker died")
+
+    def shutdown(self, wait=False, cancel_futures=False):
+        pass
+
+
+class TestPoolCrashRecovery:
+    BATCH = [bcast_job(seed=s, algorithm=a)
+             for s in (10, 11) for a in ("binomial", "chain", "linear")]
+
+    def expected(self):
+        serial = ParallelRunner(jobs=1)
+        try:
+            return serial.run(self.BATCH)
+        finally:
+            serial.close()
+
+    def test_one_crash_recovers_via_pool_rebuild(self, monkeypatch):
+        runner = ParallelRunner(jobs=2)
+        real_make = runner._make_pool
+        made = []
+
+        def flaky_make():
+            made.append(None)
+            return _ExplodingPool() if len(made) == 1 else real_make()
+
+        monkeypatch.setattr(runner, "_make_pool", flaky_make)
+        try:
+            assert runner.run(self.BATCH) == self.expected()
+            assert runner.stats.pool_failures == 1
+            assert runner.stats.fallback_batches == 0
+        finally:
+            runner.close()
+
+    def test_permanent_crash_falls_back_in_process(self, monkeypatch):
+        runner = ParallelRunner(jobs=2)
+        monkeypatch.setattr(runner, "_make_pool", _ExplodingPool)
+        try:
+            assert runner.run(self.BATCH) == self.expected()
+            assert runner.stats.pool_failures == 2  # both retries burned
+            assert runner.stats.fallback_batches == 1
+        finally:
+            runner.close()
+
+    def test_live_worker_kill_mid_run(self):
+        """SIGKILL a real worker process; the batch still completes with
+        results bit-identical to serial execution."""
+        import os
+        import signal
+        import time as _time
+
+        runner = ParallelRunner(jobs=2)
+        try:
+            runner._pool = runner._make_pool()
+            # Force workers to actually spawn before the kill.
+            list(runner._pool.map(abs, [1, 2, 3]))
+            deadline = _time.monotonic() + 10
+            while not runner._pool._processes and _time.monotonic() < deadline:
+                _time.sleep(0.01)
+            victim = next(iter(runner._pool._processes))
+            os.kill(victim, signal.SIGKILL)
+            assert runner.run(self.BATCH) == self.expected()
+            assert runner.stats.pool_failures >= 1
+        finally:
+            runner.close()
 
 
 @pytest.fixture(scope="module")

@@ -403,3 +403,187 @@ class TestConcurrency:
         for thread in threads:
             thread.join()
         assert not failures
+
+
+# -- robustness: degraded mode, lifecycle, limits (ISSUE 3) -----------------
+
+
+@pytest.fixture()
+def fragile_setup(artifact, tmp_path):
+    """A service over its own directory, safe to corrupt per-test."""
+    path = tmp_path / "minicluster.json"
+    artifact.save(path)
+    service = SelectionService(ArtifactRegistry(tmp_path), cache_size=64)
+    return service, path
+
+
+QUERY = {"cluster": "minicluster", "procs": 8, "nbytes": 64 * KiB}
+
+
+class TestDegradedMode:
+    def test_tampered_artifact_keeps_last_known_good(self, fragile_setup):
+        service, path = fragile_setup
+        with ServiceThread(service) as handle:
+            client = Client(handle.port)
+            status, before = client.request("POST", "/select", QUERY)
+            assert status == 200
+
+            good = path.read_text()
+            path.write_text(good.replace('"bcast"', '"bcXst"', 1))
+            status, data = client.request("POST", "/reload")
+            assert status == 200
+            assert data["status"] == "degraded"
+            assert "minicluster.json" in data["degraded"]
+
+            # Selections keep flowing, bit-identical to pre-corruption.
+            status, after = client.request("POST", "/select", QUERY)
+            assert status == 200 and after == before
+
+            status, health = client.request("GET", "/healthz")
+            assert health["status"] == "degraded"
+            assert "minicluster.json" in health["reason"]
+            _, text = client.request("GET", "/metrics")
+            assert "repro_service_degraded 1" in text
+
+            # Restoring the file heals the service on the next reload.
+            path.write_text(good)
+            status, data = client.request("POST", "/reload")
+            assert status == 200 and "status" not in data
+            status, health = client.request("GET", "/healthz")
+            assert health == {"status": "ok", "artifacts": 1}
+            _, text = client.request("GET", "/metrics")
+            assert "repro_service_degraded 0" in text
+            client.close()
+
+    def test_failed_rescan_flips_degraded_and_keeps_serving(
+        self, fragile_setup, monkeypatch
+    ):
+        service, _path = fragile_setup
+
+        def explode():
+            raise ArtifactError("directory walked off")
+
+        with ServiceThread(service) as handle:
+            client = Client(handle.port)
+            monkeypatch.setattr(service.registry, "rescan", explode)
+            status, data = client.request("POST", "/reload")
+            assert status == 200 and data["status"] == "degraded"
+            assert "directory walked off" in data["reason"]
+            status, answer = client.request("POST", "/select", QUERY)
+            assert status == 200 and "algorithm" in answer
+            _, text = client.request("GET", "/metrics")
+            assert "repro_artifact_reload_failures_total 1" in text
+            assert "repro_service_degraded 1" in text
+            client.close()
+
+    def test_reload_over_corrupt_artifact_never_interrupts_selects(
+        self, fragile_setup
+    ):
+        """Hammer /select from several threads while the artifact file is
+        corrupted and reloaded mid-stream: every response is 200 and
+        bit-identical."""
+        service, path = fragile_setup
+        with ServiceThread(service) as handle:
+            probe = Client(handle.port)
+            _, expected = probe.request("POST", "/select", QUERY)
+            failures: list[str] = []
+            stop = threading.Event()
+
+            def hammer():
+                client = Client(handle.port)
+                while not stop.is_set():
+                    status, data = client.request("POST", "/select", QUERY)
+                    if status != 200 or data != expected:
+                        failures.append(f"{status}: {data}")
+                        break
+                client.close()
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            good = path.read_text()
+            for _ in range(5):
+                path.write_text(good.replace('"bcast"', '"bcXst"', 1))
+                probe.request("POST", "/reload")
+                path.write_text(good)
+                probe.request("POST", "/reload")
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert not failures
+            probe.close()
+
+
+class TestServiceThreadLifecycle:
+    def test_stop_is_idempotent(self, fragile_setup):
+        service, _path = fragile_setup
+        handle = ServiceThread(service).start()
+        handle.stop()
+        handle.stop()  # second stop: no-op, no exception
+
+    def test_stop_before_start_is_noop(self, fragile_setup):
+        service, _path = fragile_setup
+        ServiceThread(service).stop()  # never started: nothing to join
+
+    def test_port_in_use_raises_typed_error(self, fragile_setup):
+        import socket
+
+        from repro.errors import PortInUseError, ServiceError
+
+        service, _path = fragile_setup
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            with pytest.raises(PortInUseError, match="already in use"):
+                ServiceThread(service, port=port).start()
+            assert issubclass(PortInUseError, ServiceError)
+        finally:
+            blocker.close()
+
+
+class TestRequestLimits:
+    def test_oversized_body_gets_413(self, fragile_setup):
+        import socket
+
+        from repro.service.server import MAX_BODY
+
+        service, _path = fragile_setup
+        with ServiceThread(service) as handle:
+            raw = socket.create_connection(("127.0.0.1", handle.port), timeout=10)
+            try:
+                raw.sendall(
+                    b"POST /select HTTP/1.1\r\n"
+                    b"Host: test\r\n"
+                    + f"Content-Length: {MAX_BODY + 1}\r\n\r\n".encode()
+                )
+                response = raw.recv(65536).decode()
+                assert response.startswith("HTTP/1.1 413 ")
+                assert "body_too_large" in response
+            finally:
+                raw.close()
+
+    def test_slow_client_times_out(self, fragile_setup):
+        import socket
+        import time as _time
+
+        service, _path = fragile_setup
+        with ServiceThread(service, read_timeout=0.3) as handle:
+            raw = socket.create_connection(("127.0.0.1", handle.port), timeout=10)
+            try:
+                raw.sendall(b"POST /select HTTP/1.1\r\n")  # never finishes
+                raw.settimeout(5)
+                started = _time.monotonic()
+                assert raw.recv(1024) == b""  # server closed the socket
+                assert _time.monotonic() - started < 4
+            finally:
+                raw.close()
+
+    def test_normal_requests_unaffected_by_read_timeout(self, fragile_setup):
+        service, _path = fragile_setup
+        with ServiceThread(service, read_timeout=0.5) as handle:
+            client = Client(handle.port)
+            status, data = client.request("POST", "/select", QUERY)
+            assert status == 200 and "algorithm" in data
+            client.close()
