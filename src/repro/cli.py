@@ -32,6 +32,7 @@ from pathlib import Path
 
 import repro.exec as exec_
 
+from repro import obs
 from repro.bench.figures import ascii_plot, fig5_series, write_csv
 from repro.bench.runner import selection_comparison
 from repro.bench.tables import format_table1, format_table2, format_table3
@@ -351,6 +352,32 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Run another repro-mpi command with span tracing enabled.
+
+    Works for *any* subcommand (unlike ``--trace-out``, which only the
+    simulation-heavy commands expose): enable the process-wide recorder,
+    re-enter :func:`main` with the remaining argv, then write the trace.
+    """
+    rest = [token for token in args.rest if token != "--"]
+    if not rest:
+        raise ReproError(
+            "trace: give a command to run, e.g. "
+            "'repro-mpi trace --out build.json artifact build ...'"
+        )
+    if rest[0] == "trace":
+        raise ReproError("trace: cannot trace itself")
+    recorder = obs.enable()
+    try:
+        return main(rest)
+    finally:
+        path = obs.save_trace(args.out)
+        count = len(recorder.finished())
+        obs.disable()
+        recorder.clear()
+        print(f"trace: {count} spans written to {path}", file=sys.stderr)
+
+
 def _cmd_report(args) -> int:
     from repro.models.report import render_report
 
@@ -386,6 +413,13 @@ def _exec_flags() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="result cache location (default: ~/.cache/repro)",
+    )
+    group.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record a structured span trace of this run "
+             "(*.jsonl = JSONL, anything else = Chrome trace JSON)",
     )
     return parent
 
@@ -583,12 +617,29 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default=None)
     report.set_defaults(func=_cmd_report)
 
+    trace = sub.add_parser(
+        "trace", help="run another repro-mpi command with span tracing on"
+    )
+    trace.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="trace output (*.jsonl = JSONL, anything else = Chrome trace "
+             "JSON; default: trace.json)",
+    )
+    trace.add_argument(
+        "rest", nargs=argparse.REMAINDER,
+        help="the command to run, e.g. 'artifact build --cluster ...'",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        obs.enable()
     try:
         if hasattr(args, "jobs"):
             # Simulation-heavy command: install the process-wide runner.  The
@@ -604,6 +655,14 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if trace_out:
+            recorder = obs.get_recorder()
+            path = obs.save_trace(trace_out)
+            count = len(recorder.finished())
+            obs.disable()
+            recorder.clear()
+            print(f"trace: {count} spans written to {path}", file=sys.stderr)
 
 
 if __name__ == "__main__":

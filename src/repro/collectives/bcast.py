@@ -54,7 +54,7 @@ def bcast_linear(
     uniformity and ignored, like Open MPI ignores it for this algorithm.
     """
     del segment_size  # the linear algorithm is never segmented
-    if comm.size == 1:
+    if comm.size == 1 or nbytes == 0:
         return
     if comm.rank == root:
         requests = []
@@ -80,6 +80,8 @@ def _generic_tree_bcast(
     those sends.  Leaf: receive the segments in order.
     """
     plan = plan_segments(nbytes, segment_size)
+    if plan.num_segments == 0:  # m = 0 is a no-op (see plan_segments)
+        return
     rank = comm.rank
     children = tree.children[rank]
     parent = tree.parent[rank]
@@ -133,7 +135,7 @@ def bcast_chain(
 
     Port of ``ompi_coll_base_bcast_intra_pipeline``.
     """
-    if comm.size == 1:
+    if comm.size == 1 or nbytes == 0:
         return
     tree = build_chain_tree(comm.size, root, chains=1)
     yield from _generic_tree_bcast(comm, tree, nbytes, segment_size)
@@ -151,7 +153,7 @@ def bcast_k_chain(
     Port of ``ompi_coll_base_bcast_intra_chain`` with Open MPI's default
     fanout of 4 chains.
     """
-    if comm.size == 1:
+    if comm.size == 1 or nbytes == 0:
         return
     tree = build_chain_tree(comm.size, root, chains=chains)
     yield from _generic_tree_bcast(comm, tree, nbytes, segment_size)
@@ -164,7 +166,7 @@ def bcast_binary(
 
     Port of ``ompi_coll_base_bcast_intra_bintree``.
     """
-    if comm.size == 1:
+    if comm.size == 1 or nbytes == 0:
         return
     tree = build_binary_tree(comm.size, root)
     yield from _generic_tree_bcast(comm, tree, nbytes, segment_size)
@@ -177,7 +179,7 @@ def bcast_binomial(
 
     Port of ``ompi_coll_base_bcast_intra_binomial``.
     """
-    if comm.size == 1:
+    if comm.size == 1 or nbytes == 0:
         return
     tree = build_binomial_tree(comm.size, root)
     yield from _generic_tree_bcast(comm, tree, nbytes, segment_size)
@@ -227,7 +229,7 @@ def bcast_split_binary(
     cannot be split (size < 3 or fewer than two segments), as Open MPI does.
     """
     size = comm.size
-    if size == 1:
+    if size == 1 or nbytes == 0:
         return
     plan = plan_segments(nbytes, segment_size)
     if size < 3 or plan.num_segments < 2:
@@ -336,7 +338,7 @@ def bcast_scatter_allgather(
     """
     del segment_size
     size = comm.size
-    if size == 1:
+    if size == 1 or nbytes == 0:
         return
     if size == 2 or nbytes < size:
         # Degenerate block structure: fall back to the linear algorithm.

@@ -70,7 +70,7 @@ def reduce_linear(
     Port of ``reduce_intra_basic_linear``; never segmented.
     """
     del segment_size
-    if comm.size == 1:
+    if comm.size == 1 or nbytes == 0:
         return
     if comm.rank == root:
         requests = []
@@ -92,7 +92,7 @@ def _tree_reduce(builder: Callable[[int, int], Tree]):
         segment_size: int,
         op_byte_time: float = DEFAULT_OP_BYTE_TIME,
     ) -> SimGen:
-        if comm.size == 1:
+        if comm.size == 1 or nbytes == 0:
             return
         tree = builder(comm.size, root)
         yield from _generic_tree_reduce(

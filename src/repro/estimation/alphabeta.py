@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.clusters.spec import ClusterSpec
 from repro.errors import EstimationError
 from repro.estimation.regression import (
@@ -243,91 +244,107 @@ def estimate_alpha_beta(
             )
         )
 
-    xs: list[float] = []
-    ys: list[float] = []
-    stats: list[SampleStats] = []
-    retried = 0
-    for index, nbytes in enumerate(sizes):
-        m_g = gather_of(nbytes)
-        coeffs = model.coefficients(procs, nbytes, segment_size)
-        total = coeffs + linear_gather_coefficients(procs, m_g)
-        if total.c_alpha <= 0:
-            raise EstimationError(
-                f"{model.algorithm}: degenerate experiment at m={nbytes}"
-            )
-
-        def measure_once(
-            rep_seed: int, nbytes: int = nbytes, m_g: int = m_g
-        ) -> float:
-            return runner.run_one(
-                SimJob(
-                    spec=spec,
-                    kind="bcast_then_gather",
-                    procs=procs,
-                    algorithm=model.algorithm,
-                    nbytes=nbytes,
-                    segment_size=segment_size,
-                    gather_bytes=m_g,
-                    seed=rep_seed,
+    memo_before = runner.stats.memo_hits
+    sims_before = runner.stats.simulations
+    with obs.span(
+        "estimate.alphabeta",
+        algorithm=model.algorithm,
+        cluster=spec.name,
+        procs=procs,
+        sizes=len(sizes),
+    ) as ab_span:
+        xs: list[float] = []
+        ys: list[float] = []
+        stats: list[SampleStats] = []
+        retried = 0
+        for index, nbytes in enumerate(sizes):
+            m_g = gather_of(nbytes)
+            coeffs = model.coefficients(procs, nbytes, segment_size)
+            total = coeffs + linear_gather_coefficients(procs, m_g)
+            if total.c_alpha <= 0:
+                raise EstimationError(
+                    f"{model.algorithm}: degenerate experiment at m={nbytes}"
                 )
-            )
 
-        base_seed = seed + 104_729 * (index + 1)
-        sample = adaptive_measure(
-            measure_once,
-            precision=precision,
-            max_reps=max_reps,
-            seed=base_seed,
-        )
-        attempt = 0
-        while not sample.converged and attempt < retry_budget:
-            # A fresh seed gives an independent noise realisation; keep
-            # whichever sample pinned the mean down tighter.
-            attempt += 1
-            retried += 1
-            candidate = adaptive_measure(
+            def measure_once(
+                rep_seed: int, nbytes: int = nbytes, m_g: int = m_g
+            ) -> float:
+                return runner.run_one(
+                    SimJob(
+                        spec=spec,
+                        kind="bcast_then_gather",
+                        procs=procs,
+                        algorithm=model.algorithm,
+                        nbytes=nbytes,
+                        segment_size=segment_size,
+                        gather_bytes=m_g,
+                        seed=rep_seed,
+                    )
+                )
+
+            base_seed = seed + 104_729 * (index + 1)
+            sample = adaptive_measure(
                 measure_once,
                 precision=precision,
                 max_reps=max_reps,
-                seed=base_seed + RETRY_SEED_STRIDE * attempt,
+                seed=base_seed,
             )
-            if candidate.relative_precision < sample.relative_precision:
-                sample = candidate
-        stats.append(sample)
-        xs.append(total.c_beta / total.c_alpha)
-        ys.append(sample.mean / total.c_alpha)
+            attempt = 0
+            while not sample.converged and attempt < retry_budget:
+                # A fresh seed gives an independent noise realisation; keep
+                # whichever sample pinned the mean down tighter.
+                attempt += 1
+                retried += 1
+                candidate = adaptive_measure(
+                    measure_once,
+                    precision=precision,
+                    max_reps=max_reps,
+                    seed=base_seed + RETRY_SEED_STRIDE * attempt,
+                )
+                if candidate.relative_precision < sample.relative_precision:
+                    sample = candidate
+            stats.append(sample)
+            xs.append(total.c_beta / total.c_alpha)
+            ys.append(sample.mean / total.c_alpha)
 
-    if screen_mad is not None and len(xs) > 2:
-        kept = mad_screen(xs, ys, threshold=screen_mad)
-    else:
-        kept = list(range(len(xs)))
-    screened = len(xs) - len(kept)
-    fit = fit_fn([xs[i] for i in kept], [ys[i] for i in kept])
-    alpha = max(fit.intercept, 0.0)
-    beta = max(fit.slope, 0.0)
-    mean_abs_y = sum(abs(ys[i]) for i in kept) / len(kept)
-    quality = FitQuality(
-        points=len(xs),
-        screened=screened,
-        fitted=len(kept),
-        # float() casts: residuals are numpy scalars, and quality dicts
-        # must serialise to JSON (artifact documents, CLI output).
-        max_abs_residual=float(fit.max_abs_residual),
-        relative_residual=float(
-            fit.max_abs_residual / mean_abs_y if mean_abs_y > 0 else 0.0
-        ),
-        converged=sum(1 for s in stats if s.converged),
-        retried=retried,
-        mean_relative_precision=float(
-            sum(s.relative_precision for s in stats) / len(stats)
-        ),
-    )
-    return AlphaBeta(
-        algorithm=model.algorithm,
-        params=HockneyParams(alpha=alpha, beta=beta),
-        fit=fit,
-        points=tuple(zip(xs, ys)),
-        sizes=tuple(sizes),
-        stats=tuple(stats),
-        quality=quality,
-    )
+        if screen_mad is not None and len(xs) > 2:
+            kept = mad_screen(xs, ys, threshold=screen_mad)
+        else:
+            kept = list(range(len(xs)))
+        screened = len(xs) - len(kept)
+        fit = fit_fn([xs[i] for i in kept], [ys[i] for i in kept])
+        alpha = max(fit.intercept, 0.0)
+        beta = max(fit.slope, 0.0)
+        mean_abs_y = sum(abs(ys[i]) for i in kept) / len(kept)
+        quality = FitQuality(
+            points=len(xs),
+            screened=screened,
+            fitted=len(kept),
+            # float() casts: residuals are numpy scalars, and quality dicts
+            # must serialise to JSON (artifact documents, CLI output).
+            max_abs_residual=float(fit.max_abs_residual),
+            relative_residual=float(
+                fit.max_abs_residual / mean_abs_y if mean_abs_y > 0 else 0.0
+            ),
+            converged=sum(1 for s in stats if s.converged),
+            retried=retried,
+            mean_relative_precision=float(
+                sum(s.relative_precision for s in stats) / len(stats)
+            ),
+        )
+        # Aggregate measurement traffic: single-job memo hits bypass
+        # exec.run spans (runner fast path), so the counts live here.
+        ab_span.set_attrs(
+            memo_hits=runner.stats.memo_hits - memo_before,
+            simulations=runner.stats.simulations - sims_before,
+            retried=retried,
+        )
+        return AlphaBeta(
+            algorithm=model.algorithm,
+            params=HockneyParams(alpha=alpha, beta=beta),
+            fit=fit,
+            points=tuple(zip(xs, ys)),
+            sizes=tuple(sizes),
+            stats=tuple(stats),
+            quality=quality,
+        )

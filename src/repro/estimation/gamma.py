@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.clusters.spec import ClusterSpec
 from repro.errors import EstimationError
 from repro.estimation.statistics import SampleStats, adaptive_measure
@@ -173,28 +174,34 @@ def estimate_gamma(
             )
         )
 
-    stats: dict[int, SampleStats] = {}
-    for procs in range(2, max_procs + 1):
+    with obs.span(
+        "estimate.gamma",
+        cluster=spec.name,
+        method=method,
+        max_procs=max_procs,
+    ):
+        stats: dict[int, SampleStats] = {}
+        for procs in range(2, max_procs + 1):
 
-        def measure_once(rep_seed: int, procs: int = procs) -> float:
-            total = runner.run_one(
-                _gamma_job(
-                    spec, method, procs, segment_size, calls, mapping, rep_seed
+            def measure_once(rep_seed: int, procs: int = procs) -> float:
+                total = runner.run_one(
+                    _gamma_job(
+                        spec, method, procs, segment_size, calls, mapping, rep_seed
+                    )
                 )
+                return total / calls if method == "paper" else total
+
+            stats[procs] = adaptive_measure(
+                measure_once,
+                precision=precision,
+                max_reps=max_reps,
+                seed=seed + 1_000_003 * procs,
             )
-            return total / calls if method == "paper" else total
 
-        stats[procs] = adaptive_measure(
-            measure_once,
-            precision=precision,
-            max_reps=max_reps,
-            seed=seed + 1_000_003 * procs,
+        baseline = stats[2].mean
+        if baseline <= 0:
+            raise EstimationError("point-to-point baseline measured as non-positive")
+        table = {procs: s.mean / baseline for procs, s in stats.items()}
+        return GammaEstimate(
+            table=table, stats=stats, method=method, segment_size=segment_size
         )
-
-    baseline = stats[2].mean
-    if baseline <= 0:
-        raise EstimationError("point-to-point baseline measured as non-positive")
-    table = {procs: s.mean / baseline for procs, s in stats.items()}
-    return GammaEstimate(
-        table=table, stats=stats, method=method, segment_size=segment_size
-    )

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+from repro import obs
 from repro.clusters.spec import ClusterSpec
 from repro.errors import EstimationError
 from repro.estimation.alphabeta import (
@@ -292,102 +293,110 @@ def calibrate_platform(
             name for name in family if name in PAPER_BCAST_ALGORITHMS
         )
 
-    runner = runner if runner is not None else default_runner()
-    batch = gamma_prefetch_jobs(
-        spec,
-        segment_size=segment_size,
-        max_procs=gamma_max_procs,
-        method=gamma_method,
-        seed=seed,
-    )
-    if estimation == "p2p":
-        batch += p2p_prefetch_jobs(spec, sizes=sizes, seed=seed)
-    else:
-        ab_procs = procs if procs is not None else max(2, spec.max_procs // 2)
-        for index, name in enumerate(algorithms):
-            batch += alphabeta_prefetch_jobs(
-                spec,
-                name,
-                procs=ab_procs,
-                sizes=sizes,
-                segment_size=segment_size,
-                gather_bytes=gather_bytes,
-                seed=seed + 2_000_017 * (index + 1),
-            )
-    runner.prefetch(batch)
-
-    gamma_estimate = estimate_gamma(
-        spec,
-        segment_size=segment_size,
-        max_procs=gamma_max_procs,
-        method=gamma_method,
-        precision=precision,
-        max_reps=max_reps,
-        seed=seed,
-        runner=runner,
-        prefetch=False,
-    )
-    gamma = gamma_estimate.function()
-
-    alpha_beta: dict[str, AlphaBeta] = {}
-    parameters: dict[str, HockneyParams] = {}
-    p2p_estimate: P2pEstimate | None = None
-
-    if estimation == "p2p":
-        p2p_estimate = estimate_hockney_p2p(
+    with obs.span(
+        "calibrate.platform",
+        cluster=spec.name,
+        estimation=estimation,
+        model_family=model_family,
+        algorithms=",".join(algorithms),
+    ):
+        runner = runner if runner is not None else default_runner()
+        batch = gamma_prefetch_jobs(
             spec,
-            sizes=sizes,
-            regressor=regressor,
+            segment_size=segment_size,
+            max_procs=gamma_max_procs,
+            method=gamma_method,
+            seed=seed,
+        )
+        if estimation == "p2p":
+            batch += p2p_prefetch_jobs(spec, sizes=sizes, seed=seed)
+        else:
+            ab_procs = procs if procs is not None else max(2, spec.max_procs // 2)
+            for index, name in enumerate(algorithms):
+                batch += alphabeta_prefetch_jobs(
+                    spec,
+                    name,
+                    procs=ab_procs,
+                    sizes=sizes,
+                    segment_size=segment_size,
+                    gather_bytes=gather_bytes,
+                    seed=seed + 2_000_017 * (index + 1),
+                )
+        with obs.span("calibrate.prefetch", jobs=len(batch)):
+            runner.prefetch(batch)
+
+        gamma_estimate = estimate_gamma(
+            spec,
+            segment_size=segment_size,
+            max_procs=gamma_max_procs,
+            method=gamma_method,
             precision=precision,
             max_reps=max_reps,
             seed=seed,
             runner=runner,
             prefetch=False,
         )
-        parameters = {name: p2p_estimate.params for name in algorithms}
-    else:
-        for index, name in enumerate(algorithms):
-            model = family[name](gamma)
-            estimate = estimate_alpha_beta(
+        gamma = gamma_estimate.function()
+
+        alpha_beta: dict[str, AlphaBeta] = {}
+        parameters: dict[str, HockneyParams] = {}
+        p2p_estimate: P2pEstimate | None = None
+
+        if estimation == "p2p":
+            p2p_estimate = estimate_hockney_p2p(
                 spec,
-                model,
-                procs=procs,
                 sizes=sizes,
-                segment_size=segment_size,
-                gather_bytes=gather_bytes,
                 regressor=regressor,
                 precision=precision,
                 max_reps=max_reps,
-                seed=seed + 2_000_017 * (index + 1),
+                seed=seed,
                 runner=runner,
                 prefetch=False,
-                screen_mad=screen_mad,
-                retry_budget=retry_budget,
             )
-            alpha_beta[name] = estimate
-            parameters[name] = estimate.params
+            parameters = {name: p2p_estimate.params for name in algorithms}
+        else:
+            for index, name in enumerate(algorithms):
+                model = family[name](gamma)
+                estimate = estimate_alpha_beta(
+                    spec,
+                    model,
+                    procs=procs,
+                    sizes=sizes,
+                    segment_size=segment_size,
+                    gather_bytes=gather_bytes,
+                    regressor=regressor,
+                    precision=precision,
+                    max_reps=max_reps,
+                    seed=seed + 2_000_017 * (index + 1),
+                    runner=runner,
+                    prefetch=False,
+                    screen_mad=screen_mad,
+                    retry_budget=retry_budget,
+                )
+                alpha_beta[name] = estimate
+                parameters[name] = estimate.params
 
-    platform = PlatformModel(
-        cluster=spec.name,
-        segment_size=segment_size,
-        gamma=gamma,
-        parameters=parameters,
-        model_family=model_family,
-    )
-    result = CalibrationResult(
-        platform=platform,
-        gamma_estimate=gamma_estimate,
-        alpha_beta=alpha_beta,
-        p2p_estimate=p2p_estimate,
-    )
-    if strict is not None:
-        failed = result.check_quality(strict)
-        if failed:
-            details = "; ".join(
-                f"{name}: {alpha_beta[name].quality.as_dict()}" for name in failed
-            )
-            raise EstimationError(
-                f"{spec.name}: calibration quality gate failed for "
-                f"{', '.join(failed)} ({details})"
-            )
-    return result
+        platform = PlatformModel(
+            cluster=spec.name,
+            segment_size=segment_size,
+            gamma=gamma,
+            parameters=parameters,
+            model_family=model_family,
+        )
+        result = CalibrationResult(
+            platform=platform,
+            gamma_estimate=gamma_estimate,
+            alpha_beta=alpha_beta,
+            p2p_estimate=p2p_estimate,
+        )
+        if strict is not None:
+            failed = result.check_quality(strict)
+            if failed:
+                details = "; ".join(
+                    f"{name}: {alpha_beta[name].quality.as_dict()}" for name in failed
+                )
+                raise EstimationError(
+                    f"{spec.name}: calibration quality gate failed for "
+                    f"{', '.join(failed)} ({details})"
+                )
+        return result

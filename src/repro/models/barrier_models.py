@@ -26,6 +26,10 @@ from repro.models.base import BcastModel, LinearCoefficients
 class _BarrierModel(BcastModel):
     """Barrier models ignore the message size and segmenting entirely."""
 
+    #: A barrier's payload is always 0 bytes; unlike the data-moving
+    #: collectives, that does not make it a no-op.
+    zero_bytes_noop = False
+
     def message_count(self, procs: int) -> float:
         raise NotImplementedError
 

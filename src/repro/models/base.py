@@ -59,6 +59,14 @@ class BcastModel:
     #: Catalogue name of the modelled algorithm (e.g. ``"binomial"``).
     algorithm: str = ""
 
+    #: Whether an empty payload makes the collective a no-op.  True for
+    #: every data-moving collective (a count-0 bcast/reduce returns
+    #: immediately in MPI, and the simulator sends nothing — see
+    #: ``plan_segments``); barrier models override this to False because
+    #: their payload is *always* 0 bytes and the synchronisation they
+    #: model is real work.
+    zero_bytes_noop: bool = True
+
     def __init__(self, gamma: GammaFunction):
         self.gamma = gamma
 
@@ -74,6 +82,10 @@ class BcastModel:
         """Predicted broadcast time under the given Hockney parameters."""
         self._check(procs, nbytes)
         if procs == 1:
+            return 0.0
+        if nbytes == 0 and self.zero_bytes_noop:
+            # Matches the simulator and MPI semantics: an empty collective
+            # costs nothing, so model and measurement agree at m = 0.
             return 0.0
         return self.coefficients(procs, nbytes, segment_size).evaluate(params)
 

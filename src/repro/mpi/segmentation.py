@@ -43,17 +43,26 @@ def plan_segments(total_bytes: int, segment_size: int) -> SegmentPlan:
     A ``segment_size`` of 0 (Open MPI's convention) or one at least as large
     as the message disables segmentation: the message is one segment.
 
+    An *empty* message plans **zero** segments: a count-0 collective is a
+    no-op in MPI (Open MPI returns before touching the network), so no
+    segment — not even a zero-byte one — ever flows.  The collectives and
+    the analytical models share this convention (see DESIGN.md §5); the
+    earlier behaviour of planning one zero-byte segment made the simulator
+    charge latency for traffic a real MPI library never sends.
+
     >>> plan_segments(10, 4).sizes
     (4, 4, 2)
     >>> plan_segments(10, 0).sizes
     (10,)
+    >>> plan_segments(0, 4).sizes
+    ()
     """
     if total_bytes < 0:
         raise MpiError(f"negative message size {total_bytes}")
     if segment_size < 0:
         raise MpiError(f"negative segment size {segment_size}")
     if total_bytes == 0:
-        return SegmentPlan(0, segment_size, (0,))
+        return SegmentPlan(0, segment_size, ())
     if segment_size == 0 or segment_size >= total_bytes:
         return SegmentPlan(total_bytes, segment_size, (total_bytes,))
     full, remainder = divmod(total_bytes, segment_size)

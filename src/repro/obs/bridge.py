@@ -1,0 +1,40 @@
+"""Span-to-metrics bridge.
+
+Spans are the single source of timing truth; Prometheus histograms are a
+*view* of them.  A :class:`SpanMetricsBridge` is a recorder finish hook
+that routes finished spans into histogram/counter observers by span name,
+so a subsystem instruments once (with spans) and gets both traces and
+metrics — no parallel ad-hoc timers to drift out of agreement.
+
+The selection server uses the same idea directly
+(:meth:`repro.service.metrics.ServiceMetrics.observe_request_span`); this
+class is the generic registry-level variant::
+
+    bridge = SpanMetricsBridge({"http.request": metrics.request_seconds})
+    obs.get_recorder().add_finish_hook(bridge)
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.obs.spans import Span
+
+
+class SpanMetricsBridge:
+    """Routes finished spans into ``observe(duration)``-style sinks.
+
+    ``sinks`` maps span names to objects with an ``observe(float)``
+    method (e.g. :class:`repro.service.metrics.Histogram`).  Unmatched
+    spans are ignored; ``observed`` counts matched ones.
+    """
+
+    def __init__(self, sinks: Mapping[str, object]):
+        self.sinks = dict(sinks)
+        self.observed = 0
+
+    def __call__(self, span: Span) -> None:
+        sink = self.sinks.get(span.name)
+        if sink is not None:
+            sink.observe(span.duration)  # type: ignore[attr-defined]
+            self.observed += 1

@@ -51,9 +51,26 @@ class DecisionTable:
 
     def select(self, procs: int, nbytes: int) -> Selection:
         """Floor-lookup the selection for ``(procs, nbytes)``."""
+        return self.lookup(procs, nbytes)[0]
+
+    def lookup(self, procs: int, nbytes: int) -> tuple[Selection, bool]:
+        """Floor-lookup plus a clamp indicator.
+
+        Floor lookup is total: a query *below* the grid (``procs <
+        proc_points[0]`` or ``nbytes < size_points[0]``) clamps to the
+        first grid cell on that axis rather than failing — the same
+        convention the generated straight-line code uses (its final
+        unconditional branch is the first cell).  That silent clamp is
+        the right behaviour for a hot path, but callers that care
+        (the selection service, audits) need to *know* the answer was
+        extrapolated; the second element is ``True`` exactly when a
+        clamp happened.  Above-grid queries are genuine floor lookups,
+        not clamps.
+        """
         i = self._floor_index(self.proc_points, procs)
         j = self._floor_index(self.size_points, nbytes)
-        return self.choices[i][j]
+        clamped = procs < self.proc_points[0] or nbytes < self.size_points[0]
+        return self.choices[i][j], clamped
 
     # -- serialisation -----------------------------------------------------
 

@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Mapping, Sequence
 
 import repro
+from repro import obs
 from repro.clusters.spec import ClusterSpec
 from repro.errors import ArtifactError, EstimationError
 from repro.estimation.workflow import (
@@ -163,6 +164,15 @@ class SelectionArtifact:
 
     def select(self, operation: str, procs: int, nbytes: int):
         """Table lookup for one query (the server's hot path)."""
+        return self.lookup(operation, procs, nbytes)[0]
+
+    def lookup(self, operation: str, procs: int, nbytes: int):
+        """Table lookup plus the below-grid clamp indicator.
+
+        Same contract as :meth:`DecisionTable.lookup`: the boolean is
+        ``True`` when the query fell below the grid and the answer is
+        the clamped first-cell extrapolation.
+        """
         try:
             entry = self.entries[operation]
         except KeyError:
@@ -170,7 +180,7 @@ class SelectionArtifact:
                 f"artifact {self.artifact_id} has no {operation!r} table; "
                 f"operations: {', '.join(self.operations)}"
             ) from None
-        return entry.table.select(procs, nbytes)
+        return entry.table.lookup(procs, nbytes)
 
     def summary(self) -> dict:
         """Registry-listing view: identity plus grid shapes, no tables."""
@@ -345,56 +355,77 @@ def build_artifact(
     if sizes is not None:
         calib_kwargs["sizes"] = sizes
 
-    entries: dict[str, ArtifactEntry] = {}
-    quality: dict[str, dict] = {}
-    for operation in collectives:
-        if platforms is not None and operation in platforms:
-            platform = platforms[operation]
-        elif operation == "bcast":
-            try:
-                result = calibrate_platform(
-                    spec,
-                    runner=runner,
-                    screen_mad=screen_mad,
-                    retry_budget=retry_budget,
-                    strict=thresholds if strict else None,
-                    **calib_kwargs,
-                )
-            except EstimationError as error:
-                raise ArtifactError(
-                    f"strict build refused: {error}"
-                ) from error
-            platform = result.platform
-            report = result.quality_report()
-            if report:
-                quality[operation] = report
-        elif operation == "reduce":
-            from repro.estimation.reduce_calibration import calibrate_reduce
-
-            reduce_kwargs = dict(calib_kwargs)
-            reduce_kwargs.pop("gamma_max_procs", None)
-            platform, _estimates = calibrate_reduce(spec, **reduce_kwargs)
-        else:
-            raise ArtifactError(
-                f"no calibration pipeline for collective {operation!r}; "
-                "pass a precomputed platform via platforms={...}"
-            )
-        selector = ModelBasedSelector(platform)
-        table = build_decision_table(selector, grid_procs, size_points)
-        function_name = f"select_{operation}"
-        entries[operation] = ArtifactEntry(
-            operation=operation,
-            platform=platform,
-            table=table,
-            function_name=function_name,
-            source=generate_python(table, function_name=function_name),
-        )
-    return SelectionArtifact(
+    with obs.span(
+        "artifact.build",
         cluster=spec.name,
-        cluster_fingerprint=spec.fingerprint(),
-        entries=entries,
-        quality=quality,
-    )
+        collectives=",".join(collectives),
+        grid=f"{len(grid_procs)}x{len(size_points)}",
+    ) as build_span:
+        entries: dict[str, ArtifactEntry] = {}
+        quality: dict[str, dict] = {}
+        for operation in collectives:
+            with obs.span(
+                "artifact.calibrate",
+                operation=operation,
+                precomputed=bool(platforms is not None and operation in platforms),
+            ):
+                if platforms is not None and operation in platforms:
+                    platform = platforms[operation]
+                elif operation == "bcast":
+                    try:
+                        result = calibrate_platform(
+                            spec,
+                            runner=runner,
+                            screen_mad=screen_mad,
+                            retry_budget=retry_budget,
+                            strict=thresholds if strict else None,
+                            **calib_kwargs,
+                        )
+                    except EstimationError as error:
+                        raise ArtifactError(
+                            f"strict build refused: {error}"
+                        ) from error
+                    platform = result.platform
+                    report = result.quality_report()
+                    if report:
+                        quality[operation] = report
+                elif operation == "reduce":
+                    from repro.estimation.reduce_calibration import (
+                        calibrate_reduce,
+                    )
+
+                    reduce_kwargs = dict(calib_kwargs)
+                    reduce_kwargs.pop("gamma_max_procs", None)
+                    platform, _estimates = calibrate_reduce(
+                        spec, **reduce_kwargs
+                    )
+                else:
+                    raise ArtifactError(
+                        f"no calibration pipeline for collective "
+                        f"{operation!r}; pass a precomputed platform via "
+                        "platforms={...}"
+                    )
+            with obs.span("artifact.tables", operation=operation):
+                selector = ModelBasedSelector(platform)
+                table = build_decision_table(selector, grid_procs, size_points)
+            with obs.span("artifact.codegen", operation=operation):
+                function_name = f"select_{operation}"
+                entries[operation] = ArtifactEntry(
+                    operation=operation,
+                    platform=platform,
+                    table=table,
+                    function_name=function_name,
+                    source=generate_python(table, function_name=function_name),
+                )
+        with obs.span("artifact.package"):
+            artifact = SelectionArtifact(
+                cluster=spec.name,
+                cluster_fingerprint=spec.fingerprint(),
+                entries=entries,
+                quality=quality,
+            )
+            build_span.set_attr("artifact_id", artifact.artifact_id)
+        return artifact
 
 
 class ArtifactRegistry:

@@ -24,19 +24,46 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote and newline are the three characters the
+    format requires escaping inside ``name{label="value"}``; anything
+    else passes through verbatim.  Without this, a label value such as a
+    load error message containing ``"`` (artifact paths, JSON fragments)
+    produces an unparseable exposition document.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _format_labels(labels: tuple[tuple[str, str], ...]) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in labels)
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels
+    )
     return "{" + body + "}"
 
 
 @dataclass
 class Counter:
-    """A monotonically increasing, optionally labelled counter."""
+    """A monotonically increasing, optionally labelled counter.
+
+    ``labelled=True`` declares that every sample of this counter carries
+    labels.  Such counters render *no* sample while empty: the previous
+    behaviour of emitting a bare ``name 0`` created a phantom unlabelled
+    series alongside the real labelled ones, which double-counts in
+    ``sum(name)`` aggregations and confuses absent-metric alerts.
+    """
 
     name: str
     help: str
+    labelled: bool = False
     _samples: dict[tuple[tuple[str, str], ...], float] = field(
         default_factory=dict
     )
@@ -61,7 +88,7 @@ class Counter:
                 f"{self.name}{_format_labels(key)} "
                 f"{_format_value(self._samples[key])}"
             )
-        if not self._samples:
+        if not self._samples and not self.labelled:
             lines.append(f"{self.name} 0")
         return lines
 
@@ -155,6 +182,7 @@ class ServiceMetrics:
         self.requests = Counter(
             "repro_requests_total",
             "HTTP requests served, by endpoint and status code.",
+            labelled=True,
         )
         self.request_seconds = Histogram(
             "repro_request_seconds",
@@ -163,6 +191,13 @@ class ServiceMetrics:
         self.selections = Counter(
             "repro_selections_total",
             "Algorithm selections returned, by operation and algorithm.",
+            labelled=True,
+        )
+        self.clamped = Counter(
+            "repro_select_clamped_total",
+            "Queries below the decision grid answered by clamping to the "
+            "first grid cell, by operation.",
+            labelled=True,
         )
         self.queries = Counter(
             "repro_select_queries_total",
@@ -196,6 +231,21 @@ class ServiceMetrics:
             "corrupted artifact on disk), 0 when healthy.",
         )
 
+    def observe_request_span(self, span) -> None:
+        """Feed the request metrics from one finished ``http.request`` span.
+
+        The span is the single timing source for the serving layer (see
+        :mod:`repro.obs.bridge`): its monotonic duration lands in the
+        latency histogram and its ``endpoint``/``status`` attributes label
+        the request counter, so traces and metrics can never disagree
+        about what was measured.
+        """
+        self.request_seconds.observe(span.duration)
+        self.requests.inc(
+            endpoint=str(span.attributes.get("endpoint", "(unknown)")),
+            status=str(span.attributes.get("status", "(unknown)")),
+        )
+
     def cache_hit_ratio(self) -> float:
         hits = self.cache_hits.total()
         total = hits + self.cache_misses.total()
@@ -207,6 +257,7 @@ class ServiceMetrics:
             self.requests.render()
             + self.request_seconds.render()
             + self.selections.render()
+            + self.clamped.render()
             + self.queries.render()
             + self.cache_hits.render()
             + self.cache_misses.render()

@@ -34,15 +34,18 @@ from __future__ import annotations
 import asyncio
 import errno
 import json
+import logging
 import signal
 import threading
-import time
 from collections import OrderedDict
 from pathlib import Path
 
+from repro import obs
 from repro.errors import ArtifactError, PortInUseError, ServiceError
 from repro.service.artifact import ArtifactRegistry, SelectionArtifact
 from repro.service.metrics import ServiceMetrics
+
+_logger = logging.getLogger("repro.service")
 
 #: Most queries allowed in one batched ``POST /select``.
 MAX_BATCH = 4096
@@ -53,6 +56,11 @@ MAX_BODY = 4 << 20
 #: Seconds a connection may sit idle (or dribble a request) before the
 #: server closes it; bounds the damage of slow-loris style clients.
 DEFAULT_READ_TIMEOUT = 30.0
+
+#: Requests slower than this are logged with their trace id (the
+#: slow-query log).  Generous for a µs-scale hot path: anything over it
+#: means a reload, a huge batch, or trouble worth a log line.
+DEFAULT_SLOW_REQUEST_SECONDS = 0.25
 
 _REASONS = {
     200: "OK",
@@ -217,7 +225,7 @@ class SelectionService:
                 artifact = self.registry.lookup(cluster, operation)
             except ArtifactError as error:
                 raise RequestError(404, "unknown_artifact", str(error)) from None
-            selection = artifact.select(operation, procs, nbytes)
+            selection, clamped = artifact.lookup(operation, procs, nbytes)
             result = {
                 "cluster": cluster,
                 "operation": operation,
@@ -227,7 +235,13 @@ class SelectionService:
                 "segment_size": selection.segment_size,
                 "artifact": artifact.artifact_id,
             }
+            if clamped:
+                # Below-grid queries clamp to the first grid cell; say so
+                # instead of presenting the extrapolation as a grid answer.
+                result["clamped"] = True
             self.cache.put(key, result)
+        if result.get("clamped"):
+            self.metrics.clamped.inc(operation=result["operation"])
         self.metrics.selections.inc(
             operation=result["operation"], algorithm=result["algorithm"]
         )
@@ -266,12 +280,14 @@ class HttpServer:
         *,
         drain_timeout: float = 5.0,
         read_timeout: float = DEFAULT_READ_TIMEOUT,
+        slow_request_seconds: float = DEFAULT_SLOW_REQUEST_SECONDS,
     ):
         self.service = service
         self.host = host
         self.port = port
         self.drain_timeout = drain_timeout
         self.read_timeout = read_timeout
+        self.slow_request_seconds = slow_request_seconds
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._inflight = 0
@@ -363,22 +379,40 @@ class HttpServer:
                 )
                 self._inflight += 1
                 self._idle.clear()
-                started = time.perf_counter()
-                try:
-                    status, payload, content_type = self._dispatch(
-                        method, path, body
-                    )
-                finally:
-                    self._inflight -= 1
-                    if self._inflight == 0:
-                        self._idle.set()
-                elapsed = time.perf_counter() - started
+                # The span is the request's timer and trace-id source —
+                # forced, so it exists even while tracing is off.  Its
+                # duration feeds the latency histogram through the
+                # span-to-metrics bridge; there is no second clock.
+                with obs.span(
+                    "http.request", force=True, method=method, endpoint=path
+                ) as span:
+                    try:
+                        status, payload, content_type = self._dispatch(
+                            method, path, body
+                        )
+                    finally:
+                        self._inflight -= 1
+                        if self._inflight == 0:
+                            self._idle.set()
+                    span.set_attr("status", status)
                 metrics = self.service.metrics
-                metrics.request_seconds.observe(elapsed)
-                metrics.requests.inc(endpoint=path, status=str(status))
+                metrics.observe_request_span(span)
+                if span.duration >= self.slow_request_seconds:
+                    _logger.warning(
+                        "slow request: %s %s -> %d in %.3fs (trace %s)",
+                        method, path, status, span.duration, span.trace_id,
+                    )
+                if path == "/select" and isinstance(payload, dict):
+                    # Copy before annotating: single-query payloads are the
+                    # LRU cache's own dict, and a per-request trace id must
+                    # never be cached into it.
+                    payload = dict(payload, trace_id=span.trace_id)
                 try:
                     writer.write(
-                        self._render(status, payload, content_type, keep_alive)
+                        self._render(
+                            status, payload, content_type, keep_alive,
+                            trace_id=span.trace_id,
+                        )
                     )
                     await writer.drain()
                 except ConnectionError:
@@ -474,16 +508,24 @@ class HttpServer:
             )
 
     @staticmethod
-    def _render(status, payload, content_type: str, keep_alive: bool) -> bytes:
+    def _render(
+        status,
+        payload,
+        content_type: str,
+        keep_alive: bool,
+        trace_id: str | None = None,
+    ) -> bytes:
         body = (
             payload.encode("utf-8")
             if isinstance(payload, str)
             else json.dumps(payload).encode("utf-8")
         )
+        trace_header = f"X-Trace-Id: {trace_id}\r\n" if trace_id else ""
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{trace_header}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )

@@ -298,3 +298,64 @@ class TestScatterAllgather:
     def test_non_default_root(self):
         _, tracer = traced_bcast("scatter_allgather", 8, 64 * KiB, root=5)
         assert received_bytes(tracer)  # completes without deadlock
+
+
+class TestZeroByteConvention:
+    """m = 0 is a no-op everywhere: no traffic, zero time, zero prediction.
+
+    MPI returns immediately from a count-0 collective, so the simulator
+    must send nothing (``plan_segments(0, s)`` plans zero segments) and
+    the analytical models must predict exactly 0.0 — otherwise simulator
+    and model disagree at the degenerate corner of every sweep.
+    """
+
+    @pytest.mark.parametrize("algorithm", sorted(BCAST_ALGORITHMS))
+    def test_simulator_is_a_noop(self, algorithm):
+        elapsed, tracer = traced_bcast(algorithm, procs=8, nbytes=0)
+        assert elapsed == 0.0
+        assert not tracer.of_kind("recv_complete")
+
+    @pytest.mark.parametrize("algorithm", sorted(BCAST_ALGORITHMS))
+    def test_simulator_is_a_noop_unsegmented(self, algorithm):
+        elapsed, tracer = traced_bcast(algorithm, procs=5, nbytes=0,
+                                       segment_size=0)
+        assert elapsed == 0.0
+        assert not tracer.of_kind("recv_complete")
+
+    def test_all_bcast_models_predict_zero(self):
+        from repro.models.derived import DERIVED_BCAST_MODELS
+        from repro.models.gamma import GammaFunction
+        from repro.models.hockney import HockneyParams
+        from repro.models.traditional import TRADITIONAL_BCAST_MODELS
+
+        gamma = GammaFunction(table={2: 1.0, 3: 1.3, 4: 1.6})
+        params = HockneyParams(alpha=1e-5, beta=1e-9)
+        families = dict(DERIVED_BCAST_MODELS)
+        families.update(
+            (f"traditional/{name}", cls)
+            for name, cls in TRADITIONAL_BCAST_MODELS.items()
+        )
+        for name, model_cls in families.items():
+            model = model_cls(gamma)
+            assert model.predict(8, 0, SEGMENT, params) == 0.0, name
+            # ... and the sized prediction stays untouched by the guard.
+            assert model.predict(8, 64 * KiB, SEGMENT, params) > 0.0, name
+
+    def test_barrier_models_are_not_noops_at_zero_bytes(self):
+        """Barriers always carry m = 0; they must keep their cost."""
+        from repro.models.barrier_models import DERIVED_BARRIER_MODELS
+        from repro.models.gamma import GammaFunction
+        from repro.models.hockney import HockneyParams
+
+        gamma = GammaFunction(table={2: 1.0})
+        params = HockneyParams(alpha=1e-5, beta=1e-9)
+        for name, model_cls in DERIVED_BARRIER_MODELS.items():
+            model = model_cls(gamma)
+            assert model.predict(8, 0, 0, params) > 0.0, name
+
+    def test_reduce_is_a_noop_too(self):
+        from repro.estimation.reduce_calibration import time_reduce
+        from repro.collectives.reduce import REDUCE_ALGORITHMS
+
+        for name in REDUCE_ALGORITHMS:
+            assert time_reduce(MINICLUSTER, name, 8, 0, SEGMENT) == 0.0, name

@@ -1,0 +1,184 @@
+"""Degenerate-input sweep across every selection layer.
+
+The same query must get the same answer whether it goes through the
+:class:`DecisionTable`, the generated Python decision function
+(``compile_python``), :meth:`SelectionArtifact.select`, or ``POST
+/select`` on a live server — *including* at the corners: ``m = 0``,
+``procs = 1``, queries below the decision grid (which clamp to the first
+cell, flagged via ``DecisionTable.lookup``) and queries far above it
+(genuine floor lookups).  A divergence between layers here would mean a
+deployed decision function disagrees with the service that packaged it.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.clusters import MINICLUSTER
+from repro.selection.codegen import compile_python, generate_c
+from repro.service import (
+    ArtifactRegistry,
+    SelectionService,
+    ServiceThread,
+    build_artifact,
+)
+from repro.units import KiB, MiB, log_spaced_sizes
+
+GRID_PROCS = tuple(range(2, 17, 2))
+GRID_SIZES = tuple(log_spaced_sizes(8 * KiB, 1 * MiB, 6))
+
+#: The sweep: (procs, nbytes, expect_clamped).
+DEGENERATE_POINTS = (
+    (1, 0, True),                          # both axes below the grid
+    (1, 64 * KiB, True),                   # procs below, size on-grid
+    (8, 0, True),                          # size below, procs on-grid
+    (2, 1, True),                          # one byte: below the 8 KiB floor
+    (2, 8 * KiB - 1, True),                # just under the size floor
+    (2, 8 * KiB, False),                   # exactly the grid origin
+    (16, 1 * MiB, False),                  # exactly the grid corner
+    (500, 1 * MiB, False),                 # far above the proc grid
+    (16, 1 << 30, False),                  # 1 GiB: far above the size grid
+    (500, 1 << 30, False),                 # far above both axes
+)
+
+
+@pytest.fixture(scope="module")
+def artifact(mini_platform):
+    return build_artifact(
+        MINICLUSTER,
+        proc_points=GRID_PROCS,
+        size_points=GRID_SIZES,
+        platforms={"bcast": mini_platform},
+    )
+
+
+@pytest.fixture(scope="module")
+def table(artifact):
+    return artifact.entries["bcast"].table
+
+
+@pytest.fixture(scope="module")
+def decision_fn(table):
+    return compile_python(table)
+
+
+@pytest.fixture(scope="module")
+def server(artifact, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("degenerate-artifacts")
+    artifact.save(directory / "minicluster.json")
+    service = SelectionService(ArtifactRegistry(directory), cache_size=64)
+    with ServiceThread(service) as handle:
+        yield handle
+
+
+def post_select(port, procs, nbytes):
+    conn = HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request(
+            "POST",
+            "/select",
+            json.dumps(
+                {"cluster": "minicluster", "procs": procs, "nbytes": nbytes}
+            ),
+        )
+        response = conn.getresponse()
+        data = json.loads(response.read())
+        return response.status, data, response.getheader("X-Trace-Id")
+    finally:
+        conn.close()
+
+
+class TestFourLayerAgreement:
+    @pytest.mark.parametrize("procs,nbytes,_clamped", DEGENERATE_POINTS)
+    def test_table_codegen_artifact_agree(
+        self, table, decision_fn, artifact, procs, nbytes, _clamped
+    ):
+        selection = table.select(procs, nbytes)
+        expected = (selection.algorithm, selection.segment_size)
+        assert decision_fn(procs, nbytes) == expected
+        offline = artifact.select("bcast", procs, nbytes)
+        assert (offline.algorithm, offline.segment_size) == expected
+
+    @pytest.mark.parametrize("procs,nbytes,_clamped", DEGENERATE_POINTS)
+    def test_server_agrees_with_table(
+        self, server, table, procs, nbytes, _clamped
+    ):
+        selection = table.select(procs, nbytes)
+        status, data, _trace = post_select(server.port, procs, nbytes)
+        assert status == 200
+        assert data["algorithm"] == selection.algorithm
+        assert data["segment_size"] == selection.segment_size
+
+
+class TestClampIndicator:
+    @pytest.mark.parametrize("procs,nbytes,clamped", DEGENERATE_POINTS)
+    def test_lookup_flags_below_grid(self, table, procs, nbytes, clamped):
+        selection, flagged = table.lookup(procs, nbytes)
+        assert flagged is clamped
+        assert selection == table.select(procs, nbytes)
+
+    def test_clamped_queries_answer_with_first_cell_axis(self, table):
+        # A fully below-grid query is the first grid cell exactly.
+        selection, flagged = table.lookup(1, 0)
+        assert flagged
+        assert selection == table.choices[0][0]
+
+    @pytest.mark.parametrize("procs,nbytes,clamped", DEGENERATE_POINTS)
+    def test_artifact_lookup_matches_table_lookup(
+        self, artifact, table, procs, nbytes, clamped
+    ):
+        assert artifact.lookup("bcast", procs, nbytes) == table.lookup(
+            procs, nbytes
+        )
+
+    @pytest.mark.parametrize("procs,nbytes,clamped", DEGENERATE_POINTS)
+    def test_server_reports_clamped(self, server, procs, nbytes, clamped):
+        status, data, _trace = post_select(server.port, procs, nbytes)
+        assert status == 200
+        assert data.get("clamped", False) is clamped
+
+    def test_clamped_counter_increments(self, server):
+        before = server.service.metrics.clamped.value(operation="bcast")
+        # A fresh never-seen below-grid query (avoid the LRU cache).
+        status, data, _trace = post_select(server.port, 1, 3)
+        assert status == 200 and data["clamped"] is True
+        after = server.service.metrics.clamped.value(operation="bcast")
+        assert after == before + 1
+
+    def test_generated_sources_document_the_clamp_bounds(self, table):
+        from repro.selection.codegen import generate_python
+
+        python_source = generate_python(table)
+        c_source = generate_c(table)
+        for source in (python_source, c_source):
+            assert f"communicator_size < {GRID_PROCS[0]}" in source
+            assert f"message_size < {GRID_SIZES[0]}" in source
+
+    def test_c_fallback_branch_is_the_first_cell(self, table):
+        """The C backend's unconditional branches clamp like the table."""
+        from repro.selection.codegen import C_ALGORITHM_IDS
+
+        first = table.choices[0][0]
+        source = generate_c(table)
+        # The last emitted decision (the double `if True`/`{` fallback)
+        # must be the first grid cell — that is what below-grid clamps to.
+        last_algorithm = [
+            line for line in source.splitlines() if "*algorithm = " in line
+        ][-1]
+        assert f"*algorithm = {C_ALGORITHM_IDS[first.algorithm]};" in last_algorithm
+
+
+class TestTraceIds:
+    def test_every_select_response_carries_a_trace_id(self, server):
+        status, data, trace = post_select(server.port, 4, 64 * KiB)
+        assert status == 200
+        assert trace and data["trace_id"] == trace
+
+    def test_trace_ids_are_unique_per_request(self, server):
+        ids = {
+            post_select(server.port, 4, 64 * KiB)[2] for _ in range(5)
+        }
+        assert len(ids) == 5

@@ -25,10 +25,12 @@ class TestPlanSegments:
     def test_segment_equal_to_message_is_one_segment(self):
         assert plan_segments(4096, 4096).sizes == (4096,)
 
-    def test_zero_byte_message(self):
+    def test_zero_byte_message_plans_no_segments(self):
+        """m = 0 is a no-op: nothing flows, not even a 0-byte segment."""
         plan = plan_segments(0, 8192)
-        assert plan.sizes == (0,)
-        assert plan.num_segments == 1
+        assert plan.sizes == ()
+        assert plan.num_segments == 0
+        assert plan.total_bytes == 0
 
     def test_paper_configuration(self):
         """4 MB with 8 KB segments: the paper's largest experiment."""

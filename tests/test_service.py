@@ -435,8 +435,11 @@ class TestDegradedMode:
             assert data["status"] == "degraded"
             assert "minicluster.json" in data["degraded"]
 
-            # Selections keep flowing, bit-identical to pre-corruption.
+            # Selections keep flowing, bit-identical to pre-corruption
+            # (modulo the per-request trace id).
             status, after = client.request("POST", "/select", QUERY)
+            after.pop("trace_id", None)
+            before.pop("trace_id", None)
             assert status == 200 and after == before
 
             status, health = client.request("GET", "/healthz")
@@ -486,6 +489,7 @@ class TestDegradedMode:
         with ServiceThread(service) as handle:
             probe = Client(handle.port)
             _, expected = probe.request("POST", "/select", QUERY)
+            expected.pop("trace_id", None)
             failures: list[str] = []
             stop = threading.Event()
 
@@ -493,6 +497,7 @@ class TestDegradedMode:
                 client = Client(handle.port)
                 while not stop.is_set():
                     status, data = client.request("POST", "/select", QUERY)
+                    data.pop("trace_id", None)
                     if status != 200 or data != expected:
                         failures.append(f"{status}: {data}")
                         break

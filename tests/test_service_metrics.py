@@ -1,0 +1,125 @@
+"""Unit tests for the Prometheus-text-format metrics primitives.
+
+Two regression suites for audited bugs live here:
+
+* label values containing ``\\``, ``"`` or newlines must be escaped per
+  the text exposition format, or one failed-reload error message renders
+  the whole ``/metrics`` document unparseable;
+* always-labelled counters must not emit a bare ``name 0`` phantom
+  sample while empty — it double-counts in ``sum(name)`` aggregations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.spans import SpanRecorder
+from repro.service.metrics import (
+    Counter,
+    Histogram,
+    ServiceMetrics,
+    _escape_label_value,
+)
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize(
+        "raw,escaped",
+        [
+            ('say "hi"', 'say \\"hi\\"'),
+            ("back\\slash", "back\\\\slash"),
+            ("two\nlines", "two\\nlines"),
+            ('mix\\ "all"\nthree', 'mix\\\\ \\"all\\"\\nthree'),
+            ("plain ascii, no change", "plain ascii, no change"),
+        ],
+    )
+    def test_escape_label_value(self, raw, escaped):
+        assert _escape_label_value(raw) == escaped
+
+    def test_rendered_sample_quotes_stay_balanced(self):
+        counter = Counter("c_total", "help", labelled=True)
+        counter.inc(error='load failed: "artifact.json" is\nnot JSON')
+        sample = counter.render()[-1]
+        assert sample == (
+            'c_total{error="load failed: \\"artifact.json\\" is\\n'
+            'not JSON"} 1'
+        )
+        # The escaped sample stays a single physical line.
+        assert "\n" not in sample
+
+    def test_backslash_escaped_before_quote(self):
+        # Order matters: escaping quotes first would double-escape the
+        # backslash the quote replacement introduces.
+        assert _escape_label_value('\\"') == '\\\\\\"'
+
+
+class TestPhantomZeroSample:
+    def test_labelled_counter_renders_no_sample_while_empty(self):
+        counter = Counter("c_total", "help", labelled=True)
+        lines = counter.render()
+        assert lines == ["# HELP c_total help", "# TYPE c_total counter"]
+
+    def test_unlabelled_counter_keeps_its_zero_sample(self):
+        counter = Counter("c_total", "help")
+        assert counter.render()[-1] == "c_total 0"
+
+    def test_labelled_counter_renders_only_labelled_series(self):
+        counter = Counter("c_total", "help", labelled=True)
+        counter.inc(op="bcast")
+        counter.inc(op="bcast")
+        counter.inc(op="reduce")
+        lines = counter.render()
+        assert 'c_total{op="bcast"} 2' in lines
+        assert 'c_total{op="reduce"} 1' in lines
+        assert "c_total 0" not in lines
+
+    def test_fresh_registry_has_no_phantom_labelled_series(self):
+        document = ServiceMetrics().render()
+        for name in (
+            "repro_requests_total",
+            "repro_selections_total",
+            "repro_select_clamped_total",
+        ):
+            assert f"# TYPE {name} counter" in document
+            assert f"\n{name} 0\n" not in document
+
+    def test_unlabelled_counters_still_scrape_as_zero(self):
+        document = ServiceMetrics().render()
+        assert "\nrepro_select_queries_total 0\n" in document
+
+
+class TestSpanFedRequestMetrics:
+    def test_observe_request_span_feeds_histogram_and_counter(self):
+        metrics = ServiceMetrics()
+        recorder = SpanRecorder()
+        with recorder.span(
+            "http.request", force=True, endpoint="/select"
+        ) as span:
+            span.set_attr("status", 200)
+        metrics.observe_request_span(span)
+        assert metrics.request_seconds.count == 1
+        assert metrics.requests.value(endpoint="/select", status="200") == 1
+
+    def test_span_without_attrs_lands_in_unknown_series(self):
+        metrics = ServiceMetrics()
+        recorder = SpanRecorder()
+        with recorder.span("http.request", force=True) as span:
+            pass
+        metrics.observe_request_span(span)
+        assert (
+            metrics.requests.value(endpoint="(unknown)", status="(unknown)")
+            == 1
+        )
+
+
+class TestHistogramQuantile:
+    def test_quantile_of_empty_histogram_is_zero(self):
+        assert Histogram("h", "help").quantile(0.99) == 0.0
+
+    def test_quantile_returns_covering_bucket_bound(self):
+        histogram = Histogram("h", "help", buckets=(0.001, 0.01, 0.1))
+        for _ in range(99):
+            histogram.observe(0.0005)
+        histogram.observe(0.05)
+        assert histogram.quantile(0.5) == 0.001
+        assert histogram.quantile(0.999) == 0.1
