@@ -27,10 +27,10 @@ from repro.bench.runner import SelectionRow, selection_comparison
 from repro.clusters.spec import ClusterSpec
 from repro.errors import EstimationError
 from repro.estimation.regression import DEFAULT_SCREEN_THRESHOLD
+from repro.estimation.registry import get_pipeline
 from repro.estimation.workflow import (
     DEFAULT_QUALITY,
     QualityThresholds,
-    calibrate_platform,
 )
 from repro.exec.runner import ParallelRunner
 from repro.faults import FaultPlan, StragglerFault
@@ -135,6 +135,7 @@ class ChaosReport:
 def chaos_sweep(
     spec: ClusterSpec,
     *,
+    operation: str = "bcast",
     procs: int | None = None,
     sizes: Sequence[int] = DEFAULT_CHAOS_SIZES,
     severities: Sequence[float] = DEFAULT_SEVERITIES,
@@ -147,38 +148,37 @@ def chaos_sweep(
 ) -> list[ChaosReport]:
     """Measure model-vs-oracle drift across a fault-severity sweep.
 
-    For each severity: build the faulted spec, calibrate *on it* with the
-    robustness knobs on (screening, retries, strict gate), then run the
-    Table-3 comparison against a measured oracle on the same faulted
-    spec.  A calibration that fails the strict gate is refitted without
-    the gate so the report can still show how bad the drift gets;
-    ``strict_ok`` records which case occurred.
+    For each severity: build the faulted spec, calibrate *on it* through
+    ``operation``'s registered pipeline with the robustness knobs on
+    (screening, retries), then run the Table-3 comparison against a
+    measured oracle on the same faulted spec.  ``strict_ok`` records
+    whether the fits met the strict quality ``thresholds``; the report
+    carries rows either way, so the drift is visible even when the gate
+    would have refused the calibration.
     """
     if procs is None:
         procs = max(2, spec.max_procs // 2)
+    pipeline = get_pipeline(operation)
     reports: list[ChaosReport] = []
     for severity in severities:
         plan = severity_plan(spec, procs, severity)
         faulted = spec.with_faults(plan) if plan.enabled() else spec
-        calib = dict(
+        outcome = pipeline.calibrate(
+            faulted,
             runner=runner,
             max_reps=max_reps,
             seed=seed,
             screen_mad=screen_mad,
             retry_budget=retry_budget,
         )
-        try:
-            result = calibrate_platform(faulted, strict=thresholds, **calib)
-            strict_ok = True
-        except EstimationError:
-            result = calibrate_platform(faulted, **calib)
-            strict_ok = False
-        failures = tuple(result.check_quality(thresholds))
+        failures = tuple(outcome.failing(thresholds))
+        strict_ok = not failures
         oracle = MeasuredOracle(
-            faulted, max_reps=max_reps, seed=seed, runner=runner
+            faulted, operation=operation, max_reps=max_reps, seed=seed,
+            runner=runner,
         )
         rows = selection_comparison(
-            faulted, result.platform, procs, sizes,
+            faulted, outcome.platform, procs, sizes,
             oracle=oracle, max_reps=max_reps,
         )
         reports.append(

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.clusters.spec import ClusterSpec
+from repro.errors import SelectionError
 from repro.estimation.workflow import PlatformModel
 from repro.selection.model_based import ModelBasedSelector
 from repro.selection.ompi_fixed import OmpiFixedSelector
@@ -53,16 +54,26 @@ def selection_comparison(
     Passing a shared ``oracle`` lets several configurations reuse the
     (memoised) measurements.
 
+    The collective under comparison is read off ``platform.operation``
+    — a reduce-calibrated platform compares reduce algorithms against
+    the fixed reduce decision, and so on for every registered collective.
+
     The whole experiment grid — every candidate algorithm at every size,
     plus the model-based and Open MPI picks (whose segment sizes may
     differ) — is prefetched through the oracle's runner up front, so with
     a parallel runner all simulations fan out at once and the per-size
     loop replays from the memo.
     """
+    operation = platform.operation
     if oracle is None:
-        oracle = MeasuredOracle(spec, max_reps=max_reps)
+        oracle = MeasuredOracle(spec, operation=operation, max_reps=max_reps)
+    elif getattr(oracle, "operation", "bcast") != operation:
+        raise SelectionError(
+            f"oracle measures {oracle.operation!r} but the platform models "
+            f"{operation!r}"
+        )
     model_selector = ModelBasedSelector(platform)
-    ompi_selector = OmpiFixedSelector()
+    ompi_selector = OmpiFixedSelector(operation)
 
     # The selectors are pure model/table lookups, so the full set of extra
     # (algorithm, segment) pairs is known before any measurement runs.

@@ -260,6 +260,7 @@ def _cmd_chaos(args) -> int:
         kwargs["screen_mad"] = args.screen_mad
     reports = chaos_sweep(
         spec,
+        operation=args.operation,
         procs=args.procs,
         severities=severities,
         max_reps=args.max_reps,
@@ -287,6 +288,7 @@ def _cmd_artifact_build(args) -> int:
         collectives=[c.strip() for c in args.collectives.split(",")],
         proc_points=proc_points,
         procs=args.procs,
+        gamma_max_procs=args.gamma_max_procs,
         max_reps=args.max_reps,
         seed=args.seed,
         strict=args.strict,
@@ -544,9 +546,12 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--cluster", required=True)
     build.add_argument("--output", required=True)
     build.add_argument("--collectives", default="bcast",
-                       help="comma-separated (bcast,reduce)")
+                       help="comma-separated (bcast,reduce,gather,barrier)")
     build.add_argument("--procs", type=int, default=None,
                        help="calibration communicator size")
+    build.add_argument("--gamma-max-procs", type=int, default=None,
+                       help="largest communicator used by the gamma(P) "
+                            "estimation (bcast and reduce pipelines)")
     build.add_argument("--min-procs", type=int, default=2)
     build.add_argument("--max-procs", type=int, default=None,
                        help="decision grid upper bound (default: cluster capacity)")
@@ -574,6 +579,9 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[exec_flags],
     )
     chaos.add_argument("--cluster", required=True)
+    chaos.add_argument("--operation", default="bcast",
+                       help="collective to sweep (any registered calibration "
+                            "pipeline; default: bcast)")
     chaos.add_argument("-P", "--procs", type=int, default=None,
                        help="communicator size (default: half the cluster)")
     chaos.add_argument("--severities", default="0,0.01,0.02,0.05,0.1",

@@ -20,9 +20,19 @@ traditional models and the ablation), and :mod:`repro.estimation.workflow`
 """
 
 from repro.estimation.alphabeta import AlphaBeta, FitQuality, estimate_alpha_beta
+from repro.estimation.barrier_calibration import calibrate_barrier
 from repro.estimation.gamma import estimate_gamma
+from repro.estimation.gather_calibration import calibrate_gather
 from repro.estimation.p2p import estimate_hockney_p2p
 from repro.estimation.regression import huber_fit, mad_screen, ols_fit
+from repro.estimation.registry import (
+    CalibrationOutcome,
+    CalibrationPipeline,
+    get_pipeline,
+    register_pipeline,
+    registered_collectives,
+    unregister_pipeline,
+)
 from repro.estimation.statistics import SampleStats, adaptive_measure
 from repro.estimation.reduce_calibration import calibrate_reduce
 from repro.estimation.workflow import (
@@ -33,17 +43,25 @@ from repro.estimation.workflow import (
 
 __all__ = [
     "AlphaBeta",
+    "CalibrationOutcome",
+    "CalibrationPipeline",
     "FitQuality",
     "PlatformModel",
     "QualityThresholds",
     "SampleStats",
     "adaptive_measure",
+    "calibrate_barrier",
+    "calibrate_gather",
     "calibrate_platform",
     "calibrate_reduce",
     "estimate_alpha_beta",
     "estimate_gamma",
     "estimate_hockney_p2p",
+    "get_pipeline",
     "huber_fit",
     "mad_screen",
     "ols_fit",
+    "register_pipeline",
+    "registered_collectives",
+    "unregister_pipeline",
 ]

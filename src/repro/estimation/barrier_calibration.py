@@ -10,39 +10,174 @@ several communicator sizes (the x-axis that varies here is ``P``, not
 
 which is the maximum-likelihood estimate under i.i.d. noise for the model
 ``T_i = c_i·α``.
+
+All measurements route through the execution subsystem: the whole
+experiment schedule is prefetched as one parallel batch and the adaptive
+loops replay from the runner's memo, so a warm persistent cache rebuilds
+the calibration with zero simulations.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro import obs
 from repro.clusters.spec import ClusterSpec
-from repro.collectives.barrier import BARRIER_ALGORITHMS
 from repro.errors import EstimationError
+from repro.estimation.alphabeta import RETRY_SEED_STRIDE, FitQuality
 from repro.estimation.statistics import SampleStats, adaptive_measure
 from repro.estimation.workflow import PlatformModel
-from repro.measure import run_timed
+from repro.exec.job import SimJob
+from repro.exec.runner import ParallelRunner, default_runner
+from repro.measure import time_barrier  # noqa: F401
 from repro.models.barrier_models import DERIVED_BARRIER_MODELS
 from repro.models.gamma import GammaFunction
 from repro.models.hockney import HockneyParams
 
+__all__ = [
+    "time_barrier",
+    "barrier_prefetch_jobs",
+    "estimate_barrier_alpha",
+    "calibrate_barrier",
+    "calibrate_barrier_with_quality",
+]
 
-def time_barrier(
+
+def _check_proc_counts(spec: ClusterSpec, proc_counts: Sequence[int]) -> None:
+    if len(proc_counts) < 1:
+        raise EstimationError("need at least one communicator size")
+    for procs in proc_counts:
+        if not 2 <= procs <= spec.max_procs:
+            raise EstimationError(f"{spec.name}: invalid procs {procs}")
+
+
+def barrier_prefetch_jobs(
     spec: ClusterSpec,
     algorithm: str,
-    procs: int,
     *,
-    root: int = 0,
+    proc_counts: Sequence[int],
     seed: int = 0,
-    policy: str = "global",
-) -> float:
-    """Time one barrier (global completion by default)."""
-    entry = BARRIER_ALGORITHMS[algorithm]
+    reps: int = 2,
+) -> list[SimJob]:
+    """The first ``reps`` repetitions of one barrier algorithm's sweep.
 
-    def program(comm):
-        yield from entry(comm)
+    Enumerates exactly the seeds :func:`estimate_barrier_alpha`'s adaptive
+    loop will request, so prefetching these makes the loop replay from the
+    runner's memo.
+    """
+    batch: list[SimJob] = []
+    for index, procs in enumerate(proc_counts):
+        base = seed + 53_777 * (index + 1)
+        for rep in range(reps):
+            batch.append(
+                SimJob(
+                    spec=spec,
+                    kind="barrier",
+                    procs=procs,
+                    algorithm=algorithm,
+                    seed=base + 7919 * rep,
+                )
+            )
+    return batch
 
-    return run_timed(spec, program, procs, root=root, seed=seed, policy=policy)
+
+def _estimate_barrier(
+    spec: ClusterSpec,
+    algorithm: str,
+    *,
+    proc_counts: Sequence[int],
+    precision: float,
+    max_reps: int,
+    seed: int,
+    runner: ParallelRunner,
+    retry_budget: int = 0,
+) -> tuple[HockneyParams, dict[int, SampleStats], FitQuality]:
+    """The α fit plus quality diagnostics (shared implementation)."""
+    if len(proc_counts) < 1:
+        raise EstimationError("need at least one communicator size")
+    model = DERIVED_BARRIER_MODELS[algorithm](GammaFunction.ideal())
+    with obs.span(
+        "estimate.alphabeta",
+        operation="barrier",
+        algorithm=algorithm,
+        cluster=spec.name,
+        sizes=len(proc_counts),
+    ) as ab_span:
+        memo_before = runner.stats.memo_hits
+        sims_before = runner.stats.simulations
+        counts: list[float] = []
+        stats: dict[int, SampleStats] = {}
+        retried = 0
+        numerator = 0.0
+        denominator = 0.0
+        for index, procs in enumerate(proc_counts):
+            if not 2 <= procs <= spec.max_procs:
+                raise EstimationError(f"{spec.name}: invalid procs {procs}")
+            count = model.coefficients(procs).c_alpha
+            if count <= 0:
+                raise EstimationError(f"{algorithm}: zero message count at P={procs}")
+
+            def measure_once(rep_seed: int, procs: int = procs) -> float:
+                return runner.run_one(
+                    SimJob(
+                        spec=spec,
+                        kind="barrier",
+                        procs=procs,
+                        algorithm=algorithm,
+                        seed=rep_seed,
+                    )
+                )
+
+            base_seed = seed + 53_777 * (index + 1)
+            sample = adaptive_measure(
+                measure_once,
+                precision=precision,
+                max_reps=max_reps,
+                seed=base_seed,
+            )
+            attempt = 0
+            while not sample.converged and attempt < retry_budget:
+                attempt += 1
+                retried += 1
+                candidate = adaptive_measure(
+                    measure_once,
+                    precision=precision,
+                    max_reps=max_reps,
+                    seed=base_seed + RETRY_SEED_STRIDE * attempt,
+                )
+                if candidate.relative_precision < sample.relative_precision:
+                    sample = candidate
+            counts.append(count)
+            stats[procs] = sample
+            numerator += count * sample.mean
+            denominator += count * count
+        alpha = numerator / denominator
+
+        samples = list(stats.values())
+        residuals = [
+            abs(s.mean - c * alpha) for c, s in zip(counts, samples)
+        ]
+        mean_abs_t = sum(abs(s.mean) for s in samples) / len(samples)
+        quality = FitQuality(
+            points=len(samples),
+            screened=0,
+            fitted=len(samples),
+            max_abs_residual=float(max(residuals)),
+            relative_residual=float(
+                max(residuals) / mean_abs_t if mean_abs_t > 0 else 0.0
+            ),
+            converged=sum(1 for s in samples if s.converged),
+            retried=retried,
+            mean_relative_precision=float(
+                sum(s.relative_precision for s in samples) / len(samples)
+            ),
+        )
+        ab_span.set_attrs(
+            memo_hits=runner.stats.memo_hits - memo_before,
+            simulations=runner.stats.simulations - sims_before,
+            retried=retried,
+        )
+        return HockneyParams(alpha=alpha, beta=0.0), stats, quality
 
 
 def estimate_barrier_alpha(
@@ -53,35 +188,102 @@ def estimate_barrier_alpha(
     precision: float = 0.025,
     max_reps: int = 30,
     seed: int = 0,
+    runner: ParallelRunner | None = None,
+    prefetch: bool = True,
+    retry_budget: int = 0,
 ) -> tuple[HockneyParams, dict[int, SampleStats]]:
     """Fit the per-algorithm α from barriers at several sizes."""
-    if len(proc_counts) < 1:
-        raise EstimationError("need at least one communicator size")
-    model = DERIVED_BARRIER_MODELS[algorithm](GammaFunction.ideal())
-    numerator = 0.0
-    denominator = 0.0
-    stats: dict[int, SampleStats] = {}
-    for index, procs in enumerate(proc_counts):
-        if not 2 <= procs <= spec.max_procs:
-            raise EstimationError(f"{spec.name}: invalid procs {procs}")
-        count = model.coefficients(procs).c_alpha
-        if count <= 0:
-            raise EstimationError(f"{algorithm}: zero message count at P={procs}")
-
-        def measure_once(rep_seed: int, procs: int = procs) -> float:
-            return time_barrier(spec, algorithm, procs, seed=rep_seed)
-
-        sample = adaptive_measure(
-            measure_once,
-            precision=precision,
-            max_reps=max_reps,
-            seed=seed + 53_777 * (index + 1),
+    _check_proc_counts(spec, proc_counts)
+    runner = runner if runner is not None else default_runner()
+    if prefetch:
+        runner.prefetch(
+            barrier_prefetch_jobs(
+                spec, algorithm, proc_counts=proc_counts, seed=seed
+            )
         )
-        stats[procs] = sample
-        numerator += count * sample.mean
-        denominator += count * count
-    alpha = numerator / denominator
-    return HockneyParams(alpha=alpha, beta=0.0), stats
+    params, stats, _quality = _estimate_barrier(
+        spec,
+        algorithm,
+        proc_counts=proc_counts,
+        precision=precision,
+        max_reps=max_reps,
+        seed=seed,
+        runner=runner,
+        retry_budget=retry_budget,
+    )
+    return params, stats
+
+
+def default_barrier_proc_counts(spec: ClusterSpec) -> list[int]:
+    """The default communicator-size sweep for barrier calibration."""
+    top = spec.max_procs
+    return sorted({max(2, top // 8), max(2, top // 3), max(2, top // 2)})
+
+
+def calibrate_barrier_with_quality(
+    spec: ClusterSpec,
+    *,
+    proc_counts: Sequence[int] | None = None,
+    algorithms: Sequence[str] | None = None,
+    precision: float = 0.025,
+    max_reps: int = 30,
+    seed: int = 0,
+    runner: ParallelRunner | None = None,
+    retry_budget: int = 0,
+) -> tuple[PlatformModel, dict[str, FitQuality]]:
+    """Barrier calibration returning per-algorithm fit diagnostics.
+
+    The whole schedule (every algorithm × every communicator size) is
+    prefetched as one batch, so a parallel runner simulates concurrently
+    and a warm cache replays with zero simulations.
+    """
+    if proc_counts is None:
+        proc_counts = default_barrier_proc_counts(spec)
+    _check_proc_counts(spec, proc_counts)
+    if algorithms is None:
+        algorithms = sorted(DERIVED_BARRIER_MODELS)
+    with obs.span(
+        "calibrate.platform",
+        cluster=spec.name,
+        estimation="collective",
+        model_family="barrier_derived",
+        algorithms=",".join(algorithms),
+    ):
+        runner = runner if runner is not None else default_runner()
+        batch: list[SimJob] = []
+        for index, name in enumerate(algorithms):
+            batch += barrier_prefetch_jobs(
+                spec,
+                name,
+                proc_counts=proc_counts,
+                seed=seed + 7_103 * (index + 1),
+            )
+        with obs.span("calibrate.prefetch", jobs=len(batch)):
+            runner.prefetch(batch)
+
+        parameters: dict[str, HockneyParams] = {}
+        quality: dict[str, FitQuality] = {}
+        for index, name in enumerate(algorithms):
+            params, _stats, fit_quality = _estimate_barrier(
+                spec,
+                name,
+                proc_counts=proc_counts,
+                precision=precision,
+                max_reps=max_reps,
+                seed=seed + 7_103 * (index + 1),
+                runner=runner,
+                retry_budget=retry_budget,
+            )
+            parameters[name] = params
+            quality[name] = fit_quality
+        platform = PlatformModel(
+            cluster=spec.name,
+            segment_size=0,
+            gamma=GammaFunction.ideal(),
+            parameters=parameters,
+            model_family="barrier_derived",
+        )
+        return platform, quality
 
 
 def calibrate_barrier(
@@ -92,28 +294,16 @@ def calibrate_barrier(
     precision: float = 0.025,
     max_reps: int = 30,
     seed: int = 0,
+    runner: ParallelRunner | None = None,
 ) -> PlatformModel:
     """Calibrate every barrier algorithm; returns a selectable platform."""
-    if proc_counts is None:
-        top = spec.max_procs
-        proc_counts = sorted({max(2, top // 8), max(2, top // 3), max(2, top // 2)})
-    if algorithms is None:
-        algorithms = sorted(DERIVED_BARRIER_MODELS)
-    parameters: dict[str, HockneyParams] = {}
-    for index, name in enumerate(algorithms):
-        params, _stats = estimate_barrier_alpha(
-            spec,
-            name,
-            proc_counts=proc_counts,
-            precision=precision,
-            max_reps=max_reps,
-            seed=seed + 7_103 * (index + 1),
-        )
-        parameters[name] = params
-    return PlatformModel(
-        cluster=spec.name,
-        segment_size=0,
-        gamma=GammaFunction.ideal(),
-        parameters=parameters,
-        model_family="barrier_derived",
+    platform, _quality = calibrate_barrier_with_quality(
+        spec,
+        proc_counts=proc_counts,
+        algorithms=algorithms,
+        precision=precision,
+        max_reps=max_reps,
+        seed=seed,
+        runner=runner,
     )
+    return platform

@@ -1,81 +1,69 @@
-"""Calibration of the reduce models (future-work extension).
+"""Calibration of the gather models (extension).
 
-The paper's α/β experiment appends a gather to the broadcast so the
-experiment finishes on the root *and* so the varying gather size spreads
-the canonical x_i (for segmented algorithms the per-segment size is
-constant, so the reduce alone would give a singular system).  The dual
-construction for reductions: the reduce under test followed by a linear
-scatter of ``m_g`` bytes per rank from the root — the composite experiment
-again starts and finishes on the root, and the scatter contributes the
-same ``(P-1, (P-1)·m_g)`` coefficient row the gather does for broadcasts.
+Gathers need no composite experiment: the operation already finishes on
+the root, so the in-context experiment of §4.2 is the gather itself,
+root-timed.  The canonical system is naturally non-singular — every
+gather model's ``c_α`` is constant in ``m`` while ``c_β`` grows with it,
+so the message-size sweep spreads the canonical ``x_i`` exactly as the
+varying gather size does for broadcasts.
 
-Like the broadcast calibration, everything routes through the execution
-subsystem: the whole experiment schedule (γ plus every algorithm's sweep)
-is prefetched as one parallel batch and the serial estimation stages
+Gather models use the ideal platform function: the root is the only
+many-counterpart endpoint and its serialised ingress is already part of
+the model forms, so there is no separate γ(P) degradation to calibrate.
+
+All measurements route through the execution subsystem: the whole
+schedule is prefetched as one parallel batch and the adaptive loops
 replay from the runner's memo, so a warm persistent cache rebuilds the
 calibration with zero simulations.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro import obs
 from repro.clusters.spec import ClusterSpec
 from repro.errors import EstimationError
 from repro.estimation.alphabeta import (
-    DEFAULT_GATHER_BYTES,
     DEFAULT_SIZES,
     RETRY_SEED_STRIDE,
     AlphaBeta,
     FitQuality,
-)
-from repro.estimation.gamma import (
-    DEFAULT_MAX_PROCS,
-    DEFAULT_SEGMENT_SIZE,
-    estimate_gamma,
-    gamma_prefetch_jobs,
 )
 from repro.estimation.regression import get_regressor, mad_screen
 from repro.estimation.statistics import SampleStats, adaptive_measure
 from repro.estimation.workflow import PlatformModel
 from repro.exec.job import SimJob
 from repro.exec.runner import ParallelRunner, default_runner
-from repro.measure import time_reduce, time_reduce_then_scatter  # noqa: F401
+from repro.measure import time_gather  # noqa: F401
 from repro.models.base import BcastModel
-from repro.models.gather_models import linear_gather_coefficients
+from repro.models.gamma import GammaFunction
+from repro.models.gather_models import DERIVED_GATHER_MODELS
 from repro.models.hockney import HockneyParams
-from repro.models.reduce_models import DERIVED_REDUCE_MODELS
 
 __all__ = [
-    "time_reduce",
-    "time_reduce_then_scatter",
-    "reduce_alphabeta_prefetch_jobs",
-    "estimate_reduce_alpha_beta",
-    "calibrate_reduce",
+    "time_gather",
+    "gather_prefetch_jobs",
+    "estimate_gather_alpha_beta",
+    "calibrate_gather",
 ]
 
 
-def reduce_alphabeta_prefetch_jobs(
+def gather_prefetch_jobs(
     spec: ClusterSpec,
     algorithm: str,
     *,
     procs: int,
     sizes: Sequence[int] = DEFAULT_SIZES,
-    segment_size: int = DEFAULT_SEGMENT_SIZE,
-    scatter_bytes: int | Callable[[int], int] = DEFAULT_GATHER_BYTES,
     seed: int = 0,
     reps: int = 2,
 ) -> list[SimJob]:
-    """The first ``reps`` repetitions of one reduce algorithm's sweep, as jobs.
+    """The first ``reps`` repetitions of one gather algorithm's sweep.
 
-    Enumerates exactly the seeds :func:`estimate_reduce_alpha_beta`'s
+    Enumerates exactly the seeds :func:`estimate_gather_alpha_beta`'s
     adaptive loop will request, so prefetching these makes the loop replay
     from the runner's memo.
     """
-    scatter_of = (
-        scatter_bytes if callable(scatter_bytes) else (lambda _m: scatter_bytes)
-    )
     batch: list[SimJob] = []
     for index, nbytes in enumerate(sizes):
         base = seed + 104_729 * (index + 1)
@@ -83,26 +71,23 @@ def reduce_alphabeta_prefetch_jobs(
             batch.append(
                 SimJob(
                     spec=spec,
-                    kind="reduce_then_scatter",
+                    kind="gather",
                     procs=procs,
                     algorithm=algorithm,
                     nbytes=nbytes,
-                    segment_size=segment_size,
-                    gather_bytes=scatter_of(nbytes),
                     seed=base + 7919 * rep,
+                    policy="root",
                 )
             )
     return batch
 
 
-def estimate_reduce_alpha_beta(
+def estimate_gather_alpha_beta(
     spec: ClusterSpec,
     model: BcastModel,
     *,
     procs: int | None = None,
     sizes: Sequence[int] = DEFAULT_SIZES,
-    segment_size: int = DEFAULT_SEGMENT_SIZE,
-    scatter_bytes=DEFAULT_GATHER_BYTES,
     regressor: str = "huber",
     precision: float = 0.025,
     max_reps: int = 30,
@@ -112,15 +97,7 @@ def estimate_reduce_alpha_beta(
     screen_mad: float | None = None,
     retry_budget: int = 0,
 ) -> AlphaBeta:
-    """Per-algorithm α/β for a reduce algorithm (§4.2 applied to reduce).
-
-    Same contract as :func:`~repro.estimation.alphabeta.estimate_alpha_beta`:
-    simulations run through ``runner`` (default: the process-wide runner),
-    ``prefetch=False`` skips the warm-up batch when the caller already
-    prefetched a larger one, and the robustness knobs (``screen_mad``,
-    ``retry_budget``) default off so the vanilla estimate is bit-identical
-    to earlier releases.  Quality diagnostics are always recorded.
-    """
+    """Per-algorithm α/β for a gather algorithm (§4.2 applied to gather)."""
     if procs is None:
         procs = max(2, spec.max_procs // 2)
     if not 2 <= procs <= spec.max_procs:
@@ -128,20 +105,11 @@ def estimate_reduce_alpha_beta(
     if len(sizes) < 2:
         raise EstimationError("need at least two message sizes to fit a line")
     fit_fn = get_regressor(regressor)
-    scatter_of = (
-        scatter_bytes if callable(scatter_bytes) else (lambda _m: scatter_bytes)
-    )
     runner = runner if runner is not None else default_runner()
     if prefetch:
         runner.prefetch(
-            reduce_alphabeta_prefetch_jobs(
-                spec,
-                model.algorithm,
-                procs=procs,
-                sizes=sizes,
-                segment_size=segment_size,
-                scatter_bytes=scatter_bytes,
-                seed=seed,
+            gather_prefetch_jobs(
+                spec, model.algorithm, procs=procs, sizes=sizes, seed=seed
             )
         )
 
@@ -149,7 +117,7 @@ def estimate_reduce_alpha_beta(
     sims_before = runner.stats.simulations
     with obs.span(
         "estimate.alphabeta",
-        operation="reduce",
+        operation="gather",
         algorithm=model.algorithm,
         cluster=spec.name,
         procs=procs,
@@ -160,29 +128,22 @@ def estimate_reduce_alpha_beta(
         stats: list[SampleStats] = []
         retried = 0
         for index, nbytes in enumerate(sizes):
-            m_g = scatter_of(nbytes)
-            # The linear scatter's root-side cost has the gather's shape:
-            # (P-1) serialised injections of m_g bytes.
-            coeffs = model.coefficients(procs, nbytes, segment_size)
-            total = coeffs + linear_gather_coefficients(procs, m_g)
-            if total.c_alpha <= 0:
+            coeffs = model.coefficients(procs, nbytes, 0)
+            if coeffs.c_alpha <= 0:
                 raise EstimationError(
                     f"{model.algorithm}: degenerate experiment at m={nbytes}"
                 )
 
-            def measure_once(
-                rep_seed: int, nbytes: int = nbytes, m_g: int = m_g
-            ) -> float:
+            def measure_once(rep_seed: int, nbytes: int = nbytes) -> float:
                 return runner.run_one(
                     SimJob(
                         spec=spec,
-                        kind="reduce_then_scatter",
+                        kind="gather",
                         procs=procs,
                         algorithm=model.algorithm,
                         nbytes=nbytes,
-                        segment_size=segment_size,
-                        gather_bytes=m_g,
                         seed=rep_seed,
+                        policy="root",
                     )
                 )
 
@@ -206,8 +167,8 @@ def estimate_reduce_alpha_beta(
                 if candidate.relative_precision < sample.relative_precision:
                     sample = candidate
             stats.append(sample)
-            xs.append(total.c_beta / total.c_alpha)
-            ys.append(sample.mean / total.c_alpha)
+            xs.append(coeffs.c_beta / coeffs.c_alpha)
+            ys.append(sample.mean / coeffs.c_alpha)
 
         if screen_mad is not None and len(xs) > 2:
             kept = mad_screen(xs, ys, threshold=screen_mad)
@@ -248,14 +209,12 @@ def estimate_reduce_alpha_beta(
         )
 
 
-def calibrate_reduce(
+def calibrate_gather(
     spec: ClusterSpec,
     *,
     procs: int | None = None,
     algorithms: Sequence[str] | None = None,
     sizes: Sequence[int] = DEFAULT_SIZES,
-    segment_size: int = DEFAULT_SEGMENT_SIZE,
-    gamma_max_procs: int = DEFAULT_MAX_PROCS,
     regressor: str = "huber",
     precision: float = 0.025,
     max_reps: int = 30,
@@ -264,72 +223,49 @@ def calibrate_reduce(
     screen_mad: float | None = None,
     retry_budget: int = 0,
 ) -> tuple[PlatformModel, dict[str, AlphaBeta]]:
-    """Full reduce calibration: γ plus per-algorithm α/β.
+    """Full gather calibration: per-algorithm α/β over a size sweep.
 
-    Returns a :class:`PlatformModel` with ``model_family="reduce_derived"``
+    Returns a :class:`PlatformModel` with ``model_family="gather_derived"``
     ready for :class:`~repro.selection.model_based.ModelBasedSelector`.
-
-    All simulations route through ``runner`` (default: the process-wide
-    runner).  The entire experiment schedule — γ plus every algorithm's
-    sweep — is prefetched as one batch up front, so with a parallel runner
-    the whole calibration's simulations run concurrently and the serial
-    estimation stages replay from the memo.
     """
     if algorithms is None:
-        algorithms = sorted(DERIVED_REDUCE_MODELS)
+        algorithms = sorted(DERIVED_GATHER_MODELS)
     ab_procs = procs if procs is not None else max(2, spec.max_procs // 2)
 
     with obs.span(
         "calibrate.platform",
         cluster=spec.name,
         estimation="collective",
-        model_family="reduce_derived",
+        model_family="gather_derived",
         algorithms=",".join(algorithms),
     ):
         runner = runner if runner is not None else default_runner()
-        batch = gamma_prefetch_jobs(
-            spec,
-            segment_size=segment_size,
-            max_procs=gamma_max_procs,
-            seed=seed,
-        )
+        batch: list[SimJob] = []
         for index, name in enumerate(algorithms):
-            batch += reduce_alphabeta_prefetch_jobs(
+            batch += gather_prefetch_jobs(
                 spec,
                 name,
                 procs=ab_procs,
                 sizes=sizes,
-                segment_size=segment_size,
-                seed=seed + 3_000_017 * (index + 1),
+                seed=seed + 5_000_011 * (index + 1),
             )
         with obs.span("calibrate.prefetch", jobs=len(batch)):
             runner.prefetch(batch)
 
-        gamma = estimate_gamma(
-            spec,
-            segment_size=segment_size,
-            max_procs=gamma_max_procs,
-            precision=precision,
-            max_reps=max_reps,
-            seed=seed,
-            runner=runner,
-            prefetch=False,
-        ).function()
-
+        gamma = GammaFunction.ideal()
         estimates: dict[str, AlphaBeta] = {}
         parameters: dict[str, HockneyParams] = {}
         for index, name in enumerate(algorithms):
-            model = DERIVED_REDUCE_MODELS[name](gamma)
-            estimate = estimate_reduce_alpha_beta(
+            model = DERIVED_GATHER_MODELS[name](gamma)
+            estimate = estimate_gather_alpha_beta(
                 spec,
                 model,
                 procs=procs,
                 sizes=sizes,
-                segment_size=segment_size,
                 regressor=regressor,
                 precision=precision,
                 max_reps=max_reps,
-                seed=seed + 3_000_017 * (index + 1),
+                seed=seed + 5_000_011 * (index + 1),
                 runner=runner,
                 prefetch=False,
                 screen_mad=screen_mad,
@@ -340,9 +276,9 @@ def calibrate_reduce(
 
         platform = PlatformModel(
             cluster=spec.name,
-            segment_size=segment_size,
+            segment_size=0,
             gamma=gamma,
             parameters=parameters,
-            model_family="reduce_derived",
+            model_family="gather_derived",
         )
         return platform, estimates

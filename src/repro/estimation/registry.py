@@ -1,0 +1,287 @@
+"""Per-collective calibration pipelines (the multi-collective registry).
+
+The paper's method is collective-agnostic: implementation-derived models
+plus per-algorithm α/β estimation apply to any Open MPI collective.  This
+module is where that genericity becomes operational — each collective
+operation registers one :class:`CalibrationPipeline`, and
+:func:`repro.service.artifact.build_artifact` loops over the registry
+instead of special-casing operations, so adding a collective to the whole
+service stack (decision tables, codegen, artifacts, HTTP server) is one
+registration here plus a model family.
+
+A pipeline declares which calibration keyword arguments it *accepts*
+(forwarded to the underlying calibration) and which it merely *tolerates*
+(meaningful only to sibling pipelines in a combined multi-collective
+build, silently dropped).  Anything outside both sets is an error — a
+misspelled or genuinely unsupported kwarg must never be discarded.
+
+Built-in pipelines: ``bcast`` (:func:`calibrate_platform`), ``reduce``
+(:func:`calibrate_reduce`), ``gather`` (:func:`calibrate_gather`) and
+``barrier`` (:func:`calibrate_barrier_with_quality`).  All of them route
+every simulation through the :class:`~repro.exec.runner.ParallelRunner`
+handed to :meth:`CalibrationPipeline.calibrate`, prefetching their whole
+experiment schedule up front — so builds parallelise and a warm
+persistent cache replays with zero simulations, for every collective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.clusters.spec import ClusterSpec
+from repro.errors import ArtifactError
+from repro.estimation.alphabeta import FitQuality
+from repro.estimation.workflow import (
+    DEFAULT_QUALITY,
+    PlatformModel,
+    QualityThresholds,
+    calibrate_platform,
+)
+from repro.exec.runner import ParallelRunner
+
+__all__ = [
+    "CalibrationOutcome",
+    "CalibrationPipeline",
+    "register_pipeline",
+    "unregister_pipeline",
+    "get_pipeline",
+    "registered_collectives",
+]
+
+
+@dataclass(frozen=True)
+class CalibrationOutcome:
+    """What a pipeline hands back: the model plus its fit diagnostics."""
+
+    platform: PlatformModel
+    #: Per-algorithm fit quality (may be empty for quality-less pipelines).
+    quality: dict[str, FitQuality] = field(default_factory=dict)
+
+    def quality_report(self) -> dict[str, dict]:
+        """Per-algorithm diagnostics, JSON-ready (for the artifact document)."""
+        return {
+            name: fit_quality.as_dict()
+            for name, fit_quality in sorted(self.quality.items())
+        }
+
+    def failing(
+        self, thresholds: QualityThresholds = DEFAULT_QUALITY
+    ) -> list[str]:
+        """Names of algorithms whose fit fails ``thresholds`` (empty = pass)."""
+        return [
+            name
+            for name, fit_quality in sorted(self.quality.items())
+            if not fit_quality.ok(
+                max_relative_residual=thresholds.max_relative_residual,
+                min_converged_fraction=thresholds.min_converged_fraction,
+            )
+        ]
+
+
+@dataclass(frozen=True)
+class CalibrationPipeline:
+    """One collective's route from cluster spec to calibrated platform.
+
+    ``fn(spec, runner=..., **kwargs) -> CalibrationOutcome`` does the
+    work; ``accepts`` names the calibration kwargs forwarded to it, and
+    ``tolerates`` names kwargs that are dropped because they only concern
+    sibling pipelines in a combined multi-collective build.  Kwargs in
+    neither set raise :class:`ArtifactError`.  ``size_independent`` marks
+    collectives whose decisions do not depend on the message size (the
+    barrier), so decision tables collapse to a single size column.
+    """
+
+    operation: str
+    fn: Callable[..., CalibrationOutcome]
+    accepts: frozenset[str]
+    tolerates: frozenset[str] = frozenset()
+    size_independent: bool = False
+
+    def calibrate(
+        self,
+        spec: ClusterSpec,
+        *,
+        runner: ParallelRunner | None = None,
+        **kwargs,
+    ) -> CalibrationOutcome:
+        """Validate and forward ``kwargs``; run the calibration."""
+        unsupported = sorted(set(kwargs) - self.accepts - self.tolerates)
+        if unsupported:
+            raise ArtifactError(
+                f"{self.operation} calibration does not support "
+                f"{', '.join(unsupported)}; accepts: "
+                f"{', '.join(sorted(self.accepts))}"
+            )
+        forwarded = {
+            key: value for key, value in kwargs.items() if key in self.accepts
+        }
+        return self.fn(spec, runner=runner, **forwarded)
+
+
+_PIPELINES: dict[str, CalibrationPipeline] = {}
+
+
+def register_pipeline(
+    pipeline: CalibrationPipeline, *, replace: bool = False
+) -> None:
+    """Register ``pipeline`` for its operation.
+
+    Refuses to overwrite an existing registration unless ``replace=True``
+    — silently shadowing a built-in pipeline is almost never intended.
+    """
+    if pipeline.operation in _PIPELINES and not replace:
+        raise ArtifactError(
+            f"calibration pipeline for {pipeline.operation!r} already "
+            "registered; pass replace=True to override"
+        )
+    _PIPELINES[pipeline.operation] = pipeline
+
+
+def unregister_pipeline(operation: str) -> None:
+    """Remove a registration (primarily for tests of custom pipelines)."""
+    _PIPELINES.pop(operation, None)
+
+
+def get_pipeline(operation: str) -> CalibrationPipeline:
+    """The registered pipeline for ``operation``.
+
+    Raises :class:`ArtifactError` naming the registered collectives when
+    there is none.
+    """
+    try:
+        return _PIPELINES[operation]
+    except KeyError:
+        raise ArtifactError(
+            f"no calibration pipeline for collective {operation!r}; "
+            f"registered: {', '.join(sorted(_PIPELINES))}; pass a "
+            "precomputed platform via platforms={...}"
+        ) from None
+
+
+def registered_collectives() -> list[str]:
+    """Operations with a registered pipeline, sorted."""
+    return sorted(_PIPELINES)
+
+
+# -- built-in pipelines ------------------------------------------------------
+
+
+def _quality_of(estimates: dict) -> dict[str, FitQuality]:
+    return {
+        name: estimate.quality
+        for name, estimate in estimates.items()
+        if estimate.quality is not None
+    }
+
+
+def _calibrate_bcast(
+    spec: ClusterSpec, *, runner: ParallelRunner | None = None, **kwargs
+) -> CalibrationOutcome:
+    result = calibrate_platform(spec, runner=runner, **kwargs)
+    return CalibrationOutcome(
+        platform=result.platform, quality=_quality_of(result.alpha_beta)
+    )
+
+
+def _calibrate_reduce(
+    spec: ClusterSpec, *, runner: ParallelRunner | None = None, **kwargs
+) -> CalibrationOutcome:
+    from repro.estimation.reduce_calibration import calibrate_reduce
+
+    platform, estimates = calibrate_reduce(spec, runner=runner, **kwargs)
+    return CalibrationOutcome(
+        platform=platform, quality=_quality_of(estimates)
+    )
+
+
+def _calibrate_gather(
+    spec: ClusterSpec, *, runner: ParallelRunner | None = None, **kwargs
+) -> CalibrationOutcome:
+    from repro.estimation.gather_calibration import calibrate_gather
+
+    platform, estimates = calibrate_gather(spec, runner=runner, **kwargs)
+    return CalibrationOutcome(
+        platform=platform, quality=_quality_of(estimates)
+    )
+
+
+def _calibrate_barrier(
+    spec: ClusterSpec, *, runner: ParallelRunner | None = None, **kwargs
+) -> CalibrationOutcome:
+    from repro.estimation.barrier_calibration import (
+        calibrate_barrier_with_quality,
+    )
+
+    platform, quality = calibrate_barrier_with_quality(
+        spec, runner=runner, **kwargs
+    )
+    return CalibrationOutcome(platform=platform, quality=quality)
+
+
+register_pipeline(
+    CalibrationPipeline(
+        operation="bcast",
+        fn=_calibrate_bcast,
+        accepts=frozenset(
+            {
+                "procs", "algorithms", "model_family", "estimation",
+                "gamma_method", "segment_size", "sizes", "gather_bytes",
+                "gamma_max_procs", "regressor", "precision", "max_reps",
+                "seed", "screen_mad", "retry_budget", "strict",
+            }
+        ),
+    )
+)
+
+register_pipeline(
+    CalibrationPipeline(
+        operation="reduce",
+        fn=_calibrate_reduce,
+        accepts=frozenset(
+            {
+                "procs", "algorithms", "sizes", "segment_size",
+                "gamma_max_procs", "regressor", "precision", "max_reps",
+                "seed", "screen_mad", "retry_budget",
+            }
+        ),
+    )
+)
+
+register_pipeline(
+    CalibrationPipeline(
+        operation="gather",
+        fn=_calibrate_gather,
+        accepts=frozenset(
+            {
+                "procs", "algorithms", "sizes", "regressor", "precision",
+                "max_reps", "seed", "screen_mad", "retry_budget",
+            }
+        ),
+        # γ and segmentation only parameterise sibling pipelines: gather
+        # models use the ideal platform function and are unsegmented.
+        tolerates=frozenset({"gamma_max_procs", "segment_size"}),
+    )
+)
+
+register_pipeline(
+    CalibrationPipeline(
+        operation="barrier",
+        fn=_calibrate_barrier,
+        accepts=frozenset(
+            {
+                "proc_counts", "algorithms", "precision", "max_reps",
+                "seed", "retry_budget",
+            }
+        ),
+        # The barrier sweep varies P, not m: size/segment/γ knobs and the
+        # canonical-point screen concern the data-moving siblings only.
+        tolerates=frozenset(
+            {
+                "procs", "sizes", "segment_size", "gamma_max_procs",
+                "screen_mad", "regressor",
+            }
+        ),
+        size_independent=True,
+    )
+)

@@ -54,6 +54,7 @@ from repro.models.derived import DERIVED_BCAST_MODELS
 from repro.models.gamma import GammaFunction
 from repro.models.hockney import HockneyParams
 from repro.models.barrier_models import DERIVED_BARRIER_MODELS
+from repro.models.gather_models import DERIVED_GATHER_MODELS
 from repro.models.reduce_models import DERIVED_REDUCE_MODELS
 from repro.models.traditional import TRADITIONAL_BCAST_MODELS
 
@@ -61,6 +62,7 @@ MODEL_FAMILIES = {
     "derived": DERIVED_BCAST_MODELS,
     "traditional": TRADITIONAL_BCAST_MODELS,
     "reduce_derived": DERIVED_REDUCE_MODELS,
+    "gather_derived": DERIVED_GATHER_MODELS,
     "barrier_derived": DERIVED_BARRIER_MODELS,
 }
 
@@ -69,6 +71,7 @@ FAMILY_OPERATION = {
     "derived": "bcast",
     "traditional": "bcast",
     "reduce_derived": "reduce",
+    "gather_derived": "gather",
     "barrier_derived": "barrier",
 }
 

@@ -22,6 +22,9 @@ kind                      measurement
 ``bcast_barrier_reps``    :func:`repro.measure.time_repeated_bcast_with_barriers`
 ``barrier_reps``          :func:`repro.measure.time_repeated_barrier`
 ``gather``                :func:`repro.measure.time_gather`
+``reduce``                :func:`repro.measure.time_reduce`
+``reduce_then_scatter``   :func:`repro.measure.time_reduce_then_scatter`
+``barrier``               :func:`repro.measure.time_barrier`
 ``p2p_roundtrip``         :func:`repro.measure.time_p2p_roundtrip`
 ========================  ==================================================
 """
@@ -42,6 +45,9 @@ JOB_KINDS = (
     "bcast_barrier_reps",
     "barrier_reps",
     "gather",
+    "reduce",
+    "reduce_then_scatter",
+    "barrier",
     "p2p_roundtrip",
 )
 
@@ -61,7 +67,9 @@ class SimJob:
     algorithm: str = ""
     nbytes: int = 0
     segment_size: int = 0
-    #: Gather payload per rank (``bcast_then_gather`` / ``gather``).
+    #: Per-rank payload of the trailing collective: the gather of
+    #: ``bcast_then_gather`` / ``gather``, the scatter of
+    #: ``reduce_then_scatter``.
     gather_bytes: int = 0
     #: Repetition count inside the simulated program (``*_reps`` kinds).
     calls: int = 0
@@ -172,6 +180,37 @@ def execute_job(job: SimJob) -> float:
             job.algorithm,
             job.procs,
             job.nbytes,
+            root=job.root,
+            seed=job.seed,
+            policy=job.policy,
+        )
+    if job.kind == "reduce":
+        return measure.time_reduce(
+            job.spec,
+            job.algorithm,
+            job.procs,
+            job.nbytes,
+            job.segment_size,
+            root=job.root,
+            seed=job.seed,
+            policy=job.policy,
+        )
+    if job.kind == "reduce_then_scatter":
+        return measure.time_reduce_then_scatter(
+            job.spec,
+            job.algorithm,
+            job.procs,
+            job.nbytes,
+            job.segment_size,
+            job.gather_bytes,
+            root=job.root,
+            seed=job.seed,
+        )
+    if job.kind == "barrier":
+        return measure.time_barrier(
+            job.spec,
+            job.algorithm,
+            job.procs,
             root=job.root,
             seed=job.seed,
             policy=job.policy,

@@ -19,9 +19,15 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.clusters.spec import ClusterSpec
-from repro.collectives.barrier import DEFAULT_BARRIER, BarrierAlgorithm
+from repro.collectives.barrier import (
+    BARRIER_ALGORITHMS,
+    DEFAULT_BARRIER,
+    BarrierAlgorithm,
+)
 from repro.collectives.bcast import BCAST_ALGORITHMS, BcastAlgorithm
 from repro.collectives.gather import GATHER_ALGORITHMS, GatherAlgorithm
+from repro.collectives.reduce import REDUCE_ALGORITHMS
+from repro.collectives.scatter import SCATTER_ALGORITHMS
 from repro.errors import SimulationError
 from repro.mpi.communicator import Communicator
 from repro.sim.engine import SimGen
@@ -168,6 +174,75 @@ def time_repeated_barrier(
             yield from barrier(comm)
 
     return run_timed(spec, program, procs, root=root, seed=seed, policy="root")
+
+
+# -- reduce and barrier -------------------------------------------------------
+
+
+def time_reduce(
+    spec: ClusterSpec,
+    algorithm: str,
+    procs: int,
+    nbytes: int,
+    segment_size: int,
+    *,
+    root: int = 0,
+    seed: int = 0,
+    policy: str = "root",
+) -> float:
+    """Time one reduction; root-timed by default (it ends on the root)."""
+    entry = REDUCE_ALGORITHMS[algorithm]
+
+    def program(comm: Communicator) -> SimGen:
+        yield from entry(comm, root, nbytes, segment_size)
+
+    return run_timed(spec, program, procs, root=root, seed=seed, policy=policy)
+
+
+def time_reduce_then_scatter(
+    spec: ClusterSpec,
+    algorithm: str,
+    procs: int,
+    nbytes: int,
+    segment_size: int,
+    scatter_bytes: int,
+    *,
+    root: int = 0,
+    seed: int = 0,
+) -> float:
+    """The reduce α/β experiment: reduce under test + linear scatter.
+
+    The dual of :func:`time_bcast_then_gather` — the composite starts and
+    finishes on the root, and the linear scatter of ``scatter_bytes`` per
+    rank contributes the same ``(P-1, (P-1)·m_g)`` coefficient row the
+    gather does for broadcasts.
+    """
+    entry = REDUCE_ALGORITHMS[algorithm]
+    scatter = SCATTER_ALGORITHMS["linear"]
+
+    def program(comm: Communicator) -> SimGen:
+        yield from entry(comm, root, nbytes, segment_size)
+        yield from scatter(comm, root, scatter_bytes)
+
+    return run_timed(spec, program, procs, root=root, seed=seed, policy="root")
+
+
+def time_barrier(
+    spec: ClusterSpec,
+    algorithm: str,
+    procs: int,
+    *,
+    root: int = 0,
+    seed: int = 0,
+    policy: str = "global",
+) -> float:
+    """Time one barrier (global completion by default)."""
+    entry = BARRIER_ALGORITHMS[algorithm]
+
+    def program(comm: Communicator) -> SimGen:
+        yield from entry(comm)
+
+    return run_timed(spec, program, procs, root=root, seed=seed, policy=policy)
 
 
 # -- gather and point-to-point ------------------------------------------------

@@ -1,18 +1,34 @@
-"""Model of the linear gather used in the α/β experiments (paper Eq. 8).
+"""Models of the gather algorithms.
 
-The linear-without-synchronisation gather drains ``P-1`` messages of
-``m_g`` bytes through the root's single NIC, so its cost is
+Two roles:
 
-    T_gather(P, m_g) = (P - 1) · (α + m_g·β).
+* the *linear* gather is an ingredient of the paper's α/β experiments
+  (Eq. 8): its coefficients are added to the broadcast model's when the
+  composite experiment (broadcast + gather, Eq. 7) is turned into one
+  linear equation in α and β (Fig. 4);
+* both gathers are also selectable collectives in their own right
+  (future-work extension), so the same coefficient forms are packaged as
+  a :class:`~repro.models.base.BcastModel` family
+  (:data:`DERIVED_GATHER_MODELS`) for calibration and model-based
+  selection.
 
-Its coefficients are *added* to the broadcast model's coefficients when the
-paper's composite experiment (broadcast + gather, Eq. 7) is turned into one
-linear equation in α and β (Fig. 4).
+Model forms:
+
+* linear (Eq. 8): the root drains ``P-1`` messages of ``m`` bytes through
+  its single NIC, ``T = (P-1)·(α + m·β)``;
+* binomial: leaf-to-root aggregation over an in-order binomial tree.  The
+  critical path is ``ceil(log2 P)`` store-and-forward stages (each level
+  must finish collecting before forwarding), while the aggregated payload
+  still funnels through the root's ingress NIC — its children deliver
+  subtree aggregates totalling ``(P-1)·m`` bytes — so
+  ``T = ceil(log2 P)·α + (P-1)·m·β``.
 """
 
 from __future__ import annotations
 
-from repro.models.base import LinearCoefficients
+from math import ceil, log2
+
+from repro.models.base import BcastModel, LinearCoefficients
 from repro.models.hockney import HockneyParams
 
 
@@ -25,3 +41,41 @@ def linear_gather_coefficients(procs: int, gather_bytes: int) -> LinearCoefficie
 def linear_gather_time(procs: int, gather_bytes: int, params: HockneyParams) -> float:
     """Predicted linear gather time (Eq. 8)."""
     return linear_gather_coefficients(procs, gather_bytes).evaluate(params)
+
+
+class _GatherModel(BcastModel):
+    """Gathers are unsegmented: the segment size is ignored."""
+
+
+class LinearGatherModel(_GatherModel):
+    """Linear gather without synchronisation (Eq. 8)."""
+
+    algorithm = "linear"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int = 0
+    ) -> LinearCoefficients:
+        del segment_size
+        return linear_gather_coefficients(procs, nbytes)
+
+
+class BinomialGatherModel(_GatherModel):
+    """Binomial-tree gather: log stages, root-NIC-bound payload."""
+
+    algorithm = "binomial"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int = 0
+    ) -> LinearCoefficients:
+        del segment_size
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        stages = float(ceil(log2(procs)))
+        return LinearCoefficients(stages, (procs - 1) * nbytes)
+
+
+#: Derived gather models keyed by the gather algorithm they describe.
+DERIVED_GATHER_MODELS: dict[str, type[BcastModel]] = {
+    model.algorithm: model
+    for model in (LinearGatherModel, BinomialGatherModel)
+}

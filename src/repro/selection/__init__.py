@@ -14,21 +14,38 @@ Three selectors, matching the three curves of the paper's Fig. 5:
 would ship.
 """
 
-from repro.selection.codegen import compile_python, generate_c, generate_python
+from repro.selection.codegen import (
+    C_OPERATION_ALGORITHM_IDS,
+    algorithm_ids_for,
+    compile_python,
+    generate_c,
+    generate_python,
+)
 from repro.selection.decision_table import DecisionTable, build_decision_table
 from repro.selection.model_based import ModelBasedSelector
-from repro.selection.ompi_fixed import OmpiFixedSelector, ompi_bcast_decision
+from repro.selection.ompi_fixed import (
+    OmpiFixedSelector,
+    ompi_barrier_decision,
+    ompi_bcast_decision,
+    ompi_gather_decision,
+    ompi_reduce_decision,
+)
 from repro.selection.oracle import MeasuredOracle, Selection
 
 __all__ = [
+    "C_OPERATION_ALGORITHM_IDS",
     "DecisionTable",
     "MeasuredOracle",
     "ModelBasedSelector",
     "OmpiFixedSelector",
     "Selection",
+    "algorithm_ids_for",
     "build_decision_table",
     "compile_python",
     "generate_c",
     "generate_python",
+    "ompi_barrier_decision",
     "ompi_bcast_decision",
+    "ompi_gather_decision",
+    "ompi_reduce_decision",
 ]

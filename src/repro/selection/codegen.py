@@ -17,6 +17,7 @@ every grid cell and off-grid point.
 
 from __future__ import annotations
 
+from repro.errors import SelectionError
 from repro.selection.decision_table import DecisionTable
 
 #: Stable algorithm identifiers for the C backend (Open MPI's numbering
@@ -30,6 +31,40 @@ C_ALGORITHM_IDS = {
     "binomial": 6,
     "scatter_allgather": 7,
 }
+
+#: Per-operation C algorithm numberings (Open MPI's ``coll_tuned``
+#: enumerations where one exists).  ``C_ALGORITHM_IDS`` stays as the
+#: broadcast map for backward compatibility.
+C_OPERATION_ALGORITHM_IDS: dict[str, dict[str, int]] = {
+    "bcast": C_ALGORITHM_IDS,
+    "reduce": {
+        "linear": 1,
+        "chain": 3,  # Open MPI calls the single chain "pipeline"
+        "binary": 4,
+        "binomial": 5,
+        "in_order_binomial": 6,
+    },
+    "gather": {
+        "linear": 1,
+        "binomial": 2,
+    },
+    "barrier": {
+        "linear": 1,
+        "double_ring": 2,
+        "recursive_doubling": 3,
+        "bruck": 4,
+    },
+}
+
+
+def algorithm_ids_for(operation: str) -> dict[str, int]:
+    """The C id numbering for ``operation`` (broadcast's for unknown ops)."""
+    return C_OPERATION_ALGORITHM_IDS.get(operation, C_ALGORITHM_IDS)
+
+
+def _table_operation(table: DecisionTable) -> str:
+    """The operation a table decides (read off its first selection)."""
+    return table.choices[0][0].operation
 
 
 def _selector_rows(table: DecisionTable):
@@ -90,16 +125,20 @@ def compile_python(table: DecisionTable, function_name: str = "select_bcast"):
 def generate_c(table: DecisionTable, function_name: str = "coll_bcast_dec_generated") -> str:
     """Emit a C decision function in Open MPI's fixed-decision style.
 
-    The function writes the algorithm id (see :data:`C_ALGORITHM_IDS`) and
-    segment size through out-parameters and returns 0, matching the
+    The function writes the algorithm id (the operation's numbering from
+    :data:`C_OPERATION_ALGORITHM_IDS`, read off the table's selections)
+    and segment size through out-parameters and returns 0, matching the
     conventions of ``coll_tuned_decision_fixed.c``.
     """
+    operation = _table_operation(table)
+    algorithm_ids = algorithm_ids_for(operation)
     lines = [
         "/* Generated by repro.selection.codegen — do not edit.",
+        f" * Operation: {operation}.",
         f" * Grid: {len(table.proc_points)} communicator sizes x "
         f"{len(table.size_points)} message sizes.",
         " * Algorithm ids: "
-        + ", ".join(f"{name}={num}" for name, num in sorted(C_ALGORITHM_IDS.items()))
+        + ", ".join(f"{name}={num}" for name, num in sorted(algorithm_ids.items()))
         + ".",
         f" * Queries below the grid (communicator_size < "
         f"{table.proc_points[0]} or message_size < "
@@ -120,7 +159,14 @@ def generate_c(table: DecisionTable, function_name: str = "coll_bcast_dec_genera
         lines.append(guard)
         for j in range(len(cells) - 1, -1, -1):
             size, choice = cells[j]
-            algorithm_id = C_ALGORITHM_IDS[choice.algorithm]
+            try:
+                algorithm_id = algorithm_ids[choice.algorithm]
+            except KeyError:
+                raise SelectionError(
+                    f"no C algorithm id for {operation} algorithm "
+                    f"{choice.algorithm!r}; known: "
+                    f"{', '.join(sorted(algorithm_ids))}"
+                ) from None
             inner = (
                 "        {"
                 if j == 0

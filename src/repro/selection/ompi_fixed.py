@@ -111,23 +111,81 @@ def ompi_reduce_decision(communicator_size: int, message_size: int) -> Selection
     return Selection("chain", 64 * KiB, operation="reduce")
 
 
+#: Block-size and communicator thresholds of the fixed gather decision.
+GATHER_LARGE_BLOCK_SIZE = 92160
+GATHER_INTERMEDIATE_BLOCK_SIZE = 6000
+GATHER_SMALL_BLOCK_SIZE = 1024
+GATHER_LARGE_COMM_SIZE = 60
+GATHER_SMALL_COMM_SIZE = 10
+
+
+def ompi_gather_decision(communicator_size: int, message_size: int) -> Selection:
+    """The Open MPI 3.1 fixed decision for ``MPI_Gather``.
+
+    Port of ``ompi_coll_tuned_gather_intra_dec_fixed``.  Open MPI's
+    synchronised-linear variants map onto our ``linear`` (the
+    synchronisation handshake is not modelled); the branch structure and
+    thresholds are preserved.
+    """
+    if communicator_size < 1:
+        raise SelectionError(f"invalid communicator size {communicator_size}")
+    if message_size < 0:
+        raise SelectionError(f"negative message size {message_size}")
+
+    if message_size > GATHER_LARGE_BLOCK_SIZE:
+        return Selection("linear", 0, operation="gather")
+    if message_size > GATHER_INTERMEDIATE_BLOCK_SIZE:
+        return Selection("linear", 0, operation="gather")
+    if communicator_size > GATHER_LARGE_COMM_SIZE or (
+        communicator_size > GATHER_SMALL_COMM_SIZE
+        and message_size < GATHER_SMALL_BLOCK_SIZE
+    ):
+        return Selection("binomial", 0, operation="gather")
+    return Selection("linear", 0, operation="gather")
+
+
+def ompi_barrier_decision(communicator_size: int, message_size: int = 0) -> Selection:
+    """The Open MPI 3.1 fixed decision for ``MPI_Barrier``.
+
+    Port of ``ompi_coll_tuned_barrier_intra_dec_fixed``: recursive
+    doubling on power-of-two communicators (the dedicated two-process
+    exchange at ``P = 2`` *is* recursive doubling's single round), Bruck
+    otherwise.  Barriers carry no payload, so ``message_size`` is ignored.
+    """
+    del message_size
+    if communicator_size < 1:
+        raise SelectionError(f"invalid communicator size {communicator_size}")
+    if communicator_size & (communicator_size - 1) == 0:
+        return Selection("recursive_doubling", 0, operation="barrier")
+    return Selection("bruck", 0, operation="barrier")
+
+
+#: Fixed decision functions by operation.
+FIXED_DECISIONS = {
+    "bcast": ompi_bcast_decision,
+    "reduce": ompi_reduce_decision,
+    "gather": ompi_gather_decision,
+    "barrier": ompi_barrier_decision,
+}
+
+
 class OmpiFixedSelector:
     """Selector interface over the fixed decision functions.
 
     ``operation`` picks the decision function: ``"bcast"`` (the paper's
-    baseline) or ``"reduce"`` (the future-work extension).
+    baseline), ``"reduce"``, ``"gather"`` or ``"barrier"`` (the
+    future-work extensions).
     """
 
     name = "ompi_fixed"
 
     def __init__(self, operation: str = "bcast"):
-        if operation not in ("bcast", "reduce"):
+        if operation not in FIXED_DECISIONS:
             raise SelectionError(
-                f"no fixed decision function for operation {operation!r}"
+                f"no fixed decision function for operation {operation!r}; "
+                f"known: {', '.join(sorted(FIXED_DECISIONS))}"
             )
         self.operation = operation
 
     def select(self, procs: int, nbytes: int) -> Selection:
-        if self.operation == "reduce":
-            return ompi_reduce_decision(procs, nbytes)
-        return ompi_bcast_decision(procs, nbytes)
+        return FIXED_DECISIONS[self.operation](procs, nbytes)

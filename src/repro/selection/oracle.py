@@ -86,11 +86,28 @@ def _stable_key_hash(key: tuple) -> int:
     return zlib.crc32(repr(key).encode("utf-8"))
 
 
+#: The simulation job kind measuring one call of each collective.
+ORACLE_JOB_KINDS = {
+    "bcast": "bcast",
+    "reduce": "reduce",
+    "gather": "gather",
+    "barrier": "barrier",
+}
+
+#: Operations whose algorithms take a segment size.
+SEGMENTED_OPERATIONS = ("bcast", "reduce")
+
+
 class MeasuredOracle:
     """Exhaustive measurement: the empirically optimal algorithm.
 
     Results are memoised per ``(procs, nbytes, algorithm, segment_size)``
     so Table 3 and Fig. 5 share measurements.
+
+    ``operation`` picks the collective under test (default ``"bcast"``,
+    the paper's experiment); candidate algorithms default to the paper's
+    six for broadcast and to the operation's full catalogue otherwise.
+    Unsegmented operations (gather, barrier) force ``segment_size=0``.
     """
 
     #: Repetitions prefetched per measurement before the adaptive loop runs.
@@ -103,6 +120,7 @@ class MeasuredOracle:
         self,
         spec: ClusterSpec,
         *,
+        operation: str = "bcast",
         algorithms: Sequence[str] | None = None,
         segment_size: int = 8 * KiB,
         precision: float = 0.025,
@@ -110,15 +128,26 @@ class MeasuredOracle:
         seed: int = 0,
         runner: ParallelRunner | None = None,
     ):
+        if operation not in ORACLE_JOB_KINDS:
+            raise SelectionError(
+                f"no measured oracle for operation {operation!r}; "
+                f"known: {', '.join(sorted(ORACLE_JOB_KINDS))}"
+            )
         self.spec = spec
-        # Default to the paper's six algorithms so Table 3 / Fig. 5 stay
-        # faithful; pass an explicit list to include extension algorithms.
-        self.algorithms = (
-            sorted(PAPER_BCAST_ALGORITHMS)
-            if algorithms is None
-            else list(algorithms)
+        self.operation = operation
+        if algorithms is not None:
+            self.algorithms = list(algorithms)
+        elif operation == "bcast":
+            # Default to the paper's six algorithms so Table 3 / Fig. 5 stay
+            # faithful; pass an explicit list to include extension algorithms.
+            self.algorithms = sorted(PAPER_BCAST_ALGORITHMS)
+        else:
+            from repro.collectives.registry import algorithm_names
+
+            self.algorithms = algorithm_names(operation)
+        self.segment_size = (
+            segment_size if operation in SEGMENTED_OPERATIONS else 0
         )
-        self.segment_size = segment_size
         self.precision = precision
         self.max_reps = max_reps
         self.seed = seed
@@ -135,9 +164,19 @@ class MeasuredOracle:
     def _job(
         self, procs: int, nbytes: int, algorithm: str, seg: int, rep_seed: int
     ) -> SimJob:
+        if self.operation == "barrier":
+            # Barriers carry no payload: the job ignores size and segment,
+            # so measurements at different nbytes share one simulation.
+            return SimJob(
+                spec=self.spec,
+                kind="barrier",
+                procs=procs,
+                algorithm=algorithm,
+                seed=rep_seed,
+            )
         return SimJob(
             spec=self.spec,
-            kind="bcast",
+            kind=ORACLE_JOB_KINDS[self.operation],
             procs=procs,
             algorithm=algorithm,
             nbytes=nbytes,
@@ -226,7 +265,10 @@ class MeasuredOracle:
         """The empirically best algorithm and its measured time."""
         times = self.sweep(procs, nbytes)
         winner = min(times, key=times.get)
-        return Selection(winner, self.segment_size), times[winner]
+        return (
+            Selection(winner, self.segment_size, operation=self.operation),
+            times[winner],
+        )
 
     def degradation(
         self, procs: int, nbytes: int, choice: Selection

@@ -39,11 +39,11 @@ import repro
 from repro import obs
 from repro.clusters.spec import ClusterSpec
 from repro.errors import ArtifactError, EstimationError
+from repro.estimation.registry import get_pipeline
 from repro.estimation.workflow import (
     DEFAULT_QUALITY,
     PlatformModel,
     QualityThresholds,
-    calibrate_platform,
 )
 from repro.exec.runner import ParallelRunner, default_runner
 from repro.selection.codegen import generate_python
@@ -331,23 +331,35 @@ def build_artifact(
 
     ``platforms`` short-circuits calibration with precomputed
     :class:`PlatformModel` objects (keyed by operation) — used by tests
-    and by rebuilds from a saved calibration.  Otherwise ``"bcast"``
-    entries run :func:`calibrate_platform` (through ``runner``, so the
-    build is parallel and cache-aware) and ``"reduce"`` entries run
-    :func:`repro.estimation.reduce_calibration.calibrate_reduce`.
+    and by rebuilds from a saved calibration.  Every other entry looks up
+    its :class:`~repro.estimation.registry.CalibrationPipeline` in the
+    per-collective registry and calibrates through it (all pipelines run
+    through ``runner``, so the build is parallel and cache-aware for
+    every collective).  A calibration kwarg a pipeline neither accepts
+    nor tolerates raises :class:`ArtifactError` — nothing is silently
+    dropped.
 
     ``strict=True`` refuses to package a calibration whose fits fail the
-    quality ``thresholds`` (raising :class:`ArtifactError`); fit
-    diagnostics are recorded in the artifact's unhashed ``quality``
-    section either way.  ``screen_mad`` / ``retry_budget`` forward to
-    :func:`calibrate_platform` and default off, so a vanilla build is
+    quality ``thresholds`` (raising :class:`ArtifactError`) — the gate
+    applies uniformly to *every* pipeline's quality report, not just the
+    broadcast's; fit diagnostics are recorded in the artifact's unhashed
+    ``quality`` section either way.  ``screen_mad`` / ``retry_budget``
+    forward to the pipelines and default off, so a vanilla build is
     bit-identical to earlier releases.
+
+    Size-independent collectives (the barrier) get a single-column
+    decision table: their selection depends on ``P`` only.
     """
     runner = runner if runner is not None else default_runner()
     grid_procs = (
         tuple(proc_points) if proc_points else default_proc_points(spec)
     )
-    calib_kwargs: dict = {"max_reps": max_reps, "seed": seed}
+    calib_kwargs: dict = {
+        "max_reps": max_reps,
+        "seed": seed,
+        "screen_mad": screen_mad,
+        "retry_budget": retry_budget,
+    }
     if procs is not None:
         calib_kwargs["procs"] = procs
     if gamma_max_procs is not None:
@@ -364,50 +376,52 @@ def build_artifact(
         entries: dict[str, ArtifactEntry] = {}
         quality: dict[str, dict] = {}
         for operation in collectives:
+            precomputed = platforms is not None and operation in platforms
+            size_independent = False
+            if not precomputed:
+                pipeline = get_pipeline(operation)
+                size_independent = pipeline.size_independent
+            else:
+                try:
+                    size_independent = get_pipeline(operation).size_independent
+                except ArtifactError:
+                    pass
             with obs.span(
                 "artifact.calibrate",
                 operation=operation,
-                precomputed=bool(platforms is not None and operation in platforms),
+                precomputed=precomputed,
             ):
-                if platforms is not None and operation in platforms:
+                if precomputed:
                     platform = platforms[operation]
-                elif operation == "bcast":
+                else:
                     try:
-                        result = calibrate_platform(
-                            spec,
-                            runner=runner,
-                            screen_mad=screen_mad,
-                            retry_budget=retry_budget,
-                            strict=thresholds if strict else None,
-                            **calib_kwargs,
+                        outcome = pipeline.calibrate(
+                            spec, runner=runner, **calib_kwargs
                         )
                     except EstimationError as error:
                         raise ArtifactError(
-                            f"strict build refused: {error}"
+                            f"{operation} calibration failed: {error}"
                         ) from error
-                    platform = result.platform
-                    report = result.quality_report()
+                    platform = outcome.platform
+                    report = outcome.quality_report()
                     if report:
                         quality[operation] = report
-                elif operation == "reduce":
-                    from repro.estimation.reduce_calibration import (
-                        calibrate_reduce,
-                    )
-
-                    reduce_kwargs = dict(calib_kwargs)
-                    reduce_kwargs.pop("gamma_max_procs", None)
-                    platform, _estimates = calibrate_reduce(
-                        spec, **reduce_kwargs
-                    )
-                else:
-                    raise ArtifactError(
-                        f"no calibration pipeline for collective "
-                        f"{operation!r}; pass a precomputed platform via "
-                        "platforms={...}"
-                    )
+                    if strict:
+                        failed = outcome.failing(thresholds)
+                        if failed:
+                            details = "; ".join(
+                                f"{name}: {outcome.quality[name].as_dict()}"
+                                for name in failed
+                            )
+                            raise ArtifactError(
+                                f"strict build refused: {spec.name}: "
+                                f"{operation} calibration quality gate "
+                                f"failed for {', '.join(failed)} ({details})"
+                            )
+            grid_sizes = (0,) if size_independent else tuple(size_points)
             with obs.span("artifact.tables", operation=operation):
                 selector = ModelBasedSelector(platform)
-                table = build_decision_table(selector, grid_procs, size_points)
+                table = build_decision_table(selector, grid_procs, grid_sizes)
             with obs.span("artifact.codegen", operation=operation):
                 function_name = f"select_{operation}"
                 entries[operation] = ArtifactEntry(
