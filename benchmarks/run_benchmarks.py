@@ -1,6 +1,8 @@
-"""Produce BENCH_simulator.json: simulator and executor performance numbers.
+"""Append a run to BENCH_simulator.json: simulator/executor performance.
 
-Three measurement groups (see docs/PERFORMANCE.md for how to read them):
+``BENCH_simulator.json`` holds a ``runs`` list (same convention as
+``BENCH_service.json``); every invocation appends one timestamped entry.
+Each entry has four measurement groups (see docs/PERFORMANCE.md):
 
 1. **engine micro-benchmarks** — the two workloads of
    ``test_simulator_performance.py``, run through pytest-benchmark, plus
@@ -11,9 +13,13 @@ Three measurement groups (see docs/PERFORMANCE.md for how to read them):
    ``selection_comparison`` wall-timed three ways: serial cold, parallel
    cold (``--jobs``, default all cores), and serial against a warm
    persistent cache (which must perform *zero* simulations);
-3. **metadata** — CPU count, Python version, platform — because the
-   parallel speedup claim is only meaningful relative to the core count
-   the run had.
+3. **batched build** — one cold four-collective artifact build through the
+   event-loop engine (``batch=False``, ``event_loop_cold_build_s``) and one
+   through the batched grid simulator (``batch=True``,
+   ``batched_cold_build_s``), asserting identical content hashes;
+4. **metadata** — CPU count, Python version, platform, timestamp — because
+   the parallel speedup claim is only meaningful relative to the core
+   count the run had.
 
 Usage::
 
@@ -173,6 +179,71 @@ def run_selection_benchmark(full: bool, jobs: int) -> dict:
     }
 
 
+def build_workload(full: bool):
+    """(spec, build_artifact kwargs) of the four-collective build."""
+    collectives = ("bcast", "reduce", "gather", "barrier")
+    if full:
+        spec = GROS.with_noise(0.0)
+        return spec, dict(
+            collectives=collectives, procs=62, gamma_max_procs=7, max_reps=8
+        )
+    return MINICLUSTER, dict(
+        collectives=collectives, procs=8, gamma_max_procs=5, max_reps=3
+    )
+
+
+def run_build_benchmark(full: bool, jobs: int) -> dict:
+    """Cold artifact build, event-loop engine vs batched grid simulator."""
+    from repro.service import build_artifact
+
+    spec, kwargs = build_workload(full)
+    timings, hashes, sims = {}, {}, {}
+    for batch in (False, True):
+        runner = ParallelRunner(jobs=jobs, batch=batch)
+        start = time.perf_counter()
+        artifact = build_artifact(spec, runner=runner, seed=0, **kwargs)
+        timings[batch] = time.perf_counter() - start
+        hashes[batch] = artifact.content_hash()
+        sims[batch] = runner.stats.simulations
+        runner.close()
+    if hashes[True] != hashes[False]:
+        raise RuntimeError(
+            "batched build diverged from the event-loop build: "
+            f"{hashes[True]} != {hashes[False]}"
+        )
+    return {
+        "workload": {
+            "cluster": spec.name,
+            "collectives": list(kwargs["collectives"]),
+            "procs": kwargs["procs"],
+            "scale": "full" if full else "quick",
+            "jobs": jobs,
+        },
+        "event_loop_cold_build_s": timings[False],
+        "batched_cold_build_s": timings[True],
+        "event_loop_simulations": sims[False],
+        "batched_simulations": sims[True],
+        "speedup_batched_vs_event_loop": timings[False] / timings[True],
+        "content_hash": hashes[True],
+        "content_hash_identical": True,
+    }
+
+
+def append_run(output: Path, run: dict) -> list:
+    """Append ``run`` to the ``runs`` list of ``output``.
+
+    Migrates the pre-runs-list layout (one flat report dict) by wrapping
+    the existing document as the first run.
+    """
+    runs: list = []
+    if output.exists():
+        existing = json.loads(output.read_text())
+        runs = existing["runs"] if "runs" in existing else [existing]
+    runs.append(run)
+    output.write_text(json.dumps({"runs": runs}, indent=2) + "\n")
+    return runs
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -196,6 +267,7 @@ def main(argv=None) -> int:
 
     report = {
         "metadata": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             "python": platform.python_version(),
             "machine": platform.machine(),
             "system": platform.system(),
@@ -225,14 +297,23 @@ def main(argv=None) -> int:
     print(f"running selection comparison (jobs={jobs})...")
     report["selection_comparison"] = run_selection_benchmark(args.full, jobs)
 
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output}")
+    print(f"running batched-vs-event-loop build (jobs={jobs})...")
+    report["batched_build"] = run_build_benchmark(args.full, jobs)
+
+    runs = append_run(Path(args.output), report)
+    print(f"appended run {len(runs)} to {args.output}")
     sel = report["selection_comparison"]
     print(
         f"serial {sel['serial_cold_s']:.2f}s | "
         f"parallel(x{jobs}) {sel['parallel_cold_s']:.2f}s | "
         f"warm cache {sel['warm_cache_s']:.2f}s "
         f"({sel['warm_cache_stats']['simulations']} simulations)"
+    )
+    build = report["batched_build"]
+    print(
+        f"cold build: event loop {build['event_loop_cold_build_s']:.2f}s | "
+        f"batched {build['batched_cold_build_s']:.2f}s "
+        f"({build['speedup_batched_vs_event_loop']:.1f}x, hashes identical)"
     )
     return 0
 

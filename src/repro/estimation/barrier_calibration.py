@@ -258,7 +258,9 @@ def calibrate_barrier_with_quality(
                 proc_counts=proc_counts,
                 seed=seed + 7_103 * (index + 1),
             )
-        with obs.span("calibrate.prefetch", jobs=len(batch)):
+        with obs.span(
+            "calibrate.prefetch", jobs=len(batch), batched=runner.batch
+        ):
             runner.prefetch(batch)
 
         parameters: dict[str, HockneyParams] = {}

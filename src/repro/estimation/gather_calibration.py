@@ -249,7 +249,9 @@ def calibrate_gather(
                 sizes=sizes,
                 seed=seed + 5_000_011 * (index + 1),
             )
-        with obs.span("calibrate.prefetch", jobs=len(batch)):
+        with obs.span(
+            "calibrate.prefetch", jobs=len(batch), batched=runner.batch
+        ):
             runner.prefetch(batch)
 
         gamma = GammaFunction.ideal()

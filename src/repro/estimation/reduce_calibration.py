@@ -302,7 +302,9 @@ def calibrate_reduce(
                 segment_size=segment_size,
                 seed=seed + 3_000_017 * (index + 1),
             )
-        with obs.span("calibrate.prefetch", jobs=len(batch)):
+        with obs.span(
+            "calibrate.prefetch", jobs=len(batch), batched=runner.batch
+        ):
             runner.prefetch(batch)
 
         gamma = estimate_gamma(

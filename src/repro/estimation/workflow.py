@@ -325,7 +325,9 @@ def calibrate_platform(
                     gather_bytes=gather_bytes,
                     seed=seed + 2_000_017 * (index + 1),
                 )
-        with obs.span("calibrate.prefetch", jobs=len(batch)):
+        with obs.span(
+            "calibrate.prefetch", jobs=len(batch), batched=runner.batch
+        ):
             runner.prefetch(batch)
 
         gamma_estimate = estimate_gamma(

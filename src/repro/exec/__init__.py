@@ -18,7 +18,13 @@ from repro.exec.cache import (
     code_salt,
     default_cache_dir,
 )
-from repro.exec.job import JOB_KINDS, SimJob, execute_job
+from repro.exec.job import (
+    JOB_KINDS,
+    BatchJob,
+    SimJob,
+    execute_batch_job,
+    execute_job,
+)
 from repro.exec.runner import (
     ExecStats,
     ParallelRunner,
@@ -29,6 +35,7 @@ from repro.exec.runner import (
 )
 
 __all__ = [
+    "BatchJob",
     "CACHE_SCHEMA",
     "CacheStats",
     "ExecStats",
@@ -41,6 +48,7 @@ __all__ = [
     "cpu_count",
     "default_cache_dir",
     "default_runner",
+    "execute_batch_job",
     "execute_job",
     "reset_default_runner",
 ]

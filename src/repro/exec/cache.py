@@ -197,7 +197,7 @@ class ResultCache:
                 f"cannot write result cache at {self.path}: {error}"
             ) from error
 
-    def _append(self, key: str, value: float) -> None:
+    def _append(self, key: str, value: float, flush: bool = True) -> None:
         if self._handle is None:
             try:
                 self.directory.mkdir(parents=True, exist_ok=True)
@@ -207,7 +207,8 @@ class ResultCache:
                     f"cannot write result cache at {self.path}: {error}"
                 ) from error
         self._handle.write(json.dumps({"k": key, "v": value}) + "\n")
-        self._handle.flush()
+        if flush:
+            self._handle.flush()
 
     def close(self) -> None:
         """Flush and release the append handle (safe to call repeatedly)."""
@@ -236,6 +237,25 @@ class ResultCache:
         self._entries[key] = value
         self.stats.stores += 1
         self._append(key, value)
+
+    def put_many(self, pairs) -> None:
+        """Store many ``(key, value)`` entries with a single flush.
+
+        Batch slabs resolve hundreds of cells at once; flushing per line
+        (as :meth:`put` does) would issue one syscall per cell.  Each line
+        is still written whole, so concurrent readers keep seeing only
+        complete JSON documents.
+        """
+        wrote = False
+        for key, value in pairs:
+            if key in self._entries:
+                continue
+            self._entries[key] = value
+            self.stats.stores += 1
+            self._append(key, value, flush=False)
+            wrote = True
+        if wrote:
+            self._handle.flush()
 
     def clear(self) -> None:
         """Drop every entry, in memory and on disk."""

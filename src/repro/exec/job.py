@@ -224,3 +224,42 @@ def execute_job(job: SimJob) -> float:
             mapping=job.mapping,
         )
     raise SimulationError(f"unknown job kind {job.kind!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """A slab of independent :class:`SimJob` cells run as one engine pass.
+
+    The parallel runner cuts a prefetched grid into slabs and ships each as
+    one ``BatchJob`` — one IPC round trip and one shared-setup scope per
+    slab instead of per cell.  A batch is *not* a new simulation semantics:
+    :func:`execute_batch_job` returns exactly
+    ``[execute_job(cell) for cell in cells]``, and per-cell results are
+    cached under the individual cell fingerprints, never under the batch's.
+    """
+
+    cells: tuple[SimJob, ...]
+
+    def fingerprint(self) -> str:
+        """Content hash over the member cell fingerprints (order-sensitive)."""
+        digest = hashlib.sha256()
+        for cell in self.cells:
+            digest.update(cell.fingerprint().encode("ascii"))
+        return digest.hexdigest()
+
+    def describe(self) -> str:
+        """One-line human-readable summary (for logs and cache inspection)."""
+        return f"batch[{len(self.cells)} cells]"
+
+
+def execute_batch_job(batch: BatchJob) -> list[float]:
+    """Run one slab through the batched engine; results in cell order.
+
+    Module-level and picklable, like :func:`execute_job`, so pool workers
+    can execute whole slabs.  Bit-for-bit identical to mapping
+    :func:`execute_job` over the cells (the batched engine falls back to it
+    wherever its fast path cannot guarantee equality).
+    """
+    from repro.sim.batch import BatchSimulator
+
+    return BatchSimulator().run(batch.cells)

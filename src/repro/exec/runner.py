@@ -38,7 +38,7 @@ from typing import Sequence
 
 from repro import obs
 from repro.exec.cache import ResultCache
-from repro.exec.job import SimJob, execute_job
+from repro.exec.job import BatchJob, SimJob, execute_batch_job, execute_job
 
 #: Sleep before each pool-rebuild attempt after a worker crash.  Short:
 #: the common killer (OOM, an operator's stray ``kill``) either clears
@@ -64,6 +64,10 @@ class ExecStats:
     batches: int = 0
     pool_failures: int = 0
     fallback_batches: int = 0
+    #: Cells resolved through the batched engine, and how many of those
+    #: were answered by another cell's result (noise-free seed dedupe).
+    batched_cells: int = 0
+    deduped_cells: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -73,6 +77,8 @@ class ExecStats:
             "batches": self.batches,
             "pool_failures": self.pool_failures,
             "fallback_batches": self.fallback_batches,
+            "batched_cells": self.batched_cells,
+            "deduped_cells": self.deduped_cells,
         }
 
 
@@ -82,6 +88,29 @@ def cpu_count() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+def batch_default() -> bool:
+    """Whether batched prefetching is on by default (``REPRO_BATCH``).
+
+    On unless the environment says ``0``/empty — the batched engine is
+    bit-identical to the serial path, so there is no fidelity trade-off in
+    defaulting to it.
+    """
+    return os.environ.get("REPRO_BATCH", "1") not in ("", "0")
+
+
+def _worker_init() -> None:
+    """Initialise a pool worker: start from empty topology memos.
+
+    Workers live for the whole pool generation and execute arbitrarily many
+    slabs; starting each generation from a known-empty (and bounded, see
+    :data:`repro.topology.builders.TREE_CACHE_MAXSIZE`) tree cache keeps
+    long chaos sweeps over many (P, algorithm) pairs at a flat footprint.
+    """
+    from repro.topology.builders import clear_tree_caches
+
+    clear_tree_caches()
 
 
 class ParallelRunner:
@@ -96,9 +125,11 @@ class ParallelRunner:
         self,
         jobs: int | None = 1,
         cache: ResultCache | None = None,
+        batch: bool | None = None,
     ):
         self.jobs = cpu_count() if not jobs else max(1, int(jobs))
         self.cache = cache
+        self.batch = batch_default() if batch is None else bool(batch)
         self.stats = ExecStats()
         self._memo: dict[str, float] = {}
         self._pool: ProcessPoolExecutor | None = None
@@ -115,7 +146,9 @@ class ParallelRunner:
     # -- execution ---------------------------------------------------------
 
     def _make_pool(self) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(max_workers=self.jobs)
+        return ProcessPoolExecutor(
+            max_workers=self.jobs, initializer=_worker_init
+        )
 
     def _discard_pool(self) -> None:
         if self._pool is not None:
@@ -226,16 +259,119 @@ class ParallelRunner:
         """Result of a single job (memo -> cache -> execute)."""
         return self.run([job])[0]
 
+    # -- batched grid execution --------------------------------------------
+
+    def _execute_cells(self, cells: list[SimJob]) -> list[float]:
+        """Run ``cells`` through the batched engine, in order.
+
+        Serial runners execute one inline pass; parallel runners cut the
+        grid into contiguous slabs (~2 per worker: slabs are coarse on
+        purpose, one IPC round trip and one shared-setup scope each) and
+        ship whole slabs to pool workers, with the same crash-retry and
+        in-process fallback discipline as the per-job path.
+        """
+        from repro.sim.batch import BatchSimulator
+
+        if self.jobs == 1 or len(cells) <= 2:
+            with obs.span("exec.execute", dispatch="batch-inline",
+                          cells=len(cells)):
+                return BatchSimulator().run(cells)
+        slab_size = -(-len(cells) // (self.jobs * 2))
+        slabs = [
+            BatchJob(cells=tuple(cells[start:start + slab_size]))
+            for start in range(0, len(cells), slab_size)
+        ]
+        for backoff in _POOL_RETRY_BACKOFF:
+            try:
+                if self._pool is None:
+                    self._pool = self._make_pool()
+                with obs.span(
+                    "exec.execute", dispatch="batch-pool", cells=len(cells),
+                    workers=self.jobs, slabs=len(slabs),
+                ):
+                    results: list[float] = []
+                    for slab_results in self._pool.map(
+                        execute_batch_job, slabs
+                    ):
+                        results.extend(slab_results)
+                    return results
+            except BrokenProcessPool:
+                self.stats.pool_failures += 1
+                self._discard_pool()
+                time.sleep(backoff)
+        self.stats.fallback_batches += 1
+        with obs.span("exec.execute", dispatch="batch-fallback",
+                      cells=len(cells)):
+            return BatchSimulator().run(cells)
+
+    def _run_batched(self, batch: list[SimJob]) -> None:
+        """Warm memo and cache with ``batch`` via the batched engine.
+
+        ``batch`` must be fingerprint-unique (the :meth:`prefetch` contract).
+        Cells that would produce the same float (noise-free seed
+        repetitions) collapse to one simulation *before* slabbing, so the
+        dedupe works across slab boundaries; every original fingerprint
+        still receives its own memo and cache entry, keeping warm-cache
+        replay identical to the per-job path.
+        """
+        from repro.sim.batch import dedupe_key
+
+        self.stats.batches += 1
+        with obs.span("exec.run", jobs=len(batch), mode="batch") as run_span:
+            pending: list[tuple[SimJob, str]] = []
+            groups: dict[str, list[int]] = {}
+            for job in batch:
+                key = job.fingerprint()
+                if key in self._memo:
+                    self.stats.memo_hits += 1
+                    continue
+                if self.cache is not None:
+                    value = self.cache.get(key)
+                    if value is not None:
+                        self.stats.cache_hits += 1
+                        self._memo[key] = value
+                        continue
+                groups.setdefault(dedupe_key(job), []).append(len(pending))
+                pending.append((job, key))
+            representatives = [
+                pending[members[0]][0] for members in groups.values()
+            ]
+            if representatives:
+                outcomes = self._execute_cells(representatives)
+                self.stats.simulations += len(representatives)
+                self.stats.batched_cells += len(pending)
+                self.stats.deduped_cells += len(pending) - len(representatives)
+                stored: list[tuple[str, float]] = []
+                for members, value in zip(groups.values(), outcomes):
+                    for member in members:
+                        _job, key = pending[member]
+                        self._memo[key] = value
+                        stored.append((key, value))
+                if self.cache is not None:
+                    self.cache.put_many(stored)
+            if obs.is_enabled():
+                run_span.set_attrs(
+                    executed=len(representatives),
+                    deduped=len(pending) - len(representatives),
+                )
+
     def prefetch(self, batch: Sequence[SimJob]) -> None:
         """Warm the memo (and cache) with ``batch``, in parallel.
 
         Duplicate fingerprints inside ``batch`` are collapsed before
-        dispatch, so callers can enumerate naively.
+        dispatch, so callers can enumerate naively.  With :attr:`batch`
+        enabled (the default) the grid goes through the batched engine —
+        bit-identical results, one engine pass per slab instead of per
+        cell.
         """
         unique: dict[str, SimJob] = {}
         for job in batch:
             unique.setdefault(job.fingerprint(), job)
-        self.run(list(unique.values()))
+        jobs = list(unique.values())
+        if self.batch and len(jobs) > 1:
+            self._run_batched(jobs)
+        else:
+            self.run(jobs)
 
 
 # -- process-wide default runner ------------------------------------------
@@ -247,18 +383,21 @@ def configure(
     jobs: int | None = 1,
     cache: bool = False,
     cache_dir: str | None = None,
+    batch: bool | None = None,
 ) -> ParallelRunner:
     """Install (and return) the process-wide default runner.
 
-    Called by the CLI's ``--jobs`` / ``--no-cache`` / ``--cache-dir`` flags;
-    library users can call it directly or pass explicit ``runner=`` objects
-    to the hot callers instead.
+    Called by the CLI's ``--jobs`` / ``--no-cache`` / ``--cache-dir`` /
+    ``--batch`` flags; library users can call it directly or pass explicit
+    ``runner=`` objects to the hot callers instead.
     """
     global _default_runner
     if _default_runner is not None:
         _default_runner.close()
     _default_runner = ParallelRunner(
-        jobs=jobs, cache=ResultCache(cache_dir) if cache else None
+        jobs=jobs,
+        cache=ResultCache(cache_dir) if cache else None,
+        batch=batch,
     )
     return _default_runner
 
@@ -266,11 +405,12 @@ def configure(
 def default_runner() -> ParallelRunner:
     """The process-wide runner, built from the environment on first use.
 
-    ``REPRO_JOBS`` (int; 0 = all cores) and ``REPRO_CACHE`` (non-empty,
+    ``REPRO_JOBS`` (int; 0 = all cores), ``REPRO_CACHE`` (non-empty,
     non-"0" enables the persistent cache at ``REPRO_CACHE_DIR`` or the
-    default location) configure it without code changes.  The zero-config
+    default location) and ``REPRO_BATCH`` ("0"/empty disables batched
+    prefetching) configure it without code changes.  The zero-config
     default is serial execution with in-process memoisation only — exactly
-    the seed behaviour.
+    the seed behaviour — plus the (bit-identical) batched prefetch path.
     """
     global _default_runner
     if _default_runner is None:

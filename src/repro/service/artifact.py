@@ -120,6 +120,11 @@ class SelectionArtifact:
     #: decisions, so adding them never changes a content hash — artifacts
     #: built before this field existed keep their hashes bit-for-bit.
     quality: dict = field(default_factory=dict, compare=False)
+    #: How the artifact was built (e.g. ``{"batch": True}``).  Like
+    #: ``quality``, deliberately outside the hashed payload: the batched
+    #: engine is bit-identical to the serial one, so the execution mode
+    #: describes the build process, never the decisions.
+    build_info: dict = field(default_factory=dict, compare=False)
     _hash: list = field(default_factory=list, compare=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -235,6 +240,9 @@ class SelectionArtifact:
             # Sibling of the payload, not part of it: absent for quality-less
             # builds so pre-existing artifact files round-trip byte-for-byte.
             doc["quality"] = self.quality
+        if self.build_info:
+            # Same sibling convention as ``quality``.
+            doc["build_info"] = self.build_info
         return doc
 
     def save(self, path: str | Path) -> Path:
@@ -265,6 +273,7 @@ class SelectionArtifact:
                 f"computed {actual[:12]}… — file corrupt or edited"
             )
         quality = data.get("quality")
+        build_info = data.get("build_info")
         try:
             return cls(
                 cluster=payload["cluster"],
@@ -275,6 +284,7 @@ class SelectionArtifact:
                     for operation, entry in payload["entries"].items()
                 },
                 quality=quality if isinstance(quality, dict) else {},
+                build_info=build_info if isinstance(build_info, dict) else {},
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ArtifactError(f"malformed artifact payload: {error}") from error
@@ -321,6 +331,7 @@ def build_artifact(
     thresholds: QualityThresholds = DEFAULT_QUALITY,
     screen_mad: float | None = None,
     retry_budget: int = 0,
+    batch: bool | None = None,
 ) -> SelectionArtifact:
     """Run the full pipeline and package the result.
 
@@ -349,8 +360,15 @@ def build_artifact(
 
     Size-independent collectives (the barrier) get a single-column
     decision table: their selection depends on ``P`` only.
+
+    ``batch`` overrides the runner's batched-prefetch mode for this build
+    (``None`` keeps the runner's setting).  The effective mode is recorded
+    in the artifact's unhashed ``build_info`` — batched and serial builds
+    produce bit-identical content hashes.
     """
     runner = runner if runner is not None else default_runner()
+    if batch is not None:
+        runner.batch = bool(batch)
     grid_procs = (
         tuple(proc_points) if proc_points else default_proc_points(spec)
     )
@@ -437,6 +455,7 @@ def build_artifact(
                 cluster_fingerprint=spec.fingerprint(),
                 entries=entries,
                 quality=quality,
+                build_info={"batch": runner.batch},
             )
             build_span.set_attr("artifact_id", artifact.artifact_id)
         return artifact

@@ -9,19 +9,23 @@ Open MPI).
 """
 
 from repro.topology.builders import (
+    TREE_CACHE_MAXSIZE,
     build_binary_tree,
     build_binomial_tree,
     build_chain_tree,
     build_in_order_binomial_tree,
     build_kary_tree,
+    clear_tree_caches,
 )
 from repro.topology.tree import Tree
 
 __all__ = [
+    "TREE_CACHE_MAXSIZE",
     "Tree",
     "build_binary_tree",
     "build_binomial_tree",
     "build_chain_tree",
     "build_in_order_binomial_tree",
     "build_kary_tree",
+    "clear_tree_caches",
 ]

@@ -18,6 +18,28 @@ from functools import lru_cache
 from repro.errors import TopologyError
 from repro.topology.tree import Tree, tree_from_children
 
+#: Upper bound on memoised trees per builder.  Long chaos sweeps iterate
+#: over many (size, root, fanout) combinations in long-lived worker
+#: processes; the bound keeps each builder's memo at a few hundred small
+#: tuples instead of growing with the sweep.
+TREE_CACHE_MAXSIZE = 512
+
+
+def clear_tree_caches() -> None:
+    """Drop every memoised tree.
+
+    Wired into :mod:`repro.exec`'s pool-worker initialiser so each pool
+    generation starts from a known-empty memo, and available to long-running
+    sweeps that want to release topology memory between phases.
+    """
+    for builder in (
+        build_kary_tree,
+        build_binomial_tree,
+        build_in_order_binomial_tree,
+        build_chain_tree,
+    ):
+        builder.cache_clear()
+
 
 def _check(size: int, root: int) -> None:
     if size < 1:
@@ -30,7 +52,7 @@ def _actual(vrank: int, root: int, size: int) -> int:
     return (vrank + root) % size
 
 
-@lru_cache(maxsize=512)
+@lru_cache(maxsize=TREE_CACHE_MAXSIZE)
 def build_kary_tree(fanout: int, size: int, root: int = 0) -> Tree:
     """Complete k-ary tree filled level by level (``topo_build_tree``).
 
@@ -58,7 +80,7 @@ def build_binary_tree(size: int, root: int = 0) -> Tree:
     return build_kary_tree(2, size, root)
 
 
-@lru_cache(maxsize=512)
+@lru_cache(maxsize=TREE_CACHE_MAXSIZE)
 def build_binomial_tree(size: int, root: int = 0) -> Tree:
     """Balanced binomial tree (``topo_build_bmtree``), paper Fig. 2.
 
@@ -84,7 +106,7 @@ def build_binomial_tree(size: int, root: int = 0) -> Tree:
     return tree_from_children(root, size, children_map)
 
 
-@lru_cache(maxsize=512)
+@lru_cache(maxsize=TREE_CACHE_MAXSIZE)
 def build_in_order_binomial_tree(size: int, root: int = 0) -> Tree:
     """Binomial tree with children in decreasing-subtree order.
 
@@ -100,7 +122,7 @@ def build_in_order_binomial_tree(size: int, root: int = 0) -> Tree:
     return tree
 
 
-@lru_cache(maxsize=512)
+@lru_cache(maxsize=TREE_CACHE_MAXSIZE)
 def build_chain_tree(size: int, root: int = 0, chains: int = 1) -> Tree:
     """``chains`` pipelines hanging off the root (``topo_build_chain``).
 

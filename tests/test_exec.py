@@ -225,10 +225,26 @@ class TestParallelRunner:
         runner.close()
 
     def test_duplicate_jobs_in_one_batch_simulate_once_each(self):
-        runner = ParallelRunner(jobs=1)
+        runner = ParallelRunner(jobs=1, batch=False)
         runner.prefetch(self.BATCH + self.BATCH)
         assert runner.stats.simulations == len(self.BATCH)
         runner.close()
+
+    def test_batched_prefetch_also_dedupes_seeds(self):
+        # MINICLUSTER is noise-free, so the batched path collapses the
+        # seed axis too: one simulation per (algorithm), not per (seed,
+        # algorithm) — and the results must match the serial path.
+        serial = ParallelRunner(jobs=1, batch=False)
+        batched = ParallelRunner(jobs=1, batch=True)
+        batched.prefetch(self.BATCH + self.BATCH)
+        assert batched.run(self.BATCH) == serial.run(self.BATCH)
+        assert batched.stats.simulations == 3  # binomial, chain, linear
+        # 12 submitted = 6 exact-duplicate fingerprints folded up front,
+        # then the seed axis collapses the remaining 6 to 3 dedupe keys.
+        assert batched.stats.batched_cells == 6
+        assert batched.stats.deduped_cells == 3
+        serial.close()
+        batched.close()
 
     def test_persistent_cache_feeds_second_runner(self, tmp_path):
         first = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
