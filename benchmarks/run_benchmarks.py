@@ -229,6 +229,46 @@ def run_build_benchmark(full: bool, jobs: int) -> dict:
     }
 
 
+def run_fabric_benchmark(full: bool, jobs: int) -> dict:
+    """Cold build times, flat vs a 2:1 oversubscribed leaf-spine fabric.
+
+    The non-flat build pays twice: the hierarchical candidates join the
+    calibration sweep, and the batched grid simulator falls back to the
+    event loop (multi-level routing is event-driven only) — this entry
+    keeps that overhead visible run over run.
+    """
+    from repro.fabric import build_fabric
+    from repro.service import build_artifact
+
+    spec, kwargs = build_workload(full)
+    kwargs = dict(kwargs, collectives=("bcast", "reduce"))
+    fabspec = spec.with_fabric(build_fabric("leaf_spine_2to1", spec))
+    timings, fabrics = {}, {}
+    for label, target in (("flat", spec), ("leaf_spine_2to1", fabspec)):
+        runner = ParallelRunner(jobs=jobs)
+        start = time.perf_counter()
+        artifact = build_artifact(target, runner=runner, seed=0, **kwargs)
+        timings[label] = time.perf_counter() - start
+        fabrics[label] = artifact.fabric
+        runner.close()
+    if fabrics["flat"] != "" or fabrics["leaf_spine_2to1"] != "leaf_spine_2to1":
+        raise RuntimeError(f"fabric tagging broken: {fabrics}")
+    return {
+        "workload": {
+            "cluster": spec.name,
+            "collectives": ["bcast", "reduce"],
+            "procs": kwargs["procs"],
+            "scale": "full" if full else "quick",
+            "jobs": jobs,
+        },
+        "flat_cold_build_s": timings["flat"],
+        "leaf_spine_2to1_cold_build_s": timings["leaf_spine_2to1"],
+        "overhead_fabric_vs_flat": (
+            timings["leaf_spine_2to1"] / timings["flat"]
+        ),
+    }
+
+
 def append_run(output: Path, run: dict) -> list:
     """Append ``run`` to the ``runs`` list of ``output``.
 
@@ -300,6 +340,9 @@ def main(argv=None) -> int:
     print(f"running batched-vs-event-loop build (jobs={jobs})...")
     report["batched_build"] = run_build_benchmark(args.full, jobs)
 
+    print(f"running flat-vs-fabric build (jobs={jobs})...")
+    report["fabric_builds"] = run_fabric_benchmark(args.full, jobs)
+
     runs = append_run(Path(args.output), report)
     print(f"appended run {len(runs)} to {args.output}")
     sel = report["selection_comparison"]
@@ -314,6 +357,12 @@ def main(argv=None) -> int:
         f"cold build: event loop {build['event_loop_cold_build_s']:.2f}s | "
         f"batched {build['batched_cold_build_s']:.2f}s "
         f"({build['speedup_batched_vs_event_loop']:.1f}x, hashes identical)"
+    )
+    fabric = report["fabric_builds"]
+    print(
+        f"fabric build: flat {fabric['flat_cold_build_s']:.2f}s | "
+        f"leaf-spine 2:1 {fabric['leaf_spine_2to1_cold_build_s']:.2f}s "
+        f"({fabric['overhead_fabric_vs_flat']:.1f}x)"
     )
     return 0
 

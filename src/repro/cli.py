@@ -163,8 +163,8 @@ def _cmd_fig5(args) -> int:
 
 
 def _cmd_reduce_table(args) -> int:
+    from repro.collectives.reduce import DEFAULT_REDUCE_ALGORITHMS
     from repro.estimation.reduce_calibration import calibrate_reduce, time_reduce
-    from repro.models.reduce_models import DERIVED_REDUCE_MODELS
     from repro.selection.ompi_fixed import OmpiFixedSelector
 
     spec = get_preset(args.cluster)
@@ -179,7 +179,7 @@ def _cmd_reduce_table(args) -> int:
         times = {
             name: time_reduce(spec, name, args.procs, nbytes, 8 * KiB,
                               seed=args.seed)
-            for name in DERIVED_REDUCE_MODELS
+            for name in DEFAULT_REDUCE_ALGORITHMS
         }
         best = min(times, key=times.get)
         model = model_selector.select(args.procs, nbytes)
@@ -248,10 +248,19 @@ def _cmd_decision_fn(args) -> int:
     return 0
 
 
+def _apply_fabric(spec, fabric_name):
+    """Attach a named fabric to ``spec`` (``None``/"" leaves it flat)."""
+    if not fabric_name:
+        return spec
+    from repro.fabric import build_fabric
+
+    return spec.with_fabric(build_fabric(fabric_name, spec))
+
+
 def _cmd_chaos(args) -> int:
     from repro.bench.chaos import chaos_sweep, format_chaos
 
-    spec = get_preset(args.cluster)
+    spec = _apply_fabric(get_preset(args.cluster), args.fabric)
     severities = tuple(
         float(s) for s in args.severities.split(",") if s.strip()
     )
@@ -279,7 +288,7 @@ def _cmd_chaos(args) -> int:
 def _cmd_artifact_build(args) -> int:
     from repro.service.artifact import build_artifact
 
-    spec = get_preset(args.cluster)
+    spec = _apply_fabric(get_preset(args.cluster), args.fabric)
     proc_points = None
     if args.max_procs:
         proc_points = range(args.min_procs, args.max_procs + 1, args.procs_step)
@@ -581,6 +590,9 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--retry-budget", type=int, default=0,
                        help="re-measurements allowed per non-converged "
                             "experiment")
+    build.add_argument("--fabric", default=None,
+                       help="condition the build on a named multi-level "
+                            "fabric (see repro.fabric.available_fabrics)")
     build.set_defaults(func=_cmd_artifact_build)
     verify = artifact_sub.add_parser(
         "verify", help="validate schema, content hash and codegen agreement"
@@ -607,6 +619,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="MAD screening threshold (default: 3.5)")
     chaos.add_argument("--retry-budget", type=int, default=1)
+    chaos.add_argument("--fabric", default=None,
+                       help="run the sweep on a named multi-level fabric "
+                            "(see repro.fabric.available_fabrics)")
     chaos.add_argument("--json", default=None,
                        help="also write the full drift report as JSON")
     chaos.set_defaults(func=_cmd_chaos)

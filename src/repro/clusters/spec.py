@@ -7,6 +7,7 @@ import json
 from dataclasses import dataclass, field, replace
 
 from repro.errors import SimulationError
+from repro.fabric.spec import FabricSpec
 from repro.faults.fabric import FaultyFabric
 from repro.faults.noise import compose_noise
 from repro.faults.plan import FaultPlan
@@ -42,6 +43,10 @@ class ClusterSpec:
     #: Optional fault plan (:mod:`repro.faults`); ``None`` — and an empty,
     #: inert plan — leave every code path and fingerprint untouched.
     faults: FaultPlan | None = None
+    #: Optional multi-level fabric (:mod:`repro.fabric`); ``None`` — and
+    #: the explicit flat fabric — leave every code path and fingerprint
+    #: untouched, exactly mirroring the ``faults`` contract.
+    fabric: FabricSpec | None = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -102,6 +107,11 @@ class ClusterSpec:
             for node, factor in self.slow_nodes.items()
             if node <= max(placement)
         }
+        topology = (
+            self.fabric
+            if self.fabric is not None and not self.fabric.is_flat()
+            else None
+        )
         plan = self.faults
         if plan is not None and plan.enabled():
             fabric: Fabric = FaultyFabric(
@@ -110,6 +120,7 @@ class ClusterSpec:
                 noise=compose_noise(sigma, plan.noise, seed),
                 ports_per_node=self.nics_per_node,
                 degradation=degradation,
+                topology=topology,
                 plan=plan,
                 seed=seed,
             )
@@ -133,8 +144,14 @@ class ClusterSpec:
                 noise=noise,
                 ports_per_node=self.nics_per_node,
                 degradation=degradation,
+                topology=topology,
             )
             compute_factor = None
+        node_to_rack = (
+            [topology.rack_of(node) for node in range(num_nodes)]
+            if topology is not None
+            else None
+        )
         return MpiWorld(
             Simulator(),
             fabric,
@@ -142,6 +159,7 @@ class ClusterSpec:
             tracer=tracer,
             rank_to_port=ports,
             compute_factor=compute_factor,
+            node_to_rack=node_to_rack,
         )
 
     def fingerprint(self) -> str:
@@ -187,6 +205,11 @@ class ClusterSpec:
             # fingerprints, so existing cache entries and artifact hashes
             # survive this feature bit-for-bit.
             payload["faults"] = self.faults.payload()
+        if self.fabric is not None and not self.fabric.is_flat():
+            # Same contract as faults: only a *non-flat* fabric folds in,
+            # so flat configurations (explicit or implicit) keep their
+            # pre-fabric fingerprints and warm caches bit-for-bit.
+            payload["fabric"] = self.fabric.payload()
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -215,12 +238,25 @@ class ClusterSpec:
         """
         return replace(self, faults=faults)
 
+    def with_fabric(self, fabric: FabricSpec | None) -> "ClusterSpec":
+        """A copy of this spec on a multi-level fabric (``None`` clears it).
+
+        A non-flat fabric flows through :meth:`make_world` (topology-aware
+        routing, rack map for hierarchical algorithms) and
+        :meth:`fingerprint` (fabric results get their own cache keys); the
+        flat fabric and ``None`` are indistinguishable everywhere.
+        """
+        return replace(self, fabric=fabric)
+
     def describe(self) -> str:
         """One-line summary used by the CLI."""
         net = self.network
-        return (
+        line = (
             f"{self.name}: {self.nodes} nodes x {self.procs_per_node} procs, "
             f"latency {net.latency * 1e6:.1f} us, "
             f"{8e-9 / net.byte_time_out:.0f} Gbit/s, "
             f"eager limit {net.eager_limit} B"
         )
+        if self.fabric is not None and not self.fabric.is_flat():
+            line += f", fabric {self.fabric.name}"
+        return line

@@ -32,6 +32,8 @@ from repro.topology import (
     build_binary_tree,
     build_binomial_tree,
     build_chain_tree,
+    build_hierarchy_tree,
+    comm_group_of,
 )
 
 #: Base tag for broadcast traffic; segment ``i`` uses ``TAG_BCAST + i``.
@@ -182,6 +184,25 @@ def bcast_binomial(
     if comm.size == 1 or nbytes == 0:
         return
     tree = build_binomial_tree(comm.size, root)
+    yield from _generic_tree_bcast(comm, tree, nbytes, segment_size)
+
+
+def bcast_hierarchical(
+    comm: Communicator, root: int, nbytes: int, segment_size: int
+) -> SimGen:
+    """Topology-aware broadcast: inter-rack binomial + intra-rack linear.
+
+    One leader per rack receives the message over a binomial tree among
+    leaders, then fans it out linearly to its rack-local members.  Each
+    segment crosses every rack's uplink exactly once, which is what wins
+    on oversubscribed fabrics where the flat trees cross the same uplink
+    several times (Barchet-Estefanel & Mounié's subnet decomposition).
+    On flat fabrics ranks group by node instead, so the algorithm is
+    runnable — just rarely optimal — everywhere.
+    """
+    if comm.size == 1 or nbytes == 0:
+        return
+    tree = build_hierarchy_tree(comm_group_of(comm), root)
     yield from _generic_tree_bcast(comm, tree, nbytes, segment_size)
 
 
@@ -435,6 +456,14 @@ BCAST_ALGORITHMS: dict[str, BcastAlgorithm] = {
             "Scatter-allgather (Van de Geijn)",
             False,
             bcast_scatter_allgather,
+        ),
+        # Topology-aware extension; deliberately NOT in
+        # PAPER_BCAST_ALGORITHMS, so flat-fabric defaults are unchanged.
+        BcastAlgorithm(
+            "hierarchical",
+            "Hierarchical (rack leaders)",
+            True,
+            bcast_hierarchical,
         ),
     )
 }

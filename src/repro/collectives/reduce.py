@@ -21,7 +21,9 @@ from repro.topology import (
     build_binary_tree,
     build_binomial_tree,
     build_chain_tree,
+    build_hierarchy_tree,
     build_in_order_binomial_tree,
+    comm_group_of,
 )
 
 #: Base tag for reduction traffic; segment ``i`` uses ``TAG_REDUCE + i``.
@@ -112,6 +114,27 @@ reduce_binomial = _tree_reduce(build_binomial_tree)
 reduce_in_order_binomial = _tree_reduce(build_in_order_binomial_tree)
 
 
+def reduce_hierarchical(
+    comm: Communicator,
+    root: int,
+    nbytes: int,
+    segment_size: int,
+    op_byte_time: float = DEFAULT_OP_BYTE_TIME,
+) -> SimGen:
+    """Topology-aware reduce: the mirror of the hierarchical broadcast.
+
+    Rack members combine into their leader (linear), leaders combine up
+    a binomial tree into the root — each segment crosses every rack
+    uplink exactly once on the way down to the root's rack.
+    """
+    if comm.size == 1 or nbytes == 0:
+        return
+    tree = build_hierarchy_tree(comm_group_of(comm), root)
+    yield from _generic_tree_reduce(
+        comm, tree, nbytes, segment_size, op_byte_time
+    )
+
+
 @dataclass(frozen=True)
 class ReduceAlgorithm:
     """Catalogue entry for one reduce algorithm."""
@@ -141,5 +164,25 @@ REDUCE_ALGORITHMS: dict[str, ReduceAlgorithm] = {
             True,
             reduce_in_order_binomial,
         ),
+        # Topology-aware extension; deliberately NOT in
+        # DEFAULT_REDUCE_ALGORITHMS, so flat-fabric defaults are unchanged.
+        ReduceAlgorithm(
+            "hierarchical",
+            "Hierarchical (rack leaders)",
+            True,
+            reduce_hierarchical,
+        ),
     )
 }
+
+#: The flat-fabric reduce catalogue: every algorithm except the
+#: topology-aware extension.  Calibration, oracle and CLI defaults
+#: enumerate THIS tuple, never the full catalogue, so adding
+#: ``hierarchical`` changed no flat-fabric behaviour.
+DEFAULT_REDUCE_ALGORITHMS: tuple[str, ...] = (
+    "binary",
+    "binomial",
+    "chain",
+    "in_order_binomial",
+    "linear",
+)

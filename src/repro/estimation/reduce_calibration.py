@@ -38,7 +38,7 @@ from repro.estimation.gamma import (
 )
 from repro.estimation.regression import get_regressor, mad_screen
 from repro.estimation.statistics import SampleStats, adaptive_measure
-from repro.estimation.workflow import PlatformModel
+from repro.estimation.workflow import PlatformModel, instantiate_model
 from repro.exec.job import SimJob
 from repro.exec.runner import ParallelRunner, default_runner
 from repro.measure import time_reduce, time_reduce_then_scatter  # noqa: F401
@@ -263,6 +263,7 @@ def calibrate_reduce(
     runner: ParallelRunner | None = None,
     screen_mad: float | None = None,
     retry_budget: int = 0,
+    model_params: dict | None = None,
 ) -> tuple[PlatformModel, dict[str, AlphaBeta]]:
     """Full reduce calibration: γ plus per-algorithm α/β.
 
@@ -276,7 +277,11 @@ def calibrate_reduce(
     estimation stages replay from the memo.
     """
     if algorithms is None:
-        algorithms = sorted(DERIVED_REDUCE_MODELS)
+        # The flat-fabric default: topology-aware extension algorithms
+        # (hierarchical) are opt-in, keeping pre-fabric builds identical.
+        from repro.collectives.reduce import DEFAULT_REDUCE_ALGORITHMS
+
+        algorithms = sorted(DEFAULT_REDUCE_ALGORITHMS)
     ab_procs = procs if procs is not None else max(2, spec.max_procs // 2)
 
     with obs.span(
@@ -321,7 +326,9 @@ def calibrate_reduce(
         estimates: dict[str, AlphaBeta] = {}
         parameters: dict[str, HockneyParams] = {}
         for index, name in enumerate(algorithms):
-            model = DERIVED_REDUCE_MODELS[name](gamma)
+            model = instantiate_model(
+                DERIVED_REDUCE_MODELS[name], gamma, model_params or {}
+            )
             estimate = estimate_reduce_alpha_beta(
                 spec,
                 model,
@@ -346,5 +353,6 @@ def calibrate_reduce(
             gamma=gamma,
             parameters=parameters,
             model_family="reduce_derived",
+            model_params=dict(model_params or {}),
         )
         return platform, estimates

@@ -229,6 +229,7 @@ register_pipeline(
                 "gamma_method", "segment_size", "sizes", "gather_bytes",
                 "gamma_max_procs", "regressor", "precision", "max_reps",
                 "seed", "screen_mad", "retry_budget", "strict",
+                "model_params",
             }
         ),
     )
@@ -242,7 +243,7 @@ register_pipeline(
             {
                 "procs", "algorithms", "sizes", "segment_size",
                 "gamma_max_procs", "regressor", "precision", "max_reps",
-                "seed", "screen_mad", "retry_budget",
+                "seed", "screen_mad", "retry_budget", "model_params",
             }
         ),
     )
@@ -258,9 +259,10 @@ register_pipeline(
                 "max_reps", "seed", "screen_mad", "retry_budget",
             }
         ),
-        # γ and segmentation only parameterise sibling pipelines: gather
-        # models use the ideal platform function and are unsegmented.
-        tolerates=frozenset({"gamma_max_procs", "segment_size"}),
+        # γ, segmentation and fabric model constants only parameterise
+        # sibling pipelines: gather models use the ideal platform function
+        # and are unsegmented, with no topology-aware variant yet.
+        tolerates=frozenset({"gamma_max_procs", "segment_size", "model_params"}),
     )
 )
 
@@ -279,7 +281,7 @@ register_pipeline(
         tolerates=frozenset(
             {
                 "procs", "sizes", "segment_size", "gamma_max_procs",
-                "screen_mad", "regressor",
+                "screen_mad", "regressor", "model_params",
             }
         ),
         size_independent=True,

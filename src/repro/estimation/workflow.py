@@ -78,6 +78,23 @@ FAMILY_OPERATION = {
 ESTIMATION_METHODS = ("collective", "p2p")
 
 
+def instantiate_model(
+    factory: type[BcastModel], gamma: GammaFunction, model_params: dict
+) -> BcastModel:
+    """Construct a model, forwarding the ``extra_params`` it declares.
+
+    Platform-dependent model constants (e.g. the hierarchical models'
+    ``group_ranks``) travel in a ``model_params`` dict; each model class
+    declares which keys it understands, so unrelated models ignore them.
+    """
+    kwargs = {
+        key: model_params[key]
+        for key in factory.extra_params
+        if key in model_params
+    }
+    return factory(gamma, **kwargs)
+
+
 @dataclass(frozen=True)
 class PlatformModel:
     """A calibrated set of analytical models for one cluster.
@@ -92,6 +109,11 @@ class PlatformModel:
     gamma: GammaFunction
     parameters: dict[str, HockneyParams]
     model_family: str = "derived"
+    #: Platform-dependent model constants forwarded to model
+    #: constructors that declare them (``BcastModel.extra_params``),
+    #: e.g. ``{"group_ranks": 5}`` on a racked fabric.  Serialised only
+    #: when non-empty, so flat-fabric platforms round-trip byte-for-byte.
+    model_params: dict = field(default_factory=dict)
     _models: dict = field(default_factory=dict, compare=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -117,7 +139,9 @@ class PlatformModel:
         if model is None:
             family = MODEL_FAMILIES[self.model_family]
             try:
-                model = family[algorithm](self.gamma)
+                model = instantiate_model(
+                    family[algorithm], self.gamma, self.model_params
+                )
             except KeyError:
                 known = ", ".join(sorted(family))
                 raise EstimationError(
@@ -153,7 +177,7 @@ class PlatformModel:
     # -- serialisation -----------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        doc = {
             "cluster": self.cluster,
             "segment_size": self.segment_size,
             "model_family": self.model_family,
@@ -163,6 +187,11 @@ class PlatformModel:
                 for name, p in sorted(self.parameters.items())
             },
         }
+        if self.model_params:
+            # Key present only when set: pre-fabric platform files (and
+            # their artifact content hashes) stay byte-identical.
+            doc["model_params"] = dict(sorted(self.model_params.items()))
+        return doc
 
     @classmethod
     def from_dict(cls, data: dict) -> "PlatformModel":
@@ -177,6 +206,7 @@ class PlatformModel:
                 name: HockneyParams(float(v["alpha"]), float(v["beta"]))
                 for name, v in data["parameters"].items()
             },
+            model_params=dict(data.get("model_params", {})),
         )
 
     def save(self, path: str | Path) -> None:
@@ -262,6 +292,7 @@ def calibrate_platform(
     screen_mad: float | None = None,
     retry_budget: int = 0,
     strict: QualityThresholds | None = None,
+    model_params: dict | None = None,
 ) -> CalibrationResult:
     """Run the paper's full calibration procedure on ``spec``.
 
@@ -361,7 +392,7 @@ def calibrate_platform(
             parameters = {name: p2p_estimate.params for name in algorithms}
         else:
             for index, name in enumerate(algorithms):
-                model = family[name](gamma)
+                model = instantiate_model(family[name], gamma, model_params or {})
                 estimate = estimate_alpha_beta(
                     spec,
                     model,
@@ -387,6 +418,7 @@ def calibrate_platform(
             gamma=gamma,
             parameters=parameters,
             model_family=model_family,
+            model_params=dict(model_params or {}),
         )
         result = CalibrationResult(
             platform=platform,

@@ -1,0 +1,32 @@
+"""Multi-level network fabric descriptions and builders.
+
+``repro.fabric`` models the *physical* interconnect (racks, leaf/spine
+switches, oversubscribed uplinks).  It is distinct from
+:mod:`repro.topology`, which builds the *virtual* communication trees
+collective algorithms route messages over — see
+:mod:`repro.topology.trees` for that distinction spelled out.
+"""
+
+from repro.fabric.builders import (
+    FABRIC_BUILDERS,
+    available_fabrics,
+    build_fabric,
+    fat_tree,
+    flat_fabric,
+    heterogeneous_spine,
+    leaf_spine,
+)
+from repro.fabric.spec import FLAT_FABRIC, FabricSpec, Uplink
+
+__all__ = [
+    "FABRIC_BUILDERS",
+    "FLAT_FABRIC",
+    "FabricSpec",
+    "Uplink",
+    "available_fabrics",
+    "build_fabric",
+    "fat_tree",
+    "flat_fabric",
+    "heterogeneous_spine",
+    "leaf_spine",
+]

@@ -1,0 +1,216 @@
+"""Builders turning a :class:`ClusterSpec` into concrete fabric shapes.
+
+Each builder derives the uplink parameters from the cluster's own NIC
+parameters so a single named shape (``"leaf_spine_4to1"``) means the
+same *relative* bottleneck on every preset: an oversubscription ratio
+``R`` gives each rack an aggregate uplink bandwidth of ``1/R`` times the
+aggregate NIC bandwidth of its hosts.  With ``g`` nodes per rack, host
+per-byte time ``bto`` and ``U`` parallel uplinks, the per-uplink byte
+time is therefore ``R * bto * U / g``.
+
+The ``FABRIC_BUILDERS`` registry maps CLI-facing names to builders; use
+:func:`build_fabric` to resolve a name (raising :class:`ArtifactError`
+listing the alternatives on a miss).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ArtifactError, SimulationError
+from repro.fabric.spec import FLAT_FABRIC, FabricSpec, Uplink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.clusters.spec import ClusterSpec
+
+#: Extra one-way latency of each additional switch tier, as a fraction
+#: of the host NIC latency.  Leaf→spine adds roughly one store-and-
+#: forward hop, which on the paper's platforms is about half the
+#: end-to-end MPI latency.
+UPLINK_LATENCY_FRACTION = 0.5
+
+
+def _uplink_for(
+    spec: "ClusterSpec",
+    nodes_per_rack: int,
+    oversubscription: float,
+    uplinks: int,
+) -> Uplink:
+    if oversubscription <= 0:
+        raise SimulationError("oversubscription ratio must be > 0")
+    net = spec.network
+    byte_time = oversubscription * net.byte_time_out * uplinks / nodes_per_rack
+    return Uplink(
+        latency=net.latency * UPLINK_LATENCY_FRACTION,
+        byte_time=byte_time,
+        count=uplinks,
+    )
+
+
+def _racks(spec: "ClusterSpec", racks: int) -> int:
+    """Nodes per rack when splitting ``spec.nodes`` into ``racks`` racks."""
+    if spec.nodes < 2 * racks:
+        raise SimulationError(
+            f"cluster {spec.name!r} has {spec.nodes} nodes; "
+            f"need at least {2 * racks} for {racks} racks"
+        )
+    return (spec.nodes + racks - 1) // racks
+
+
+def flat_fabric(spec: "ClusterSpec") -> FabricSpec:
+    """The explicit single-switch fabric (identical to no fabric)."""
+    del spec
+    return FLAT_FABRIC
+
+
+def leaf_spine(
+    spec: "ClusterSpec",
+    *,
+    nodes_per_rack: int,
+    oversubscription: float,
+    uplinks: int = 1,
+    name: str | None = None,
+) -> FabricSpec:
+    """A two-level rack/leaf-spine hierarchy with oversubscribed uplinks."""
+    if nodes_per_rack < 1:
+        raise SimulationError("nodes_per_rack must be >= 1")
+    return FabricSpec(
+        name=name or f"leaf_spine_{oversubscription:g}to1",
+        nodes_per_rack=nodes_per_rack,
+        uplink=_uplink_for(spec, nodes_per_rack, oversubscription, uplinks),
+    )
+
+
+def fat_tree(
+    spec: "ClusterSpec",
+    *,
+    nodes_per_rack: int,
+    pod_racks: int,
+    rack_oversubscription: float,
+    pod_oversubscription: float,
+    name: str | None = None,
+) -> FabricSpec:
+    """A three-level oversubscribed fat-tree (rack → pod → core).
+
+    The pod uplink carries the traffic of ``pod_racks`` racks, so its
+    byte time compounds both ratios relative to the hosts.
+    """
+    if nodes_per_rack < 1 or pod_racks < 1:
+        raise SimulationError("fat tree needs nodes_per_rack and pod_racks >= 1")
+    rack_up = _uplink_for(spec, nodes_per_rack, rack_oversubscription, 1)
+    pod_nodes = nodes_per_rack * pod_racks
+    pod_up = _uplink_for(
+        spec, pod_nodes, rack_oversubscription * pod_oversubscription, 1
+    )
+    total = rack_oversubscription * pod_oversubscription
+    return FabricSpec(
+        name=name or f"fat_tree_{total:g}to1",
+        nodes_per_rack=nodes_per_rack,
+        uplink=rack_up,
+        pod_racks=pod_racks,
+        pod_uplink=pod_up,
+    )
+
+
+def heterogeneous_spine(
+    spec: "ClusterSpec",
+    *,
+    nodes_per_rack: int,
+    oversubscription: float,
+    slow_racks: dict[int, float],
+    name: str | None = None,
+) -> FabricSpec:
+    """Leaf-spine where some racks' uplinks are slower by a given factor.
+
+    ``slow_racks`` maps rack index → byte-time multiplier (``2.0`` means
+    that rack's uplink moves bytes half as fast), modelling mixed-
+    generation switch fleets.
+    """
+    base = _uplink_for(spec, nodes_per_rack, oversubscription, 1)
+    overrides = []
+    for rack, factor in sorted(slow_racks.items()):
+        if factor <= 0:
+            raise SimulationError("slow-rack factor must be > 0")
+        overrides.append(
+            (rack, Uplink(base.latency, base.byte_time * factor, base.count))
+        )
+    return FabricSpec(
+        name=name or f"het_spine_{oversubscription:g}to1",
+        nodes_per_rack=nodes_per_rack,
+        uplink=base,
+        rack_uplinks=tuple(overrides),
+    )
+
+
+def _build_flat(spec: "ClusterSpec") -> FabricSpec:
+    return flat_fabric(spec)
+
+
+def _build_leaf_spine_2to1(spec: "ClusterSpec") -> FabricSpec:
+    return leaf_spine(
+        spec,
+        nodes_per_rack=_racks(spec, 2),
+        oversubscription=2.0,
+        name="leaf_spine_2to1",
+    )
+
+
+def _build_leaf_spine_4to1(spec: "ClusterSpec") -> FabricSpec:
+    return leaf_spine(
+        spec,
+        nodes_per_rack=_racks(spec, 4),
+        oversubscription=4.0,
+        name="leaf_spine_4to1",
+    )
+
+
+def _build_fat_tree_4to1(spec: "ClusterSpec") -> FabricSpec:
+    return fat_tree(
+        spec,
+        nodes_per_rack=_racks(spec, 4),
+        pod_racks=2,
+        rack_oversubscription=2.0,
+        pod_oversubscription=2.0,
+        name="fat_tree_4to1",
+    )
+
+
+def _build_het_spine_2to1(spec: "ClusterSpec") -> FabricSpec:
+    return heterogeneous_spine(
+        spec,
+        nodes_per_rack=_racks(spec, 2),
+        oversubscription=2.0,
+        slow_racks={1: 2.0},
+        name="het_spine_2to1",
+    )
+
+
+#: CLI-facing registry of named fabric shapes.
+FABRIC_BUILDERS: dict[str, Callable[["ClusterSpec"], FabricSpec]] = {
+    "flat": _build_flat,
+    "leaf_spine_2to1": _build_leaf_spine_2to1,
+    "leaf_spine_4to1": _build_leaf_spine_4to1,
+    "fat_tree_4to1": _build_fat_tree_4to1,
+    "het_spine_2to1": _build_het_spine_2to1,
+}
+
+
+def available_fabrics() -> list[str]:
+    """Sorted names accepted by ``--fabric`` flags."""
+    return sorted(FABRIC_BUILDERS)
+
+
+def build_fabric(name: str, spec: "ClusterSpec") -> FabricSpec:
+    """Resolve a named fabric shape for ``spec``.
+
+    Raises :class:`ArtifactError` naming the available builders when the
+    name is unknown — surfaced verbatim by the CLI ``--fabric`` flags.
+    """
+    try:
+        builder = FABRIC_BUILDERS[name]
+    except KeyError:
+        raise ArtifactError(
+            f"unknown fabric {name!r}; available fabrics: "
+            + ", ".join(available_fabrics())
+        ) from None
+    return builder(spec)

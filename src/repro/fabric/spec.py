@@ -1,0 +1,192 @@
+"""Declarative multi-level fabric descriptions.
+
+The simulator's base :class:`~repro.sim.network.Fabric` models the
+paper's experimental platforms: every host hangs off one non-blocking
+switch, so any two NICs enjoy the full link bandwidth.  Real clusters
+rarely look like that — hosts sit in racks behind leaf switches whose
+uplinks into the spine are *oversubscribed* (Barchet-Estefanel & Mounié
+characterise collectives by exactly this decomposition into homogeneous
+subnets).  A :class:`FabricSpec` describes that hierarchy declaratively:
+
+* nodes are assigned to racks in blocks of ``nodes_per_rack`` (matching
+  the block rank placement of :meth:`ClusterSpec.rank_to_node`, so rack
+  locality and rank locality coincide the way a real scheduler would
+  allocate them);
+* each rack reaches the spine through an :class:`Uplink` — a serially
+  reserved resource with its own latency and per-byte cost, optionally
+  several parallel ones (``count``);
+* racks may be grouped into *pods* behind a second uplink level
+  (``pod_racks``/``pod_uplink``), giving a three-level oversubscribed
+  fat-tree;
+* per-rack overrides (``rack_uplinks``) describe heterogeneous fabrics
+  where some racks have newer or degraded uplinks.
+
+A spec with ``nodes_per_rack == 0`` is *flat*: it describes exactly the
+single-switch fabric the simulator already models, participates in no
+routing, and — crucially — folds nothing into
+:meth:`ClusterSpec.fingerprint`, so flat configurations remain
+bit-identical to the pre-fabric pipeline.
+
+This module is purely declarative; the routing/reservation mechanics
+live in :mod:`repro.sim.network` (see ``_TopologyState``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Uplink:
+    """One rack- or pod-level link into the next switch tier.
+
+    ``byte_time`` is the serialised per-byte cost of the link (seconds
+    per byte); ``latency`` is the extra one-way hop latency a message
+    pays for traversing it; ``count`` models ``count`` parallel physical
+    links (traffic takes the least-loaded one).
+    """
+
+    #: Extra one-way latency of traversing this link (seconds).
+    latency: float
+    #: Per-byte serialisation cost on the link (seconds/byte).
+    byte_time: float
+    #: Number of parallel physical links (ECMP-style spreading).
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise SimulationError("uplink latency must be >= 0")
+        if self.byte_time < 0:
+            raise SimulationError("uplink byte_time must be >= 0")
+        if self.count < 1:
+            raise SimulationError("uplink needs at least one physical link")
+
+    def payload(self) -> dict:
+        """Canonical JSON-ready form (for fingerprint folding)."""
+        return {
+            "latency": self.latency,
+            "byte_time": self.byte_time,
+            "count": self.count,
+        }
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """A declarative multi-level network fabric.
+
+    ``nodes_per_rack == 0`` is the *flat* sentinel: one big switch, no
+    uplinks, identical to the pre-fabric simulator.  Otherwise node
+    ``n`` lives in rack ``n // nodes_per_rack`` and inter-rack traffic
+    serialises on the racks' :class:`Uplink` resources; with
+    ``pod_racks > 0`` rack ``r`` additionally lives in pod
+    ``r // pod_racks`` and inter-pod traffic pays the ``pod_uplink``
+    tier too (the oversubscribed fat-tree shape).
+    """
+
+    #: Human-readable builder name (``"leaf_spine_4to1"``, ...).
+    name: str
+    #: Nodes per leaf switch; 0 marks the flat single-switch fabric.
+    nodes_per_rack: int
+    #: The default rack-to-spine uplink (required unless flat).
+    uplink: Uplink | None = None
+    #: Heterogeneous per-rack overrides: ``rack_uplinks[r]`` replaces
+    #: ``uplink`` for rack ``r``; stored sorted for determinism.
+    rack_uplinks: tuple[tuple[int, Uplink], ...] = ()
+    #: Racks per pod; 0 disables the third (pod/spine) level.
+    pod_racks: int = 0
+    #: The pod-to-core uplink tier (required when ``pod_racks > 0``).
+    pod_uplink: Uplink | None = None
+    _overrides: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.nodes_per_rack < 0:
+            raise SimulationError("nodes_per_rack must be >= 0")
+        if self.nodes_per_rack > 0 and self.uplink is None:
+            raise SimulationError(
+                f"fabric {self.name!r}: racked fabrics need an uplink"
+            )
+        if self.pod_racks < 0:
+            raise SimulationError("pod_racks must be >= 0")
+        if self.pod_racks > 0 and self.pod_uplink is None:
+            raise SimulationError(
+                f"fabric {self.name!r}: pod level needs a pod_uplink"
+            )
+        for rack, _uplink in self.rack_uplinks:
+            if rack < 0:
+                raise SimulationError(f"rack override for negative rack {rack}")
+        object.__setattr__(
+            self, "rack_uplinks", tuple(sorted(self.rack_uplinks))
+        )
+        self._overrides.update(dict(self.rack_uplinks))
+
+    def is_flat(self) -> bool:
+        """True when this spec describes the plain single-switch fabric."""
+        return self.nodes_per_rack == 0
+
+    def rack_of(self, node: int) -> int:
+        """The rack hosting ``node`` (0 for every node when flat)."""
+        if self.is_flat():
+            return 0
+        return node // self.nodes_per_rack
+
+    def pod_of(self, rack: int) -> int:
+        """The pod containing ``rack`` (0 for every rack without pods)."""
+        if self.pod_racks <= 0:
+            return 0
+        return rack // self.pod_racks
+
+    def uplink_of(self, rack: int) -> Uplink:
+        """The effective uplink of ``rack`` (override or default)."""
+        if self.uplink is None:
+            raise SimulationError(f"flat fabric {self.name!r} has no uplinks")
+        return self._overrides.get(rack, self.uplink)
+
+    def racks_for(self, num_nodes: int) -> int:
+        """Number of racks covering the first ``num_nodes`` nodes."""
+        if self.is_flat() or num_nodes <= 0:
+            return 1
+        return (num_nodes + self.nodes_per_rack - 1) // self.nodes_per_rack
+
+    def payload(self) -> dict:
+        """Canonical JSON-ready form, folded into cluster fingerprints.
+
+        Only *non-flat* specs are ever folded (see
+        :meth:`ClusterSpec.fingerprint`), so the flat sentinel needs no
+        canonical form of its own.
+        """
+        doc: dict = {
+            "name": self.name,
+            "nodes_per_rack": self.nodes_per_rack,
+        }
+        if self.uplink is not None:
+            doc["uplink"] = self.uplink.payload()
+        if self.rack_uplinks:
+            doc["rack_uplinks"] = [
+                [rack, uplink.payload()] for rack, uplink in self.rack_uplinks
+            ]
+        if self.pod_racks > 0:
+            doc["pod_racks"] = self.pod_racks
+            doc["pod_uplink"] = self.pod_uplink.payload()
+        return doc
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI."""
+        if self.is_flat():
+            return f"{self.name}: flat single-switch fabric"
+        parts = [f"{self.name}: {self.nodes_per_rack} nodes/rack"]
+        up = self.uplink
+        parts.append(
+            f"uplink {up.count}x {1e-9 / up.byte_time if up.byte_time else 0:.0f} GB/s"
+            f" +{up.latency * 1e6:.1f}us"
+        )
+        if self.rack_uplinks:
+            parts.append(f"{len(self.rack_uplinks)} rack overrides")
+        if self.pod_racks > 0:
+            parts.append(f"pods of {self.pod_racks} racks")
+        return ", ".join(parts)
+
+
+#: The canonical flat fabric: explicit "no hierarchy" marker.
+FLAT_FABRIC = FabricSpec(name="flat", nodes_per_rack=0)

@@ -119,7 +119,13 @@ class FaultyFabric(Fabric):
                 _, inject_end = egress.reserve(
                     inject_end + loss.timeout, inject_cost()
                 )
-        arrive = inject_end + p.latency * latency_factor * self._factor()
+        wire_latency = p.latency * latency_factor * self._factor()
+        if self._topo is None:
+            arrive = inject_end + wire_latency
+        else:
+            arrive = self._topo.arrive(
+                src, dst, nbytes, inject_end, wire_latency, self._factor()
+            )
         drain_cost = nbytes * p.byte_time_in * byte_factor * self._factor()
         _, deliver = self.hosts[dst].ingress[dst_port].reserve(arrive, drain_cost)
         return TransferTiming(inject_start, inject_end, deliver)
@@ -129,7 +135,10 @@ class FaultyFabric(Fabric):
         if src == dst:
             return ready + p.shm_latency * self._factor()
         latency_factor, _ = self._link_factors(src, dst, ready)
-        return ready + p.control_latency * latency_factor * self._factor()
+        deliver = ready + p.control_latency * latency_factor * self._factor()
+        if self._topo is not None:
+            deliver += self._topo.control_extra(src, dst)
+        return deliver
 
     def reset(self) -> None:
         super().reset()

@@ -59,6 +59,11 @@ class BcastModel:
     #: Catalogue name of the modelled algorithm (e.g. ``"binomial"``).
     algorithm: str = ""
 
+    #: Names of extra constructor keywords this model accepts beyond
+    #: ``gamma`` (e.g. ``("group_ranks",)``).  ``PlatformModel`` forwards
+    #: matching entries of its ``model_params`` when instantiating.
+    extra_params: tuple[str, ...] = ()
+
     #: Whether an empty payload makes the collective a no-op.  True for
     #: every data-moving collective (a count-0 bcast/reduce returns
     #: immediately in MPI, and the simulator sends nothing — see

@@ -27,6 +27,9 @@ from math import ceil, floor, log2
 
 from repro.collectives.bcast import DEFAULT_CHAIN_FANOUT
 from repro.models.base import BcastModel, LinearCoefficients, segment_count
+from repro.models.hierarchical import (
+    HierarchicalBcastModel as _HierarchicalBcastModel,
+)
 
 
 class LinearTreeModel(BcastModel):
@@ -261,5 +264,6 @@ DERIVED_BCAST_MODELS: dict[str, type[BcastModel]] = {
         SplitBinaryTreeModel,
         BinomialTreeModel,
         ScatterAllgatherModel,
+        _HierarchicalBcastModel,
     )
 }

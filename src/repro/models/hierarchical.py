@@ -1,0 +1,64 @@
+"""Analytical models of the hierarchical (rack-leader) collectives.
+
+The hierarchical broadcast routes one binomial tree over ``R = ceil(P/G)``
+rack leaders (``G`` ranks per rack) and fans out linearly inside each
+rack, so its stage structure combines paper Eq. 6 over ``R`` with a
+single γ(G) intra-rack stage.  Like every model here it stays *linear in
+(α, β)* — the uplink serialisation the algorithm is designed around is
+not modelled explicitly but absorbed by the in-context α/β estimation,
+which runs the actual simulator on the actual fabric (the same
+measurement-absorbs-the-mechanism argument the paper makes for γ(P)).
+
+``group_ranks`` is a platform property, not an algorithm constant, so
+these models take it as a constructor parameter; `PlatformModel`
+forwards it from its ``model_params`` (see ``extra_params``).
+"""
+
+from __future__ import annotations
+
+from math import ceil, floor, log2
+
+from repro.models.base import BcastModel, LinearCoefficients, segment_count
+
+
+class HierarchicalBcastModel(BcastModel):
+    """Inter-rack binomial + intra-rack linear broadcast.
+
+    With ``R`` racks the root emits one segment per
+    ``γ(⌈log2 R⌉ + G)·τ`` (its remote leader children plus its ``G - 1``
+    local members), the deepest leader path mirrors the binomial drain
+    over ``R``, and the last rack's fan-out adds one ``γ(G)`` stage.
+    """
+
+    algorithm = "hierarchical"
+    extra_params = ("group_ranks",)
+
+    def __init__(self, gamma, group_ranks: int = 1):
+        super().__init__(gamma)
+        self.group_ranks = max(1, int(group_ranks))
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int
+    ) -> LinearCoefficients:
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        segments = segment_count(nbytes, segment_size)
+        group = min(self.group_ranks, procs)
+        racks = ceil(procs / self.group_ranks)
+        ceil_log = ceil(log2(racks)) if racks > 1 else 0
+        floor_log = floor(log2(racks)) if racks > 1 else 0
+        root_children = ceil_log + group - 1
+        stages = segments * self.gamma(root_children + 1) - 1.0
+        for i in range(1, floor_log):
+            stages += self.gamma(ceil_log - i + 1)
+        if group > 1 and racks > 1:
+            # The last rack still has to fan out after its leader drains.
+            stages += self.gamma(group)
+        stages = max(stages, float(segments))
+        return LinearCoefficients(stages, stages * (nbytes / segments))
+
+
+class HierarchicalReduceModel(HierarchicalBcastModel):
+    """Hierarchical reduce: the broadcast tree run leaf-to-root."""
+
+    algorithm = "hierarchical"

@@ -31,6 +31,7 @@ from repro.models.derived import (
     ChainTreeModel,
     LinearTreeModel,
 )
+from repro.models.hierarchical import HierarchicalReduceModel
 
 
 class LinearReduceModel(LinearTreeModel):
@@ -72,5 +73,6 @@ DERIVED_REDUCE_MODELS: dict[str, type[BcastModel]] = {
         BinaryReduceModel,
         BinomialReduceModel,
         InOrderBinomialReduceModel,
+        HierarchicalReduceModel,
     )
 }

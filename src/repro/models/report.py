@@ -22,6 +22,10 @@ EQUATIONS = {
     "split_binary": "T = (⌈n_s/2⌉ + H - 1)·γ(3)·(α + m_s·β) + (α + m/2·β)",
     "binomial": "T = (n_s·γ(⌈log2 P⌉+1) + Σ γ(⌈log2 P⌉-i+1) - 1)·(α + m_s·β)",
     "scatter_allgather": "T = (⌈log2 P⌉ + P - 1)·α + 2·m·(P-1)/P·β",
+    "hierarchical": (
+        "T = (n_s·γ(⌈log2 R⌉+g) + Σ γ(⌈log2 R⌉-i+1) + γ(g) - 1)"
+        "·(α + m_s·β),  R racks, g ranks/rack"
+    ),
     "in_order_binomial": "T = (n_s·γ(⌈log2 P⌉+1) + Σ γ(⌈log2 P⌉-i+1) - 1)·(α + m_s·β)",
     # Barrier models: pure message counts (no payload, no β).
     "recursive_doubling": "T = (⌈log2 P⌉ + 2·[P not power of 2])·α",

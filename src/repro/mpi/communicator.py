@@ -53,6 +53,7 @@ class MpiWorld:
         tracer: Tracer = NULL_TRACER,
         rank_to_port: Sequence[int] | None = None,
         compute_factor: Sequence[float] | None = None,
+        node_to_rack: Sequence[int] | None = None,
     ):
         if not rank_to_node:
             raise MpiError("world needs at least one rank")
@@ -82,6 +83,13 @@ class MpiWorld:
         #: Per-rank CPU slowdown (straggler hosts); ``None`` — the default —
         #: keeps every per-call cost exactly as configured.
         self.compute_factor = compute_factor
+        if node_to_rack is not None:
+            if len(node_to_rack) < fabric.num_nodes:
+                raise MpiError("node_to_rack must cover every fabric node")
+            node_to_rack = list(node_to_rack)
+        #: Node→rack map of a multi-level fabric (``None`` on flat
+        #: fabrics); hierarchical collectives group ranks by it.
+        self.node_to_rack = node_to_rack
         self.tracer = tracer
         self.size = len(rank_to_node)
         self.engines = [MatchingEngine() for _ in range(self.size)]

@@ -30,6 +30,8 @@ C_ALGORITHM_IDS = {
     "binary": 5,
     "binomial": 6,
     "scatter_allgather": 7,
+    # Extension algorithm (no Open MPI number): rack-leader hierarchical.
+    "hierarchical": 8,
 }
 
 #: Per-operation C algorithm numberings (Open MPI's ``coll_tuned``
@@ -43,6 +45,8 @@ C_OPERATION_ALGORITHM_IDS: dict[str, dict[str, int]] = {
         "binary": 4,
         "binomial": 5,
         "in_order_binomial": 6,
+        # Extension algorithm (no Open MPI number).
+        "hierarchical": 7,
     },
     "gather": {
         "linear": 1,

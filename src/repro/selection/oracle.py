@@ -141,6 +141,11 @@ class MeasuredOracle:
             # Default to the paper's six algorithms so Table 3 / Fig. 5 stay
             # faithful; pass an explicit list to include extension algorithms.
             self.algorithms = sorted(PAPER_BCAST_ALGORITHMS)
+        elif operation == "reduce":
+            # Same contract: topology-aware extensions are opt-in.
+            from repro.collectives.reduce import DEFAULT_REDUCE_ALGORITHMS
+
+            self.algorithms = sorted(DEFAULT_REDUCE_ALGORITHMS)
         else:
             from repro.collectives.registry import algorithm_names
 

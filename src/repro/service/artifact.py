@@ -114,6 +114,10 @@ class SelectionArtifact:
     cluster_fingerprint: str
     entries: dict[str, ArtifactEntry]
     builder_version: str = repro.__version__
+    #: Name of the fabric the artifact was conditioned on; ``""`` for a
+    #: flat (single-switch) cluster.  Folded into the hashed payload only
+    #: when set, so flat artifacts keep their pre-fabric content hashes.
+    fabric: str = ""
     #: Calibration quality diagnostics per operation (see
     #: :meth:`CalibrationResult.quality_report`).  Deliberately *outside*
     #: the hashed payload: diagnostics describe the build, not the
@@ -143,7 +147,7 @@ class SelectionArtifact:
 
     def payload(self) -> dict:
         """The canonical hashed content (everything but schema and hash)."""
-        return {
+        doc = {
             "cluster": self.cluster,
             "cluster_fingerprint": self.cluster_fingerprint,
             "builder_version": self.builder_version,
@@ -152,6 +156,11 @@ class SelectionArtifact:
                 for operation in self.operations
             },
         }
+        if self.fabric:
+            # Key present only for topology-conditioned artifacts: flat
+            # builds hash to the same bytes as before fabrics existed.
+            doc["fabric"] = self.fabric
+        return doc
 
     def content_hash(self) -> str:
         """SHA-256 over the canonical JSON payload (memoised)."""
@@ -189,7 +198,7 @@ class SelectionArtifact:
 
     def summary(self) -> dict:
         """Registry-listing view: identity plus grid shapes, no tables."""
-        return {
+        doc = {
             "id": self.artifact_id,
             "cluster": self.cluster,
             "cluster_fingerprint": self.cluster_fingerprint,
@@ -205,6 +214,9 @@ class SelectionArtifact:
                 for operation in self.operations
             },
         }
+        if self.fabric:
+            doc["fabric"] = self.fabric
+        return doc
 
     def verify(self) -> None:
         """Cross-check the packaged representations against each other.
@@ -279,6 +291,7 @@ class SelectionArtifact:
                 cluster=payload["cluster"],
                 cluster_fingerprint=payload["cluster_fingerprint"],
                 builder_version=payload.get("builder_version", "unknown"),
+                fabric=payload.get("fabric", ""),
                 entries={
                     operation: ArtifactEntry.from_dict(entry)
                     for operation, entry in payload["entries"].items()
@@ -385,6 +398,23 @@ def build_artifact(
     if sizes is not None:
         calib_kwargs["sizes"] = sizes
 
+    fabric = spec.fabric if spec.fabric and not spec.fabric.is_flat() else None
+    per_op_algorithms: dict[str, list[str]] = {}
+    if fabric is not None:
+        # Topology-conditioned build: the hierarchical variants join the
+        # candidate set (they are excluded from the flat defaults), and the
+        # hierarchical models learn the rack size through ``model_params``.
+        calib_kwargs["model_params"] = {
+            "group_ranks": fabric.nodes_per_rack * spec.procs_per_node
+        }
+        from repro.collectives.bcast import PAPER_BCAST_ALGORITHMS
+        from repro.collectives.reduce import DEFAULT_REDUCE_ALGORITHMS
+
+        per_op_algorithms = {
+            "bcast": sorted((*PAPER_BCAST_ALGORITHMS, "hierarchical")),
+            "reduce": sorted((*DEFAULT_REDUCE_ALGORITHMS, "hierarchical")),
+        }
+
     with obs.span(
         "artifact.build",
         cluster=spec.name,
@@ -412,9 +442,12 @@ def build_artifact(
                 if precomputed:
                     platform = platforms[operation]
                 else:
+                    op_kwargs = dict(calib_kwargs)
+                    if operation in per_op_algorithms:
+                        op_kwargs["algorithms"] = per_op_algorithms[operation]
                     try:
                         outcome = pipeline.calibrate(
-                            spec, runner=runner, **calib_kwargs
+                            spec, runner=runner, **op_kwargs
                         )
                     except EstimationError as error:
                         raise ArtifactError(
@@ -454,6 +487,7 @@ def build_artifact(
                 cluster=spec.name,
                 cluster_fingerprint=spec.fingerprint(),
                 entries=entries,
+                fabric=fabric.name if fabric is not None else "",
                 quality=quality,
                 build_info={"batch": runner.batch},
             )
@@ -486,7 +520,7 @@ class ArtifactRegistry:
         #: Files currently served from their last-known-good copy, mapped
         #: to the error that made the on-disk version unloadable.
         self.degraded: dict[str, str] = {}
-        self._by_query: dict[tuple[str, str], SelectionArtifact] = {}
+        self._by_query: dict[tuple[str, str, str], SelectionArtifact] = {}
         if self.directory is not None:
             self.rescan()
 
@@ -523,29 +557,36 @@ class ArtifactRegistry:
         self._reindex()
 
     def _reindex(self) -> None:
-        index: dict[tuple[str, str], SelectionArtifact] = {}
+        index: dict[tuple[str, str, str], SelectionArtifact] = {}
         for _name, artifact in sorted(self.artifacts.items()):
             for operation in artifact.operations:
-                index[(artifact.cluster, operation)] = artifact
+                index[(artifact.cluster, artifact.fabric, operation)] = artifact
         self._by_query = index
 
     def __len__(self) -> int:
         return len(self.artifacts)
 
-    def lookup(self, cluster: str, operation: str) -> SelectionArtifact:
-        """The artifact serving ``(cluster, operation)``.
+    def lookup(
+        self, cluster: str, operation: str, fabric: str = ""
+    ) -> SelectionArtifact:
+        """The artifact serving ``(cluster, fabric, operation)``.
 
-        Raises :class:`ArtifactError` when nothing covers the pair.
+        ``fabric=""`` selects flat-cluster artifacts (the pre-fabric
+        behaviour).  Raises :class:`ArtifactError` when nothing covers
+        the triple.
         """
         try:
-            return self._by_query[(cluster, operation)]
+            return self._by_query[(cluster, fabric, operation)]
         except KeyError:
             known = sorted(
-                f"{cluster}/{operation}"
-                for cluster, operation in self._by_query
+                f"{cluster}/{operation}" + (f"@{fab}" if fab else "")
+                for cluster, fab, operation in self._by_query
+            )
+            wanted = f"cluster {cluster!r} operation {operation!r}" + (
+                f" fabric {fabric!r}" if fabric else ""
             )
             raise ArtifactError(
-                f"no artifact for cluster {cluster!r} operation {operation!r}; "
+                f"no artifact for {wanted}; "
                 f"serving: {', '.join(known) or '<none>'}"
             ) from None
 

@@ -207,9 +207,14 @@ class SelectionService:
             raise RequestError(
                 400, "validation", f"'operation' must be a non-empty string{where}"
             )
+        fabric = query.get("fabric", "")
+        if not isinstance(fabric, str):
+            raise RequestError(
+                400, "validation", f"'fabric' must be a string{where}"
+            )
         procs = _require_int(query, "procs", 1, index)
         nbytes = _require_int(query, "nbytes", 0, index)
-        return cluster, operation, procs, nbytes
+        return cluster, operation, fabric, procs, nbytes
 
     def select_one(self, query, index: int | None = None) -> dict:
         """Validate and answer a single query (LRU-cached)."""
@@ -220,9 +225,9 @@ class SelectionService:
             self.metrics.cache_hits.inc()
         else:
             self.metrics.cache_misses.inc()
-            cluster, operation, procs, nbytes = key
+            cluster, operation, fabric, procs, nbytes = key
             try:
-                artifact = self.registry.lookup(cluster, operation)
+                artifact = self.registry.lookup(cluster, operation, fabric)
             except ArtifactError as error:
                 raise RequestError(404, "unknown_artifact", str(error)) from None
             selection, clamped = artifact.lookup(operation, procs, nbytes)
@@ -235,6 +240,10 @@ class SelectionService:
                 "segment_size": selection.segment_size,
                 "artifact": artifact.artifact_id,
             }
+            if fabric:
+                # Echo the routing dimension only when the client asked
+                # for it — flat-query response bodies stay unchanged.
+                result["fabric"] = fabric
             if clamped:
                 # Below-grid queries clamp to the first grid cell; say so
                 # instead of presenting the extrapolation as a grid answer.

@@ -146,6 +146,10 @@ class _Grid:
             raise _Unsupported("noisy or faulty spec")
         if spec.slow_nodes:
             raise _Unsupported("degraded nodes")
+        if spec.fabric is not None and not spec.fabric.is_flat():
+            # Uplink reservations interleave across cells in ways only the
+            # event loop models; non-flat fabrics take the exact fallback.
+            raise _Unsupported("multi-level fabric")
         net = spec.network
         if net.send_overhead <= 0.0:
             # Zero send overhead collapses distinct isend call times onto

@@ -129,6 +129,137 @@ class _Nic:
         self.free_at = 0.0
 
 
+class _TopologyState:
+    """Reservation state for a non-flat :class:`~repro.fabric.FabricSpec`.
+
+    Built once per :class:`Fabric` (i.e. per simulation run) from the
+    declarative spec: per-rack uplink/downlink NIC clocks, optional pod
+    tier, and the node→rack map.  Inter-rack payloads serialise on the
+    source rack's uplink and the destination rack's downlink between
+    host injection and host ingress, which is what makes oversubscribed
+    uplinks a genuine bottleneck for algorithms that cross rack
+    boundaries often.
+    """
+
+    __slots__ = (
+        "rack_of",
+        "pod_of",
+        "up_links",
+        "up",
+        "down",
+        "pod_link",
+        "pod_up",
+        "pod_down",
+    )
+
+    def __init__(self, spec, num_nodes: int) -> None:
+        racks = spec.racks_for(num_nodes)
+        self.rack_of = [spec.rack_of(node) for node in range(num_nodes)]
+        self.pod_of = [spec.pod_of(rack) for rack in range(racks)]
+        self.up_links = [spec.uplink_of(rack) for rack in range(racks)]
+        self.up = [
+            [_Nic() for _ in range(link.count)] for link in self.up_links
+        ]
+        self.down = [
+            [_Nic() for _ in range(link.count)] for link in self.up_links
+        ]
+        if spec.pod_racks > 0:
+            pods = max(self.pod_of) + 1
+            self.pod_link = spec.pod_uplink
+            self.pod_up = [
+                [_Nic() for _ in range(self.pod_link.count)]
+                for _ in range(pods)
+            ]
+            self.pod_down = [
+                [_Nic() for _ in range(self.pod_link.count)]
+                for _ in range(pods)
+            ]
+        else:
+            self.pod_link = None
+            self.pod_up = []
+            self.pod_down = []
+
+    @staticmethod
+    def _reserve(
+        nics: list[_Nic], ready: float, duration: float
+    ) -> tuple[float, float]:
+        # Parallel physical links: traffic takes the least-loaded one.
+        if len(nics) > 1:
+            nic = min(nics, key=lambda n: n.free_at)
+        else:
+            nic = nics[0]
+        return nic.reserve(ready, duration)
+
+    def arrive(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        inject_end: float,
+        wire_latency: float,
+        factor: float,
+    ) -> float:
+        """When the payload's last byte reaches ``dst``'s host NIC.
+
+        ``wire_latency`` is the host-level latency term (already noise-
+        scaled by the caller); ``factor`` scales the uplink hop costs so
+        noisy and faulty fabrics perturb the whole path consistently.
+        """
+        rack_src = self.rack_of[src]
+        rack_dst = self.rack_of[dst]
+        if rack_src == rack_dst:
+            return inject_end + wire_latency
+        up = self.up_links[rack_src]
+        _, t = self._reserve(
+            self.up[rack_src],
+            inject_end + up.latency * factor,
+            nbytes * up.byte_time * factor,
+        )
+        if self.pod_link is not None:
+            pod_src = self.pod_of[rack_src]
+            pod_dst = self.pod_of[rack_dst]
+            if pod_src != pod_dst:
+                pl = self.pod_link
+                _, t = self._reserve(
+                    self.pod_up[pod_src],
+                    t + pl.latency * factor,
+                    nbytes * pl.byte_time * factor,
+                )
+                _, t = self._reserve(
+                    self.pod_down[pod_dst],
+                    t + pl.latency * factor,
+                    nbytes * pl.byte_time * factor,
+                )
+        down = self.up_links[rack_dst]
+        _, t = self._reserve(
+            self.down[rack_dst],
+            t + down.latency * factor,
+            nbytes * down.byte_time * factor,
+        )
+        return t + wire_latency
+
+    def control_extra(self, src: int, dst: int) -> float:
+        """Extra latency a control message pays for crossing racks."""
+        rack_src = self.rack_of[src]
+        rack_dst = self.rack_of[dst]
+        if rack_src == rack_dst:
+            return 0.0
+        extra = (
+            self.up_links[rack_src].latency + self.up_links[rack_dst].latency
+        )
+        if self.pod_link is not None and (
+            self.pod_of[rack_src] != self.pod_of[rack_dst]
+        ):
+            extra += 2.0 * self.pod_link.latency
+        return extra
+
+    def reset(self) -> None:
+        for tier in (self.up, self.down, self.pod_up, self.pod_down):
+            for nics in tier:
+                for nic in nics:
+                    nic.reset()
+
+
 class Host:
     """A cluster node: one or more NIC ports plus an identity.
 
@@ -174,6 +305,10 @@ class Fabric:
     #: node pay its send-side pathology — which is what makes long
     #: pipelines collapse while leaving tree leaves harmless.
     degradation: dict = field(default_factory=dict)
+    #: Optional multi-level physical topology (a
+    #: :class:`repro.fabric.FabricSpec`).  ``None`` or a flat spec keeps
+    #: the single-switch model bit-identical to the pre-fabric code.
+    topology: object = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -197,6 +332,12 @@ class Fabric:
         self._unit_noise = isinstance(self.noise, NoNoise) or (
             isinstance(self.noise, LognormalNoise) and self.noise.sigma == 0.0
         )
+        # ``None`` for flat fabrics, so the transfer hot path pays a
+        # single attribute check and nothing else.
+        if self.topology is not None and not self.topology.is_flat():
+            self._topo = _TopologyState(self.topology, self.num_nodes)
+        else:
+            self._topo = None
 
     def _slowdown(self, node: int) -> float:
         return self.degradation.get(node, 1.0)
@@ -238,8 +379,14 @@ class Fabric:
             inject_start, inject_end = self.hosts[src].egress[src_port].reserve(
                 ready, inject_cost
             )
+            if self._topo is None:
+                arrive = inject_end + p.latency
+            else:
+                arrive = self._topo.arrive(
+                    src, dst, nbytes, inject_end, p.latency, 1.0
+                )
             _, deliver = self.hosts[dst].ingress[dst_port].reserve(
-                inject_end + p.latency, nbytes * p.byte_time_in
+                arrive, nbytes * p.byte_time_in
             )
             return TransferTiming(inject_start, inject_end, deliver)
         if src == dst:
@@ -258,7 +405,13 @@ class Fabric:
         inject_start, inject_end = src_host.egress[src_port].reserve(
             ready, inject_cost
         )
-        arrive = inject_end + p.latency * self.noise.factor()
+        if self._topo is None:
+            arrive = inject_end + p.latency * self.noise.factor()
+        else:
+            hop_factor = self.noise.factor()
+            arrive = self._topo.arrive(
+                src, dst, nbytes, inject_end, p.latency * hop_factor, hop_factor
+            )
         drain_cost = nbytes * p.byte_time_in * self.noise.factor()
         _, deliver = dst_host.ingress[dst_port].reserve(arrive, drain_cost)
         return TransferTiming(inject_start, inject_end, deliver)
@@ -271,10 +424,18 @@ class Fabric:
         """
         p = self.params
         if self._unit_noise:
-            return ready + (p.shm_latency if src == dst else p.control_latency)
+            if src == dst:
+                return ready + p.shm_latency
+            deliver = ready + p.control_latency
+            if self._topo is not None:
+                deliver += self._topo.control_extra(src, dst)
+            return deliver
         if src == dst:
             return ready + p.shm_latency * self.noise.factor()
-        return ready + p.control_latency * self.noise.factor()
+        deliver = ready + p.control_latency * self.noise.factor()
+        if self._topo is not None:
+            deliver += self._topo.control_extra(src, dst)
+        return deliver
 
     def reset(self) -> None:
         """Clear NIC clocks and counters (between measurement repetitions)."""
@@ -283,5 +444,7 @@ class Fabric:
                 nic.reset()
             for nic in host.ingress:
                 nic.reset()
+        if self._topo is not None:
+            self._topo.reset()
         self.bytes_transferred = 0
         self.messages_transferred = 0

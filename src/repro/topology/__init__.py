@@ -6,6 +6,10 @@ and k-chain trees.  All builders take the communicator size and the root
 rank and return a :class:`~repro.topology.tree.Tree` expressed in actual
 ranks (the construction happens in root-shifted *virtual* ranks, as in
 Open MPI).
+
+These are *virtual* (algorithm) trees, not the physical interconnect —
+that lives in :mod:`repro.fabric`.  :mod:`repro.topology.trees` re-exports
+the same names under a module whose docstring spells the distinction out.
 """
 
 from repro.topology.builders import (
@@ -17,6 +21,7 @@ from repro.topology.builders import (
     build_kary_tree,
     clear_tree_caches,
 )
+from repro.topology.hierarchy import build_hierarchy_tree, comm_group_of
 from repro.topology.tree import Tree
 
 __all__ = [
@@ -25,7 +30,9 @@ __all__ = [
     "build_binary_tree",
     "build_binomial_tree",
     "build_chain_tree",
+    "build_hierarchy_tree",
     "build_in_order_binomial_tree",
     "build_kary_tree",
     "clear_tree_caches",
+    "comm_group_of",
 ]

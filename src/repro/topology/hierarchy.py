@@ -1,0 +1,83 @@
+"""Rack-aware virtual trees for hierarchical collectives.
+
+These builders bridge the two "topology" concepts in this codebase: the
+*physical* fabric (:mod:`repro.fabric` — racks, uplinks) and the
+*virtual* trees collective algorithms route over (:mod:`repro.topology`).
+A hierarchical broadcast crosses each oversubscribed rack uplink exactly
+once by sending inter-rack along a binomial tree over one *leader* per
+rack and intra-rack from each leader to its local members (linear).
+
+Unlike the Open MPI tree builders these cannot be cached on
+``(size, root)`` alone: the shape also depends on the rank→group map, so
+they are rebuilt per communicator (cheap — a single O(size) pass).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import TopologyError
+from repro.topology.builders import build_binomial_tree
+from repro.topology.tree import Tree
+
+
+def build_hierarchy_tree(group_of: Sequence[int], root: int) -> Tree:
+    """A two-level tree: binomial over group leaders, linear within groups.
+
+    ``group_of[r]`` assigns communicator rank ``r`` to a group (a rack on
+    multi-level fabrics, a node otherwise).  The root leads its own
+    group; every other group is led by its lowest rank.  Leaders form a
+    binomial tree rooted at the root's leader (inter-group edges are
+    listed *first* in each leader's child order, so uplink traffic
+    starts before the local fan-out serialises the leader's NIC).
+    """
+    size = len(group_of)
+    if not 0 <= root < size:
+        raise TopologyError(f"root {root} outside 0..{size - 1}")
+    members: dict[int, list[int]] = {}
+    for rank in range(size):
+        members.setdefault(group_of[rank], []).append(rank)
+    leaders = []
+    for key in sorted(members):
+        group = members[key]
+        leaders.append(root if root in group else group[0])
+    # Root's group first so the leader binomial tree is rooted there.
+    leaders.sort(key=lambda leader: (leader != root, leader))
+    parent = [-1] * size
+    children: list[list[int]] = [[] for _ in range(size)]
+    leader_tree = build_binomial_tree(len(leaders), 0)
+    for index, leader in enumerate(leaders):
+        if index == 0:
+            continue
+        up = leaders[leader_tree.parent[index]]
+        parent[leader] = up
+        children[up].append(leader)
+    for group in members.values():
+        leader = root if root in group else group[0]
+        for rank in group:
+            if rank != leader:
+                parent[rank] = leader
+                children[leader].append(rank)
+    tree = Tree(
+        root=root,
+        parent=tuple(parent),
+        children=tuple(tuple(kids) for kids in children),
+    )
+    tree.validate()
+    return tree
+
+
+def comm_group_of(comm) -> tuple[int, ...]:
+    """The rack (or node) group of each rank of ``comm``.
+
+    On a multi-level fabric the world carries ``node_to_rack`` and ranks
+    group by rack; on flat fabrics ranks group by node, which makes the
+    hierarchical algorithms meaningful (if rarely optimal) there too.
+    """
+    world = comm.world
+    racks = getattr(world, "node_to_rack", None)
+    group_of = []
+    for local in range(comm.size):
+        node = world.rank_to_node[comm.group[local]]
+        group_of.append(racks[node] if racks is not None else node)
+    return tuple(group_of)

@@ -1,0 +1,40 @@
+"""Named re-export of the *virtual* communication-tree helpers.
+
+Two distinct things in this codebase are colloquially called "topology":
+
+* **Virtual trees** (this module / :mod:`repro.topology`): the rooted
+  trees collective algorithms route messages over — binomial, binary,
+  k-ary, chain.  They exist purely in rank space and are chosen by the
+  algorithm, not the hardware.
+* **Physical fabric** (:mod:`repro.fabric`): the actual interconnect —
+  racks, leaf/spine switches, oversubscribed uplinks.  It constrains
+  *how fast* a virtual tree's edges run, never their shape.
+
+Import tree builders from here (``repro.topology.trees``) when the
+distinction matters; the names are identical to ``repro.topology``.
+"""
+
+from repro.topology.builders import (
+    TREE_CACHE_MAXSIZE,
+    build_binary_tree,
+    build_binomial_tree,
+    build_chain_tree,
+    build_in_order_binomial_tree,
+    build_kary_tree,
+    clear_tree_caches,
+)
+from repro.topology.hierarchy import build_hierarchy_tree, comm_group_of
+from repro.topology.tree import Tree
+
+__all__ = [
+    "TREE_CACHE_MAXSIZE",
+    "Tree",
+    "build_binary_tree",
+    "build_binomial_tree",
+    "build_chain_tree",
+    "build_hierarchy_tree",
+    "build_in_order_binomial_tree",
+    "build_kary_tree",
+    "clear_tree_caches",
+    "comm_group_of",
+]

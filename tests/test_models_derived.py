@@ -170,6 +170,7 @@ class TestStructuralProperties:
             "binary",
             "binomial",
             "chain",
+            "hierarchical",
             "k_chain",
             "linear",
             "scatter_allgather",
