@@ -1,0 +1,123 @@
+"""Guideline smoke: build, verify, then prove the strict gate refuses.
+
+The CI-facing end-to-end check of the performance-guideline layer
+(ISSUE 8): build a small artifact on the mini cluster, assert its
+guideline verification is clean, then *tamper* with the decision table —
+swapping one stored choice for a model-suboptimal algorithm and
+regenerating the decision function so the artifact still passes the
+syntactic self-check — and assert that
+
+1. :func:`repro.tuning.verify_guidelines` pinpoints the perturbed cell
+   (``selection_optimal``, right operation, positive margin), and
+2. the strict gate (:func:`repro.tuning.check_guidelines`, the same path
+   ``repro artifact verify --guidelines --strict`` and
+   ``build_artifact(strict=True)`` use) refuses the artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_guideline_smoke.py --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.clusters import MINICLUSTER  # noqa: E402
+from repro.errors import GuidelineViolationError  # noqa: E402
+from repro.exec import ParallelRunner, cpu_count  # noqa: E402
+from repro.selection.codegen import generate_python  # noqa: E402
+from repro.selection.decision_table import DecisionTable  # noqa: E402
+from repro.selection.oracle import Selection  # noqa: E402
+from repro.service.artifact import (  # noqa: E402
+    ArtifactEntry,
+    SelectionArtifact,
+    build_artifact,
+)
+from repro.tuning import check_guidelines, verify_guidelines  # noqa: E402
+from repro.units import KiB, log_spaced_sizes  # noqa: E402
+
+
+def perturb(artifact: SelectionArtifact, operation: str) -> SelectionArtifact:
+    """Swap one stored decision for a wrong algorithm; keep codegen honest."""
+    entry = artifact.entries[operation]
+    choices = [list(row) for row in entry.table.choices]
+    current = choices[0][0]
+    wrong = "linear" if current.algorithm != "linear" else "chain"
+    choices[0][0] = Selection(wrong, current.segment_size, operation=operation)
+    table = DecisionTable(
+        proc_points=entry.table.proc_points,
+        size_points=entry.table.size_points,
+        choices=tuple(tuple(row) for row in choices),
+    )
+    entries = dict(artifact.entries)
+    entries[operation] = ArtifactEntry(
+        operation=operation,
+        platform=entry.platform,
+        table=table,
+        function_name=entry.function_name,
+        source=generate_python(table, function_name=entry.function_name),
+    )
+    return SelectionArtifact(
+        cluster=artifact.cluster,
+        cluster_fingerprint=artifact.cluster_fingerprint,
+        entries=entries,
+        fabric=artifact.fabric,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=min(4, cpu_count()))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    runner = ParallelRunner(jobs=args.jobs)
+    artifact = build_artifact(
+        MINICLUSTER,
+        collectives=("bcast",),
+        proc_points=(4, 8),
+        size_points=tuple(log_spaced_sizes(64 * KiB, 1024 * KiB, 5)),
+        procs=8,
+        gamma_max_procs=3,
+        max_reps=3,
+        seed=args.seed,
+        runner=runner,
+        strict=True,
+    )
+
+    # 1. A strict build is born clean and says so in its stamped report.
+    report = verify_guidelines(artifact)
+    assert report.ok(), report.format()
+    assert artifact.guidelines.get("ok") is True, artifact.guidelines
+    print(report.format())
+
+    # 2. A tampered table is caught semantically, not syntactically.
+    bad = perturb(artifact, "bcast")
+    bad.verify()  # the codegen self-check alone cannot see the tampering
+    bad_report = verify_guidelines(bad)
+    assert not bad_report.ok(), "perturbed table slipped past verification"
+    violation = bad_report.violations[0]
+    assert violation.guideline == "selection_optimal", violation
+    assert violation.operation == "bcast", violation
+    assert violation.margin > 0, violation
+    print(f"perturbation caught: {violation.describe()}")
+
+    # 3. The strict gate refuses it outright.
+    try:
+        check_guidelines(bad)
+    except GuidelineViolationError as error:
+        print(f"strict gate refused as expected: {error}")
+    else:
+        raise AssertionError("strict gate accepted a violating artifact")
+
+    print("guideline smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

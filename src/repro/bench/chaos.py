@@ -84,6 +84,35 @@ def severity_plan(spec: ClusterSpec, procs: int, severity: float) -> FaultPlan:
     )
 
 
+def drift_scenario(
+    spec: ClusterSpec,
+    *,
+    procs: int,
+    severity: float,
+    operation: str = "bcast",
+    max_reps: int = 8,
+    seed: int = 0,
+    runner: ParallelRunner | None = None,
+) -> tuple[ClusterSpec, MeasuredOracle]:
+    """A drifted platform and its ground-truth oracle, for tuning tests.
+
+    Returns ``(drifted_spec, oracle)``: the cluster degraded by the
+    standard single-straggler plan at ``severity`` (severity 0 hands the
+    pristine spec back, bit-identical fingerprints and all) and a
+    :class:`MeasuredOracle` measuring on it.  This is the harness the
+    self-tuning loop's tests use as "reality": serve from an artifact
+    calibrated on the clean spec, replay samples against this oracle, and
+    the model-vs-platform drift becomes observable and recalibratable.
+    """
+    plan = severity_plan(spec, procs, severity)
+    drifted = spec.with_faults(plan) if plan.enabled() else spec
+    oracle = MeasuredOracle(
+        drifted, operation=operation, max_reps=max_reps, seed=seed,
+        runner=runner,
+    )
+    return drifted, oracle
+
+
 @dataclass(frozen=True)
 class ChaosReport:
     """One severity point of a chaos sweep."""

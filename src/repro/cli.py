@@ -323,7 +323,31 @@ def _cmd_artifact_verify(args) -> int:
     artifact.verify()
     print(f"artifact {artifact.artifact_id} OK "
           f"(schema valid, hash verified, codegen agrees with tables)")
+    if not args.guidelines:
+        return 0
+    from repro.tuning.guidelines import verify_guidelines
+
+    slack_kwargs = {} if args.slack is None else {"slack": args.slack}
+    report = verify_guidelines(artifact, **slack_kwargs)
+    print(report.format())
+    if not report.ok() and args.strict:
+        print(f"strict: refusing artifact with {len(report.violations)} "
+              f"guideline violation(s)", file=sys.stderr)
+        return 1
     return 0
+
+
+def _cmd_artifact_diff(args) -> int:
+    from repro.service.artifact import load_artifact
+    from repro.tuning.diff import diff_artifacts, format_diff
+
+    diff = diff_artifacts(load_artifact(args.old), load_artifact(args.new))
+    print(format_diff(diff))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(diff.as_dict(), handle, indent=2)
+        print(f"diff written to {args.json}")
+    return 0 if diff.identical() else 1
 
 
 def _cmd_serve(args) -> int:
@@ -598,7 +622,25 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="validate schema, content hash and codegen agreement"
     )
     verify.add_argument("path")
+    verify.add_argument("--guidelines", action="store_true",
+                        help="also verify performance-guideline invariants "
+                             "across the full decision grid")
+    verify.add_argument("--strict", action="store_true",
+                        help="exit non-zero when --guidelines finds "
+                             "violations")
+    verify.add_argument("--slack", type=float, default=None,
+                        help="relative slack before an inequality counts as "
+                             "violated (default: 1e-6)")
     verify.set_defaults(func=_cmd_artifact_verify)
+    diff = artifact_sub.add_parser(
+        "diff",
+        help="per-cell decision deltas between two artifact versions",
+    )
+    diff.add_argument("old", help="the older artifact JSON")
+    diff.add_argument("new", help="the newer artifact JSON")
+    diff.add_argument("--json", default=None,
+                      help="also write the full diff as JSON")
+    diff.set_defaults(func=_cmd_artifact_diff)
 
     chaos = sub.add_parser(
         "chaos",

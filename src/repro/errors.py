@@ -57,5 +57,21 @@ class ServiceError(ReproError):
     """Raised for invalid requests to or misuse of the selection service."""
 
 
+class TuningError(ReproError):
+    """Raised for misuse of the self-tuning loop (guidelines, drift)."""
+
+
+class GuidelineViolationError(TuningError):
+    """Raised when strict guideline verification refuses an artifact.
+
+    The ``report`` attribute carries the full
+    :class:`repro.tuning.guidelines.GuidelineReport`.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class PortInUseError(ServiceError):
     """Raised when the selection server's listen port is already bound."""

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.clusters.spec import ClusterSpec
-from repro.errors import ArtifactError
+from repro.errors import ArtifactError, EstimationError
 from repro.estimation.alphabeta import FitQuality
 from repro.estimation.workflow import (
     DEFAULT_QUALITY,
@@ -47,6 +47,7 @@ __all__ = [
     "unregister_pipeline",
     "get_pipeline",
     "registered_collectives",
+    "run_pipeline",
 ]
 
 
@@ -162,6 +163,46 @@ def get_pipeline(operation: str) -> CalibrationPipeline:
 def registered_collectives() -> list[str]:
     """Operations with a registered pipeline, sorted."""
     return sorted(_PIPELINES)
+
+
+def run_pipeline(
+    spec: ClusterSpec,
+    operation: str,
+    *,
+    runner: ParallelRunner | None = None,
+    strict: bool = False,
+    thresholds: QualityThresholds = DEFAULT_QUALITY,
+    **calib_kwargs,
+) -> CalibrationOutcome:
+    """Calibrate ``operation`` through its registered pipeline, gated.
+
+    The single entry point shared by a full :func:`~repro.service.
+    artifact.build_artifact` and an incremental
+    :func:`~repro.tuning.recalibrate.rebuild_artifact`: estimation errors
+    become :class:`ArtifactError`, and ``strict=True`` applies the
+    quality-threshold gate with the same refusal message the full build
+    uses — rebuilds are held to exactly the packaging standard.
+    """
+    pipeline = get_pipeline(operation)
+    try:
+        outcome = pipeline.calibrate(spec, runner=runner, **calib_kwargs)
+    except EstimationError as error:
+        raise ArtifactError(
+            f"{operation} calibration failed: {error}"
+        ) from error
+    if strict:
+        failed = outcome.failing(thresholds)
+        if failed:
+            details = "; ".join(
+                f"{name}: {outcome.quality[name].as_dict()}"
+                for name in failed
+            )
+            raise ArtifactError(
+                f"strict build refused: {spec.name}: "
+                f"{operation} calibration quality gate "
+                f"failed for {', '.join(failed)} ({details})"
+            )
+    return outcome
 
 
 # -- built-in pipelines ------------------------------------------------------

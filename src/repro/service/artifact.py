@@ -31,15 +31,15 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Mapping, Sequence
 
 import repro
 from repro import obs
 from repro.clusters.spec import ClusterSpec
-from repro.errors import ArtifactError, EstimationError
-from repro.estimation.registry import get_pipeline
+from repro.errors import ArtifactError
+from repro.estimation.registry import get_pipeline, run_pipeline
 from repro.estimation.workflow import (
     DEFAULT_QUALITY,
     PlatformModel,
@@ -129,6 +129,12 @@ class SelectionArtifact:
     #: engine is bit-identical to the serial one, so the execution mode
     #: describes the build process, never the decisions.
     build_info: dict = field(default_factory=dict, compare=False)
+    #: Performance-guideline verification report (see
+    #: :func:`repro.tuning.guidelines.verify_guidelines`), stamped by the
+    #: builder.  Same sibling convention as ``quality``: the report
+    #: *describes* the packaged decisions, so stamping or re-verifying an
+    #: artifact never changes its content hash.
+    guidelines: dict = field(default_factory=dict, compare=False)
     _hash: list = field(default_factory=list, compare=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -255,6 +261,9 @@ class SelectionArtifact:
         if self.build_info:
             # Same sibling convention as ``quality``.
             doc["build_info"] = self.build_info
+        if self.guidelines:
+            # Same sibling convention as ``quality``.
+            doc["guidelines"] = self.guidelines
         return doc
 
     def save(self, path: str | Path) -> Path:
@@ -286,6 +295,7 @@ class SelectionArtifact:
             )
         quality = data.get("quality")
         build_info = data.get("build_info")
+        guidelines = data.get("guidelines")
         try:
             return cls(
                 cluster=payload["cluster"],
@@ -298,6 +308,7 @@ class SelectionArtifact:
                 },
                 quality=quality if isinstance(quality, dict) else {},
                 build_info=build_info if isinstance(build_info, dict) else {},
+                guidelines=guidelines if isinstance(guidelines, dict) else {},
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ArtifactError(f"malformed artifact payload: {error}") from error
@@ -325,6 +336,94 @@ def load_artifact(path: str | Path) -> SelectionArtifact:
 def default_proc_points(spec: ClusterSpec, step: int = 2) -> tuple[int, ...]:
     """Even grid of communicator sizes, 2 .. the cluster's capacity."""
     return tuple(range(2, spec.max_procs + 1, step)) or (2,)
+
+
+def calibration_kwargs(
+    *,
+    procs: int | None = None,
+    gamma_max_procs: int | None = None,
+    sizes: Sequence[int] | None = None,
+    max_reps: int = 8,
+    seed: int = 0,
+    screen_mad: float | None = None,
+    retry_budget: int = 0,
+) -> dict:
+    """The calibration kwarg dict a build forwards to every pipeline.
+
+    Shared by :func:`build_artifact` and the incremental
+    :func:`~repro.tuning.recalibrate.rebuild_artifact` so a rebuild with
+    the same knobs replays *exactly* the same experiment schedule — the
+    property that makes a warm-cache no-drift rebuild bit-identical with
+    zero simulations.
+    """
+    kwargs: dict = {
+        "max_reps": max_reps,
+        "seed": seed,
+        "screen_mad": screen_mad,
+        "retry_budget": retry_budget,
+    }
+    if procs is not None:
+        kwargs["procs"] = procs
+    if gamma_max_procs is not None:
+        kwargs["gamma_max_procs"] = gamma_max_procs
+    if sizes is not None:
+        kwargs["sizes"] = tuple(sizes)
+    return kwargs
+
+
+def fabric_calibration_overrides(
+    spec: ClusterSpec,
+) -> tuple[str, dict, dict[str, list[str]]]:
+    """Topology-conditioned build inputs derived from ``spec``'s fabric.
+
+    Returns ``(fabric_name, extra calibration kwargs, per-operation
+    algorithm lists)``.  Flat specs return ``("", {}, {})`` — nothing is
+    added, so flat builds stay bit-identical to pre-fabric releases.  On
+    a multi-level fabric the hierarchical variants join the candidate
+    sets (they are excluded from the flat defaults) and the hierarchical
+    models learn the rack size through ``model_params``.
+    """
+    fabric = spec.fabric if spec.fabric and not spec.fabric.is_flat() else None
+    if fabric is None:
+        return "", {}, {}
+    from repro.collectives.bcast import PAPER_BCAST_ALGORITHMS
+    from repro.collectives.reduce import DEFAULT_REDUCE_ALGORITHMS
+
+    extra = {
+        "model_params": {
+            "group_ranks": fabric.nodes_per_rack * spec.procs_per_node
+        }
+    }
+    per_op_algorithms = {
+        "bcast": sorted((*PAPER_BCAST_ALGORITHMS, "hierarchical")),
+        "reduce": sorted((*DEFAULT_REDUCE_ALGORITHMS, "hierarchical")),
+    }
+    return fabric.name, extra, per_op_algorithms
+
+
+def stamp_guidelines(
+    artifact: SelectionArtifact,
+    *,
+    strict: bool = False,
+    slack: float | None = None,
+) -> SelectionArtifact:
+    """Verify performance guidelines and stamp the report on ``artifact``.
+
+    Returns a copy carrying the :class:`~repro.tuning.guidelines.
+    GuidelineReport` in its unhashed ``guidelines`` section — the content
+    hash is untouched.  ``strict=True`` raises
+    :class:`~repro.errors.GuidelineViolationError` instead of stamping a
+    violating artifact (the packaging gate).  The import is local: the
+    tuning layer depends on this module, not the other way around.
+    """
+    from repro.tuning.guidelines import check_guidelines, verify_guidelines
+
+    kwargs = {} if slack is None else {"slack": slack}
+    if strict:
+        report = check_guidelines(artifact, **kwargs)
+    else:
+        report = verify_guidelines(artifact, **kwargs)
+    return replace(artifact, guidelines=report.as_dict())
 
 
 def build_artifact(
@@ -385,35 +484,19 @@ def build_artifact(
     grid_procs = (
         tuple(proc_points) if proc_points else default_proc_points(spec)
     )
-    calib_kwargs: dict = {
-        "max_reps": max_reps,
-        "seed": seed,
-        "screen_mad": screen_mad,
-        "retry_budget": retry_budget,
-    }
-    if procs is not None:
-        calib_kwargs["procs"] = procs
-    if gamma_max_procs is not None:
-        calib_kwargs["gamma_max_procs"] = gamma_max_procs
-    if sizes is not None:
-        calib_kwargs["sizes"] = sizes
-
-    fabric = spec.fabric if spec.fabric and not spec.fabric.is_flat() else None
-    per_op_algorithms: dict[str, list[str]] = {}
-    if fabric is not None:
-        # Topology-conditioned build: the hierarchical variants join the
-        # candidate set (they are excluded from the flat defaults), and the
-        # hierarchical models learn the rack size through ``model_params``.
-        calib_kwargs["model_params"] = {
-            "group_ranks": fabric.nodes_per_rack * spec.procs_per_node
-        }
-        from repro.collectives.bcast import PAPER_BCAST_ALGORITHMS
-        from repro.collectives.reduce import DEFAULT_REDUCE_ALGORITHMS
-
-        per_op_algorithms = {
-            "bcast": sorted((*PAPER_BCAST_ALGORITHMS, "hierarchical")),
-            "reduce": sorted((*DEFAULT_REDUCE_ALGORITHMS, "hierarchical")),
-        }
+    calib_kwargs = calibration_kwargs(
+        procs=procs,
+        gamma_max_procs=gamma_max_procs,
+        sizes=sizes,
+        max_reps=max_reps,
+        seed=seed,
+        screen_mad=screen_mad,
+        retry_budget=retry_budget,
+    )
+    fabric_name, fabric_kwargs, per_op_algorithms = (
+        fabric_calibration_overrides(spec)
+    )
+    calib_kwargs.update(fabric_kwargs)
 
     with obs.span(
         "artifact.build",
@@ -445,30 +528,14 @@ def build_artifact(
                     op_kwargs = dict(calib_kwargs)
                     if operation in per_op_algorithms:
                         op_kwargs["algorithms"] = per_op_algorithms[operation]
-                    try:
-                        outcome = pipeline.calibrate(
-                            spec, runner=runner, **op_kwargs
-                        )
-                    except EstimationError as error:
-                        raise ArtifactError(
-                            f"{operation} calibration failed: {error}"
-                        ) from error
+                    outcome = run_pipeline(
+                        spec, operation, runner=runner,
+                        strict=strict, thresholds=thresholds, **op_kwargs,
+                    )
                     platform = outcome.platform
                     report = outcome.quality_report()
                     if report:
                         quality[operation] = report
-                    if strict:
-                        failed = outcome.failing(thresholds)
-                        if failed:
-                            details = "; ".join(
-                                f"{name}: {outcome.quality[name].as_dict()}"
-                                for name in failed
-                            )
-                            raise ArtifactError(
-                                f"strict build refused: {spec.name}: "
-                                f"{operation} calibration quality gate "
-                                f"failed for {', '.join(failed)} ({details})"
-                            )
             grid_sizes = (0,) if size_independent else tuple(size_points)
             with obs.span("artifact.tables", operation=operation):
                 selector = ModelBasedSelector(platform)
@@ -487,11 +554,21 @@ def build_artifact(
                 cluster=spec.name,
                 cluster_fingerprint=spec.fingerprint(),
                 entries=entries,
-                fabric=fabric.name if fabric is not None else "",
+                fabric=fabric_name,
                 quality=quality,
                 build_info={"batch": runner.batch},
             )
             build_span.set_attr("artifact_id", artifact.artifact_id)
+        with obs.span("artifact.guidelines"):
+            # Strict builds refuse guideline violations the same way they
+            # refuse bad fits; non-strict builds stamp the report so every
+            # consumer can see it.  Either way the content hash is already
+            # fixed — the report lives outside the hashed payload.
+            artifact = stamp_guidelines(artifact, strict=strict)
+            build_span.set_attr(
+                "guideline_violations",
+                len(artifact.guidelines.get("violations", ())),
+            )
         return artifact
 
 

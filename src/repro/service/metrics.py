@@ -95,24 +95,41 @@ class Counter:
 
 @dataclass
 class Gauge:
-    """A value that can go up and down (e.g. artifacts currently loaded)."""
+    """A value that can go up and down (e.g. artifacts currently loaded).
+
+    Optionally labelled, with the same convention as :class:`Counter`:
+    a ``labelled=True`` gauge renders no sample until a labelled value is
+    set (no phantom unlabelled series), while an unlabelled gauge keeps
+    the original always-one-sample behaviour (``name 0`` before any
+    :meth:`set`).
+    """
 
     name: str
     help: str
-    _value: float = 0.0
+    labelled: bool = False
+    _samples: dict[tuple[tuple[str, str], ...], float] = field(
+        default_factory=dict
+    )
 
-    def set(self, value: float) -> None:
-        self._value = float(value)
+    def set(self, value: float, **labels: str) -> None:
+        self._samples[tuple(sorted(labels.items()))] = float(value)
 
-    def value(self) -> float:
-        return self._value
+    def value(self, **labels: str) -> float:
+        return self._samples.get(tuple(sorted(labels.items())), 0.0)
 
     def render(self) -> list[str]:
-        return [
+        lines = [
             f"# HELP {self.name} {self.help}",
             f"# TYPE {self.name} gauge",
-            f"{self.name} {_format_value(self._value)}",
         ]
+        for key in sorted(self._samples):
+            lines.append(
+                f"{self.name}{_format_labels(key)} "
+                f"{_format_value(self._samples[key])}"
+            )
+        if not self._samples and not self.labelled:
+            lines.append(f"{self.name} 0")
+        return lines
 
 
 #: Request-latency buckets (seconds): 50 µs .. 1 s, then +Inf.
@@ -227,8 +244,43 @@ class ServiceMetrics:
         )
         self.degraded = Gauge(
             "repro_service_degraded",
-            "1 while serving last-known-good data (failed reload or "
-            "corrupted artifact on disk), 0 when healthy.",
+            "1 while serving last-known-good data (failed reload, "
+            "corrupted artifact on disk, or failed recalibration), "
+            "0 when healthy.",
+        )
+        # -- self-tuning loop (see docs/ROBUSTNESS.md) -------------------
+        self.drift_samples = Counter(
+            "repro_drift_samples_total",
+            "Served selections replayed against the measured oracle, "
+            "by operation.",
+            labelled=True,
+        )
+        self.drift_error = Gauge(
+            "repro_drift_mean_error",
+            "Windowed mean relative regret of served selections versus "
+            "the measured oracle, by operation.",
+            labelled=True,
+        )
+        self.drift_cusum = Gauge(
+            "repro_drift_cusum",
+            "Current one-sided CUSUM drift statistic, by operation.",
+            labelled=True,
+        )
+        self.drift_triggers = Counter(
+            "repro_drift_triggers_total",
+            "Times the drift detector fired, by operation.",
+            labelled=True,
+        )
+        self.recalibrations = Counter(
+            "repro_recalibrations_total",
+            "Incremental artifact rebuilds attempted by the self-tuning "
+            "loop, by operation and outcome (ok/failed).",
+            labelled=True,
+        )
+        self.guideline_violations = Gauge(
+            "repro_guideline_violations",
+            "Violations in the most recent guideline verification of the "
+            "served artifact.",
         )
 
     def observe_request_span(self, span) -> None:
@@ -271,5 +323,11 @@ class ServiceMetrics:
             + self.reloads.render()
             + self.reload_failures.render()
             + self.degraded.render()
+            + self.drift_samples.render()
+            + self.drift_error.render()
+            + self.drift_cusum.render()
+            + self.drift_triggers.render()
+            + self.recalibrations.render()
+            + self.guideline_violations.render()
         )
         return "\n".join(parts) + "\n"

@@ -146,8 +146,17 @@ class SelectionService:
         self.cache = LruCache(cache_size)
         self.metrics.artifacts_loaded.set(len(registry))
         #: Why the service is serving last-known-good data, or ``None``
-        #: while healthy.  Set by :meth:`reload`, surfaced by /healthz.
+        #: while healthy.  Set by :meth:`reload` (and by a failed
+        #: self-tuning recalibration), surfaced by /healthz.
         self.degraded_reason: str | None = None
+        #: Optional :class:`~repro.tuning.drift.QuerySampler`: when set
+        #: (by :meth:`SelfTuner.attach`), every N-th answered query emits
+        #: a forced ``select.query`` span that the sampler captures for
+        #: drift replay.  ``None`` keeps the hot path span-free.
+        self.sampler = None
+        #: The attached :class:`~repro.tuning.tuner.SelfTuner`, if any;
+        #: surfaced as the ``tuning`` block of /healthz.
+        self.tuner = None
         self._refresh_degraded()
 
     def _refresh_degraded(self) -> None:
@@ -254,6 +263,25 @@ class SelectionService:
         self.metrics.selections.inc(
             operation=result["operation"], algorithm=result["algorithm"]
         )
+        sampler = self.sampler
+        if sampler is not None and sampler.should_sample():
+            # Forced span: exists (and runs the recorder's finish hooks,
+            # where the sampler listens) even while tracing is off.  The
+            # span carries the full served decision so the self-tuning
+            # loop can replay it against a measured oracle later, off the
+            # request path.
+            with obs.span(
+                "select.query",
+                force=True,
+                cluster=result["cluster"],
+                operation=result["operation"],
+                fabric=result.get("fabric", ""),
+                procs=result["procs"],
+                nbytes=result["nbytes"],
+                algorithm=result["algorithm"],
+                segment_size=result["segment_size"],
+            ):
+                pass
         return result
 
     def handle_select(self, payload) -> dict:
@@ -480,6 +508,10 @@ class HttpServer:
                 if self.service.degraded_reason is not None:
                     health["status"] = "degraded"
                     health["reason"] = self.service.degraded_reason
+                if self.service.tuner is not None:
+                    # Present only when a SelfTuner is attached — the
+                    # healthy shape without one stays frozen.
+                    health["tuning"] = self.service.tuner.health()
                 return 200, health, "application/json"
             if path == "/artifacts" and method == "GET":
                 return (

@@ -1,0 +1,173 @@
+"""Per-cell decision diffs between two selection artifacts.
+
+An incremental rebuild promises "only the affected collective changed";
+an operator rolling a new artifact version wants to see exactly which
+``(operation, P, m)`` cells now decide differently.  This module answers
+both: :func:`diff_artifacts` compares two
+:class:`~repro.service.artifact.SelectionArtifact` versions cell by cell
+and reports the deltas, and :func:`format_diff` renders them for the
+``repro-mpi artifact diff`` CLI.
+
+Grids need not match: operations present in only one artifact are listed
+as added/removed, and shared operations whose grids differ are compared
+over the *intersection* of their grid points (with the shape change
+called out) — a diff never silently ignores coverage changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.artifact import SelectionArtifact
+
+__all__ = ["ArtifactDiff", "CellDelta", "diff_artifacts", "format_diff"]
+
+
+@dataclass(frozen=True)
+class CellDelta:
+    """One grid cell whose decision changed between two artifacts."""
+
+    operation: str
+    procs: int
+    nbytes: int
+    #: ``(algorithm, segment_size)`` in the old artifact.
+    old: tuple[str, int]
+    #: ``(algorithm, segment_size)`` in the new artifact.
+    new: tuple[str, int]
+
+    def as_dict(self) -> dict:
+        return {
+            "operation": self.operation,
+            "procs": self.procs,
+            "nbytes": self.nbytes,
+            "old": {"algorithm": self.old[0], "segment_size": self.old[1]},
+            "new": {"algorithm": self.new[0], "segment_size": self.new[1]},
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.operation} P={self.procs} m={self.nbytes}: "
+            f"{self.old[0]}/{self.old[1]} -> {self.new[0]}/{self.new[1]}"
+        )
+
+
+@dataclass(frozen=True)
+class ArtifactDiff:
+    """Everything that differs between two artifact versions."""
+
+    old_id: str
+    new_id: str
+    #: True when even the content hashes agree.
+    same_hash: bool
+    #: Operations only the old / only the new artifact carries.
+    removed_operations: tuple[str, ...]
+    added_operations: tuple[str, ...]
+    #: Operation -> human description of a grid-shape change.
+    grid_changes: dict[str, str]
+    #: Shared grid cells compared.
+    cells: int
+    changed: tuple[CellDelta, ...]
+
+    def identical(self) -> bool:
+        """No observable decision difference (hash equality implies it)."""
+        return not (
+            self.removed_operations
+            or self.added_operations
+            or self.grid_changes
+            or self.changed
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "old": self.old_id,
+            "new": self.new_id,
+            "same_hash": self.same_hash,
+            "identical": self.identical(),
+            "removed_operations": list(self.removed_operations),
+            "added_operations": list(self.added_operations),
+            "grid_changes": dict(self.grid_changes),
+            "cells": self.cells,
+            "changed": [delta.as_dict() for delta in self.changed],
+        }
+
+
+def _grid_shape(entry) -> str:
+    return (
+        f"{len(entry.table.proc_points)}x{len(entry.table.size_points)} "
+        f"(P {entry.table.proc_points[0]}..{entry.table.proc_points[-1]}, "
+        f"m {entry.table.size_points[0]}..{entry.table.size_points[-1]})"
+    )
+
+
+def diff_artifacts(
+    old: SelectionArtifact, new: SelectionArtifact
+) -> ArtifactDiff:
+    """Compare two artifacts' decisions cell by cell."""
+    old_ops = set(old.operations)
+    new_ops = set(new.operations)
+    changed: list[CellDelta] = []
+    grid_changes: dict[str, str] = {}
+    cells = 0
+    for operation in sorted(old_ops & new_ops):
+        old_entry = old.entries[operation]
+        new_entry = new.entries[operation]
+        old_grid = (old_entry.table.proc_points, old_entry.table.size_points)
+        new_grid = (new_entry.table.proc_points, new_entry.table.size_points)
+        if old_grid != new_grid:
+            grid_changes[operation] = (
+                f"{_grid_shape(old_entry)} -> {_grid_shape(new_entry)}"
+            )
+        shared_procs = sorted(set(old_grid[0]) & set(new_grid[0]))
+        shared_sizes = sorted(set(old_grid[1]) & set(new_grid[1]))
+        for procs in shared_procs:
+            for nbytes in shared_sizes:
+                cells += 1
+                before = old_entry.table.select(procs, nbytes)
+                after = new_entry.table.select(procs, nbytes)
+                if (before.algorithm, before.segment_size) != (
+                    after.algorithm, after.segment_size
+                ):
+                    changed.append(
+                        CellDelta(
+                            operation=operation,
+                            procs=procs,
+                            nbytes=nbytes,
+                            old=(before.algorithm, before.segment_size),
+                            new=(after.algorithm, after.segment_size),
+                        )
+                    )
+    return ArtifactDiff(
+        old_id=old.artifact_id,
+        new_id=new.artifact_id,
+        same_hash=old.content_hash() == new.content_hash(),
+        removed_operations=tuple(sorted(old_ops - new_ops)),
+        added_operations=tuple(sorted(new_ops - old_ops)),
+        grid_changes=grid_changes,
+        cells=cells,
+        changed=tuple(changed),
+    )
+
+
+def format_diff(diff: ArtifactDiff) -> str:
+    """Render a diff as the CLI's plain-text report."""
+    lines = [f"artifact diff: {diff.old_id} -> {diff.new_id}"]
+    if diff.identical():
+        suffix = " (content hashes match)" if diff.same_hash else ""
+        lines.append(
+            f"  identical: {diff.cells} shared cells decide the same{suffix}"
+        )
+        return "\n".join(lines)
+    for operation in diff.removed_operations:
+        lines.append(f"  removed operation: {operation}")
+    for operation in diff.added_operations:
+        lines.append(f"  added operation:   {operation}")
+    for operation in sorted(diff.grid_changes):
+        lines.append(
+            f"  grid change: {operation}: {diff.grid_changes[operation]}"
+        )
+    lines.append(
+        f"  changed cells: {len(diff.changed)} of {diff.cells} compared"
+    )
+    for delta in diff.changed:
+        lines.append(f"    {delta.describe()}")
+    return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""Online model-vs-oracle drift detection.
+
+The fitted α/β/γ models are only trustworthy while they still describe
+the platform.  This module supplies the two online pieces of the
+self-tuning loop:
+
+* :class:`QuerySampler` — samples served ``/select`` queries off the
+  service's hot path *through the observability layer*: the service
+  emits a forced ``select.query`` span for every N-th query, and the
+  sampler is a recorder finish hook that captures those spans into a
+  bounded buffer.  The hot path pays one counter increment per query and
+  one span per sample; nothing is retained unless a sampler is attached.
+* :class:`DriftDetector` — a windowed CUSUM over the relative
+  model-vs-oracle error of replayed samples.  Each sample's served
+  decision is re-measured against a
+  :class:`~repro.selection.oracle.MeasuredOracle` on the *current*
+  platform; the one-sided CUSUM statistic ``S = max(0, S + (err - k))``
+  accumulates only error in excess of the allowance ``k`` and fires when
+  it crosses the threshold ``h`` — a few strongly-drifted samples or a
+  sustained mild drift both trigger, while isolated blips decay.
+
+Both are deliberately free of service imports — the
+:class:`~repro.tuning.tuner.SelfTuner` wires them to a running
+:class:`~repro.service.server.SelectionService`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro import obs
+from repro.errors import TuningError
+
+__all__ = [
+    "DriftConfig",
+    "DriftDetector",
+    "QuerySampler",
+    "SAMPLE_SPAN",
+    "SampledQuery",
+]
+
+#: The span name the service emits for sampled queries and the sampler
+#: listens for.  One vocabulary entry, shared by both sides.
+SAMPLE_SPAN = "select.query"
+
+
+@dataclass(frozen=True)
+class SampledQuery:
+    """One served decision captured from a ``select.query`` span."""
+
+    cluster: str
+    operation: str
+    fabric: str
+    procs: int
+    nbytes: int
+    algorithm: str
+    segment_size: int
+
+    @classmethod
+    def from_span(cls, span) -> "SampledQuery":
+        attrs = span.attributes
+        return cls(
+            cluster=str(attrs["cluster"]),
+            operation=str(attrs["operation"]),
+            fabric=str(attrs.get("fabric", "")),
+            procs=int(attrs["procs"]),
+            nbytes=int(attrs["nbytes"]),
+            algorithm=str(attrs["algorithm"]),
+            segment_size=int(attrs["segment_size"]),
+        )
+
+
+class QuerySampler:
+    """Every-N-th reservoir of served queries, fed by obs finish hooks.
+
+    ``should_sample()`` is the hot-path side: the service calls it once
+    per answered query and emits a ``select.query`` span only when it
+    returns true (the first query is always sampled, then every
+    ``every``-th).  The sampler itself is the cold side: attached as a
+    finish hook on a :class:`~repro.obs.spans.SpanRecorder`, it captures
+    matching spans — forced spans run finish hooks even while tracing is
+    off, so sampling needs no recorder enablement.  ``drain()`` hands the
+    buffered samples to the tuner and empties the buffer.
+    """
+
+    def __init__(self, every: int = 16, capacity: int = 256):
+        if every < 1:
+            raise TuningError(f"sampling period must be >= 1, got {every}")
+        self.every = int(every)
+        self.seen = 0
+        self.sampled = 0
+        self.dropped = 0
+        self._pending: deque[SampledQuery] = deque(maxlen=max(1, capacity))
+        self._lock = threading.Lock()
+        self._recorder = None
+
+    def should_sample(self) -> bool:
+        """Hot-path decision; one increment, no allocation."""
+        self.seen += 1
+        return (self.seen - 1) % self.every == 0
+
+    def __call__(self, span) -> None:
+        """Recorder finish hook: capture ``select.query`` spans."""
+        if span.name != SAMPLE_SPAN:
+            return
+        try:
+            sample = SampledQuery.from_span(span)
+        except (KeyError, TypeError, ValueError):
+            return  # malformed span: not worth breaking the hook chain
+        with self._lock:
+            if len(self._pending) == self._pending.maxlen:
+                self.dropped += 1
+            self._pending.append(sample)
+            self.sampled += 1
+
+    def attach(self, recorder=None) -> "QuerySampler":
+        """Register as a finish hook (default: the process recorder)."""
+        if self._recorder is not None:
+            raise TuningError("sampler is already attached to a recorder")
+        self._recorder = recorder if recorder is not None else obs.get_recorder()
+        self._recorder.add_finish_hook(self)
+        return self
+
+    def detach(self) -> None:
+        if self._recorder is not None:
+            self._recorder.remove_finish_hook(self)
+            self._recorder = None
+
+    def drain(self) -> list[SampledQuery]:
+        """All buffered samples, oldest first; empties the buffer."""
+        with self._lock:
+            samples = list(self._pending)
+            self._pending.clear()
+        return samples
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Tuning knobs of one :class:`DriftDetector`.
+
+    ``allowance`` is the relative model-vs-oracle error the loop
+    tolerates indefinitely (the CUSUM drift parameter ``k``); only error
+    in excess of it accumulates.  ``threshold`` is the accumulated excess
+    that fires the trigger (``h``).  With the defaults, a platform whose
+    served decisions run 5% worse than the measured optimum never
+    triggers, while a 30%-degraded platform triggers after two samples.
+    ``window`` bounds the recent-error history backing the reported mean;
+    ``min_samples`` suppresses triggers until the detector has seen
+    enough evidence.
+    """
+
+    allowance: float = 0.05
+    threshold: float = 0.5
+    window: int = 64
+    min_samples: int = 2
+
+    def __post_init__(self) -> None:
+        if self.allowance < 0:
+            raise TuningError(f"allowance must be >= 0, got {self.allowance}")
+        if self.threshold <= 0:
+            raise TuningError(f"threshold must be > 0, got {self.threshold}")
+        if self.window < 1 or self.min_samples < 1:
+            raise TuningError("window and min_samples must be >= 1")
+
+
+class DriftDetector:
+    """One-sided windowed CUSUM over relative errors (one per collective)."""
+
+    def __init__(self, config: DriftConfig | None = None):
+        self.config = config or DriftConfig()
+        self.errors: deque[float] = deque(maxlen=self.config.window)
+        self.cusum = 0.0
+        self.samples = 0
+        self.fired = False
+        self.triggers = 0
+
+    def update(self, error: float) -> bool:
+        """Feed one replayed sample's relative error; True once fired."""
+        error = max(0.0, float(error))
+        self.samples += 1
+        self.errors.append(error)
+        self.cusum = max(0.0, self.cusum + (error - self.config.allowance))
+        if (
+            not self.fired
+            and self.samples >= self.config.min_samples
+            and self.cusum > self.config.threshold
+        ):
+            self.fired = True
+            self.triggers += 1
+        return self.fired
+
+    def mean_error(self) -> float:
+        """Mean relative error over the recent window (0 while empty)."""
+        if not self.errors:
+            return 0.0
+        return sum(self.errors) / len(self.errors)
+
+    def reset(self) -> None:
+        """Re-arm after a recalibration: history and statistic start over."""
+        self.errors.clear()
+        self.cusum = 0.0
+        self.samples = 0
+        self.fired = False
+
+    def state(self) -> dict:
+        """JSON-ready snapshot (for ``/healthz`` and reports)."""
+        return {
+            "samples": self.samples,
+            "mean_error": self.mean_error(),
+            "cusum": self.cusum,
+            "fired": self.fired,
+            "triggers": self.triggers,
+        }

@@ -1,0 +1,472 @@
+"""Performance-guideline verification for selection artifacts.
+
+Hunold and Carpen-Amarie's "Tuning MPI Collectives by Verifying
+Performance Guidelines" observes that a well-tuned MPI library satisfies
+machine-checkable *self-consistency invariants*: a collective must not be
+slower than a combination of other collectives that implements it
+(``bcast(m) <= scatter(m) + allgather(m)``), must not get faster when
+asked to move more data (monotony), and must not beat itself when the
+payload is split (split-robustness).  A violated guideline is not noise —
+it is a concrete calibration or selection bug, pinpointed to an
+``(operation, P, m)`` cell.
+
+This module applies that idea to a packaged
+:class:`~repro.service.artifact.SelectionArtifact`: every registered
+:class:`Guideline` is evaluated against the artifact's *model
+predictions of its own packaged decisions* across the full ``(P, m)``
+decision grid.  Three families ship built in:
+
+* **selection optimality** — the stored table choice must be the
+  model-optimal algorithm at its cell (catches perturbed/tampered or
+  stale tables that the content hash alone cannot judge *semantically*);
+* **monotony / split-robustness** — per-operation sanity of the
+  predicted times along the size axis;
+* **mock-up guidelines** — Hunold's cross-collective inequalities
+  (``bcast <= scatter + allgather`` and friends).  A guideline whose
+  operand collectives are not in the artifact is reported as *skipped*,
+  not silently dropped, so the catalogue is ready for the full
+  collective suite while staying honest about coverage today.
+
+The resulting :class:`GuidelineReport` is stamped into the artifact's
+unhashed ``guidelines`` section by :func:`repro.service.artifact.
+build_artifact`, and ``--strict`` builds (plus ``repro-mpi artifact
+verify --guidelines --strict``) refuse violating artifacts outright.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import GuidelineViolationError, TuningError
+
+__all__ = [
+    "DEFAULT_SLACK",
+    "Guideline",
+    "GuidelineReport",
+    "GuidelineViolation",
+    "check_guidelines",
+    "default_guidelines",
+    "register_guideline",
+    "registered_guidelines",
+    "unregister_guideline",
+    "verify_guidelines",
+]
+
+#: Default relative slack before an inequality counts as violated.  The
+#: self-consistency guidelines compare *model* predictions with *model*
+#: predictions, so genuine violations are large and the slack only has to
+#: absorb floating-point noise.
+DEFAULT_SLACK = 1e-6
+
+
+@dataclass(frozen=True)
+class GuidelineViolation:
+    """One violated inequality at one grid cell."""
+
+    guideline: str
+    operation: str
+    procs: int
+    nbytes: int
+    #: The side that should have been smaller (seconds).
+    lhs: float
+    #: The bound it exceeded (seconds).
+    rhs: float
+    #: Relative excess ``lhs / rhs - 1`` — how badly the bound is broken.
+    margin: float
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "guideline": self.guideline,
+            "operation": self.operation,
+            "procs": self.procs,
+            "nbytes": self.nbytes,
+            "lhs": self.lhs,
+            "rhs": self.rhs,
+            "margin": self.margin,
+            "detail": self.detail,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.guideline}: {self.operation} P={self.procs} "
+            f"m={self.nbytes}: {self.lhs:.3e} > {self.rhs:.3e} "
+            f"(+{100.0 * self.margin:.2f}%)"
+            + (f" — {self.detail}" if self.detail else "")
+        )
+
+
+@dataclass(frozen=True)
+class Guideline:
+    """One machine-checkable performance invariant.
+
+    ``check(artifact, slack)`` returns the violations it found;
+    ``requires`` names the collective operations the artifact must carry
+    for the guideline to be evaluable at all — an artifact missing one is
+    *skipped* for this guideline (and says so in the report).
+    """
+
+    name: str
+    description: str
+    requires: frozenset[str]
+    check: Callable[[object, float], list[GuidelineViolation]]
+
+    def applicable(self, artifact) -> bool:
+        return self.requires <= set(artifact.operations)
+
+
+@dataclass
+class GuidelineReport:
+    """The outcome of verifying one artifact against a guideline set."""
+
+    artifact_id: str
+    #: Guidelines that were evaluated.
+    checked: tuple[str, ...]
+    #: Guideline name -> reason it could not be evaluated.
+    skipped: dict[str, str]
+    #: Grid cells inspected across all evaluated guidelines.
+    cells: int
+    violations: tuple[GuidelineViolation, ...]
+
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def worst_margin(self) -> float:
+        return max((v.margin for v in self.violations), default=0.0)
+
+    def as_dict(self) -> dict:
+        return {
+            "artifact_id": self.artifact_id,
+            "checked": list(self.checked),
+            "skipped": dict(self.skipped),
+            "cells": self.cells,
+            "ok": self.ok(),
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"guideline verification: {self.artifact_id}",
+            f"  checked  {', '.join(self.checked) or '<none>'} "
+            f"({self.cells} cells)",
+        ]
+        for name in sorted(self.skipped):
+            lines.append(f"  skipped  {name}: {self.skipped[name]}")
+        if self.ok():
+            lines.append("  OK: no guideline violations")
+        else:
+            lines.append(f"  VIOLATIONS ({len(self.violations)}):")
+            for violation in self.violations:
+                lines.append(f"    {violation.describe()}")
+        return "\n".join(lines)
+
+
+def _cell_time(entry, procs: int, nbytes: int) -> float:
+    """Model-predicted time of the artifact's *packaged decision*.
+
+    This is the quantity guidelines constrain: not the model optimum in
+    the abstract, but what a client following the shipped table will run.
+    """
+    choice = entry.table.select(procs, nbytes)
+    return entry.platform.predict(
+        choice.algorithm, procs, nbytes, segment_size=choice.segment_size
+    )
+
+
+def _grid(entry) -> Iterable[tuple[int, int]]:
+    for procs in entry.table.proc_points:
+        for nbytes in entry.table.size_points:
+            yield procs, nbytes
+
+
+def _check_selection_optimal(artifact, slack: float) -> list[GuidelineViolation]:
+    """The stored choice must be model-optimal at its own grid cell.
+
+    An honest build produces the table *from* the model argmin, so any
+    violation means the table and the packaged model disagree — a
+    perturbed, hand-edited or stale table.
+    """
+    from repro.selection.model_based import ModelBasedSelector
+
+    violations: list[GuidelineViolation] = []
+    for operation, entry in sorted(artifact.entries.items()):
+        selector = ModelBasedSelector(entry.platform)
+        for procs, nbytes in _grid(entry):
+            stored = entry.table.select(procs, nbytes)
+            stored_time = entry.platform.predict(
+                stored.algorithm, procs, nbytes,
+                segment_size=stored.segment_size,
+            )
+            best, best_time = selector.select_with_prediction(procs, nbytes)
+            if best_time <= 0:
+                continue  # degenerate cells (m = 0 no-ops) have no order
+            if stored_time > best_time * (1.0 + slack):
+                violations.append(
+                    GuidelineViolation(
+                        guideline="selection_optimal",
+                        operation=operation,
+                        procs=procs,
+                        nbytes=nbytes,
+                        lhs=stored_time,
+                        rhs=best_time,
+                        margin=stored_time / best_time - 1.0,
+                        detail=(
+                            f"table stores {stored.algorithm}"
+                            f"/{stored.segment_size}, model prefers "
+                            f"{best.algorithm}/{best.segment_size}"
+                        ),
+                    )
+                )
+    return violations
+
+
+def _check_monotone_in_size(artifact, slack: float) -> list[GuidelineViolation]:
+    """Hunold's monotony: moving more data must not be (predicted) faster."""
+    violations: list[GuidelineViolation] = []
+    for operation, entry in sorted(artifact.entries.items()):
+        sizes = entry.table.size_points
+        if len(sizes) < 2:
+            continue  # size-independent collectives (barrier)
+        for procs in entry.table.proc_points:
+            for smaller, larger in zip(sizes, sizes[1:]):
+                lhs = _cell_time(entry, procs, smaller)
+                rhs = _cell_time(entry, procs, larger)
+                if rhs <= 0:
+                    continue
+                if lhs > rhs * (1.0 + slack):
+                    violations.append(
+                        GuidelineViolation(
+                            guideline="monotone_in_size",
+                            operation=operation,
+                            procs=procs,
+                            nbytes=larger,
+                            lhs=lhs,
+                            rhs=rhs,
+                            margin=lhs / rhs - 1.0,
+                            detail=f"t({smaller}) > t({larger})",
+                        )
+                    )
+    return violations
+
+
+def _check_split_robustness(artifact, slack: float) -> list[GuidelineViolation]:
+    """Hunold's split-robustness: ``t(k·m) <= k · t(m)``.
+
+    Evaluated on adjacent size-grid pairs (``k = ceil(m2 / m1)``) — the
+    default paper grid is log-spaced with exact doublings, so this is the
+    classic ``t(2m) <= 2·t(m)`` check there.
+    """
+    violations: list[GuidelineViolation] = []
+    for operation, entry in sorted(artifact.entries.items()):
+        sizes = [s for s in entry.table.size_points if s > 0]
+        if len(sizes) < 2:
+            continue
+        for procs in entry.table.proc_points:
+            for smaller, larger in zip(sizes, sizes[1:]):
+                k = math.ceil(larger / smaller)
+                lhs = _cell_time(entry, procs, larger)
+                rhs = k * _cell_time(entry, procs, smaller)
+                if rhs <= 0:
+                    continue
+                if lhs > rhs * (1.0 + slack):
+                    violations.append(
+                        GuidelineViolation(
+                            guideline="split_robustness",
+                            operation=operation,
+                            procs=procs,
+                            nbytes=larger,
+                            lhs=lhs,
+                            rhs=rhs,
+                            margin=lhs / rhs - 1.0,
+                            detail=f"t({larger}) > {k}*t({smaller})",
+                        )
+                    )
+    return violations
+
+
+def _mockup_check(
+    lhs_op: str, rhs_ops: Sequence[str]
+) -> Callable[[object, float], list[GuidelineViolation]]:
+    """A cross-collective mock-up inequality: lhs(m) <= sum(rhs_i(m)).
+
+    Evaluated on the lhs operation's grid; the rhs operations answer via
+    their own tables' floor lookup, exactly as a client composing the
+    mock-up from served decisions would.
+    """
+    name = f"{lhs_op}_le_{'_plus_'.join(rhs_ops)}"
+
+    def check(artifact, slack: float) -> list[GuidelineViolation]:
+        violations: list[GuidelineViolation] = []
+        lhs_entry = artifact.entries[lhs_op]
+        rhs_entries = [artifact.entries[op] for op in rhs_ops]
+        for procs, nbytes in _grid(lhs_entry):
+            lhs = _cell_time(lhs_entry, procs, nbytes)
+            rhs = sum(_cell_time(e, procs, nbytes) for e in rhs_entries)
+            if rhs <= 0:
+                continue
+            if lhs > rhs * (1.0 + slack):
+                violations.append(
+                    GuidelineViolation(
+                        guideline=name,
+                        operation=lhs_op,
+                        procs=procs,
+                        nbytes=nbytes,
+                        lhs=lhs,
+                        rhs=rhs,
+                        margin=lhs / rhs - 1.0,
+                        detail=f"{lhs_op}(m) > {' + '.join(rhs_ops)}",
+                    )
+                )
+        return violations
+
+    return check
+
+
+_GUIDELINES: dict[str, Guideline] = {}
+
+
+def register_guideline(guideline: Guideline, *, replace: bool = False) -> None:
+    """Add a guideline to the catalogue (refuses silent shadowing)."""
+    if guideline.name in _GUIDELINES and not replace:
+        raise TuningError(
+            f"guideline {guideline.name!r} already registered; "
+            "pass replace=True to override"
+        )
+    _GUIDELINES[guideline.name] = guideline
+
+
+def unregister_guideline(name: str) -> None:
+    _GUIDELINES.pop(name, None)
+
+
+def registered_guidelines() -> list[str]:
+    """Names of all catalogued guidelines, sorted."""
+    return sorted(_GUIDELINES)
+
+
+def default_guidelines() -> list[Guideline]:
+    """The full catalogue, deterministic order."""
+    return [_GUIDELINES[name] for name in sorted(_GUIDELINES)]
+
+
+register_guideline(
+    Guideline(
+        name="selection_optimal",
+        description="every stored table choice is model-optimal at its cell",
+        requires=frozenset(),
+        check=_check_selection_optimal,
+    )
+)
+register_guideline(
+    Guideline(
+        name="monotone_in_size",
+        description="predicted time never decreases with the message size",
+        requires=frozenset(),
+        check=_check_monotone_in_size,
+    )
+)
+register_guideline(
+    Guideline(
+        name="split_robustness",
+        description="t(k*m) <= k*t(m) along the size grid",
+        requires=frozenset(),
+        check=_check_split_robustness,
+    )
+)
+#: Hunold's cross-collective mock-up inequalities.  Operand sets beyond
+#: the currently calibrated collectives are catalogued anyway: artifacts
+#: without them report the guideline as skipped, and the day the registry
+#: grows scatter/allgather/allreduce pipelines (the ROADMAP's collective-
+#: suite item) these start verifying with no further change here.
+for _lhs, _rhs in (
+    ("bcast", ("scatter", "allgather")),
+    ("reduce", ("reduce_scatter", "gather")),
+    ("scatter", ("bcast",)),
+    ("gather", ("allgather",)),
+    ("reduce", ("allreduce",)),
+):
+    register_guideline(
+        Guideline(
+            name=f"{_lhs}_le_{'_plus_'.join(_rhs)}",
+            description=f"{_lhs}(m) <= {' + '.join(f'{op}(m)' for op in _rhs)}",
+            requires=frozenset({_lhs, *_rhs}),
+            check=_mockup_check(_lhs, _rhs),
+        )
+    )
+
+
+def _count_cells(artifact, names: Sequence[str]) -> int:
+    per_op = {
+        operation: len(entry.table.proc_points) * len(entry.table.size_points)
+        for operation, entry in artifact.entries.items()
+    }
+    total = 0
+    for name in names:
+        requires = _GUIDELINES[name].requires
+        if requires:
+            total += per_op.get(next(iter(requires)), 0)
+        else:
+            total += sum(per_op.values())
+    return total
+
+
+def verify_guidelines(
+    artifact,
+    *,
+    guidelines: Sequence[Guideline] | None = None,
+    slack: float = DEFAULT_SLACK,
+) -> GuidelineReport:
+    """Evaluate every (applicable) guideline against ``artifact``.
+
+    Returns a :class:`GuidelineReport`; never raises on violations — use
+    :func:`check_guidelines` for the refusing gate.
+    """
+    chosen = list(guidelines) if guidelines is not None else default_guidelines()
+    checked: list[str] = []
+    skipped: dict[str, str] = {}
+    violations: list[GuidelineViolation] = []
+    present = set(artifact.operations)
+    for guideline in chosen:
+        missing = sorted(guideline.requires - present)
+        if missing:
+            skipped[guideline.name] = (
+                f"artifact has no {', '.join(missing)} table"
+            )
+            continue
+        checked.append(guideline.name)
+        violations.extend(guideline.check(artifact, slack))
+    violations.sort(key=lambda v: (-v.margin, v.guideline, v.operation))
+    return GuidelineReport(
+        artifact_id=artifact.artifact_id,
+        checked=tuple(checked),
+        skipped=skipped,
+        cells=_count_cells(artifact, checked),
+        violations=tuple(violations),
+    )
+
+
+def check_guidelines(
+    artifact,
+    *,
+    guidelines: Sequence[Guideline] | None = None,
+    slack: float = DEFAULT_SLACK,
+) -> GuidelineReport:
+    """Verify and *refuse*: raises on any violation.
+
+    The strict packaging gate: :func:`repro.service.artifact.
+    build_artifact(strict=True)` and ``artifact verify --guidelines
+    --strict`` route through here.
+    """
+    report = verify_guidelines(artifact, guidelines=guidelines, slack=slack)
+    if not report.ok():
+        worst = report.violations[0]
+        raise GuidelineViolationError(
+            f"guideline verification refused {artifact.artifact_id}: "
+            f"{len(report.violations)} violation(s), worst "
+            f"{worst.describe()}",
+            report=report,
+        )
+    return report

@@ -1,0 +1,277 @@
+"""The self-tuning loop: sample → replay → detect → recalibrate → reload.
+
+:class:`SelfTuner` closes the loop around a running
+:class:`~repro.service.server.SelectionService`:
+
+1. **Sample** — a :class:`~repro.tuning.drift.QuerySampler` captures
+   every N-th served ``/select`` decision off the obs span stream.
+2. **Replay** — each sample is re-measured against a
+   :class:`~repro.selection.oracle.MeasuredOracle` on the *reality* spec
+   (production: the live platform; tests: a chaos-drifted spec), giving
+   the relative regret of the served decision.
+3. **Detect** — one :class:`~repro.tuning.drift.DriftDetector` per
+   collective accumulates the regret; a fired CUSUM means the packaged
+   model no longer describes the platform.
+4. **Recalibrate** — only the fired collectives are rebuilt
+   (:func:`~repro.tuning.recalibrate.rebuild_artifact`) on the reality
+   spec, guideline-gated, saved over the served artifact file and
+   hot-reloaded through the service's degraded-safe reload path.
+
+A failed rebuild never degrades serving below last-known-good: the old
+artifact file is untouched, the registry keeps answering from it, and
+the service reports degraded (``repro_service_degraded``) until a later
+rebuild succeeds.  Everything is deterministic and cache-aware: a
+no-drift recalibration replays the original experiment schedule from the
+warm result cache — zero simulations, unchanged content hash, no reload
+churn.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.clusters.spec import ClusterSpec
+from repro.errors import ReproError, TuningError
+from repro.exec.runner import ParallelRunner, default_runner
+from repro.selection.oracle import MeasuredOracle
+from repro.tuning.drift import DriftConfig, DriftDetector, QuerySampler
+from repro.tuning.recalibrate import rebuild_artifact
+
+__all__ = ["SelfTuner"]
+
+
+class SelfTuner:
+    """Drift-driven incremental recalibration for one served artifact.
+
+    ``service`` is the live :class:`~repro.service.server.
+    SelectionService`; ``artifact`` the currently served artifact and
+    ``artifact_file`` its filename inside the registry directory (where
+    rebuilds are written).  ``spec`` is the cluster the artifact was
+    built for; :meth:`set_reality` swaps in the platform samples are
+    replayed (and rebuilds calibrated) against.  ``calib_kwargs`` must
+    echo the original build's calibration knobs (``procs``, ``sizes``,
+    ``max_reps``, ``seed``, ...) so a no-drift rebuild is bit-identical.
+
+    The tuner is driven, not threaded: call :meth:`step` from whatever
+    cadence the deployment wants (a timer, a request-count hook, a test).
+    """
+
+    def __init__(
+        self,
+        service,
+        artifact,
+        spec: ClusterSpec,
+        *,
+        artifact_file: str | None = None,
+        calib_kwargs: dict | None = None,
+        drift_config: DriftConfig | None = None,
+        sampler: QuerySampler | None = None,
+        runner: ParallelRunner | None = None,
+        strict: bool = True,
+        oracle_max_reps: int = 8,
+        oracle_seed: int = 0,
+    ):
+        if artifact_file is None and service.registry.directory is None:
+            raise TuningError(
+                "recalibration needs a file-backed registry: pass "
+                "artifact_file or use an ArtifactRegistry with a directory"
+            )
+        self.service = service
+        self.artifact = artifact
+        self.spec = spec
+        self.artifact_file = artifact_file or f"{artifact.cluster}.json"
+        self.calib_kwargs = dict(calib_kwargs or {})
+        self.drift_config = drift_config or DriftConfig()
+        # Explicit None check: an empty QuerySampler is falsy (len() == 0),
+        # so ``sampler or QuerySampler()`` would discard the caller's one.
+        self.sampler = sampler if sampler is not None else QuerySampler()
+        self.runner = runner if runner is not None else default_runner()
+        self.strict = strict
+        self.oracle_max_reps = oracle_max_reps
+        self.oracle_seed = oracle_seed
+        self.detectors: dict[str, DriftDetector] = {}
+        self.recalibrations = 0
+        self.failed_recalibrations = 0
+        self.last_error: str | None = None
+        self._reality = spec
+        self._oracles: dict[str, MeasuredOracle] = {}
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self) -> "SelfTuner":
+        """Hook into the service: sampling on, /healthz gains ``tuning``."""
+        self.sampler.attach()
+        self.service.sampler = self.sampler
+        self.service.tuner = self
+        return self
+
+    def detach(self) -> None:
+        self.sampler.detach()
+        if self.service.sampler is self.sampler:
+            self.service.sampler = None
+        if self.service.tuner is self:
+            self.service.tuner = None
+
+    def __enter__(self) -> "SelfTuner":
+        return self.attach()
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    def set_reality(self, spec: ClusterSpec) -> None:
+        """Replay samples (and calibrate rebuilds) against ``spec``.
+
+        Production keeps reality == build spec (the platform *is* the
+        truth); tests hand in a chaos-drifted spec to simulate the
+        platform changing under a live service.
+        """
+        self._reality = spec
+        self._oracles.clear()
+
+    def _oracle(self, operation: str) -> MeasuredOracle:
+        oracle = self._oracles.get(operation)
+        if oracle is None:
+            oracle = MeasuredOracle(
+                self._reality,
+                operation=operation,
+                max_reps=self.oracle_max_reps,
+                seed=self.oracle_seed,
+                runner=self.runner,
+            )
+            self._oracles[operation] = oracle
+        return oracle
+
+    def _detector(self, operation: str) -> DriftDetector:
+        detector = self.detectors.get(operation)
+        if detector is None:
+            detector = DriftDetector(self.drift_config)
+            self.detectors[operation] = detector
+        return detector
+
+    # -- the loop ----------------------------------------------------------
+
+    def observe(self) -> int:
+        """Replay all buffered samples; returns how many were consumed."""
+        metrics = self.service.metrics
+        samples = self.sampler.drain()
+        for sample in samples:
+            detector = self._detector(sample.operation)
+            oracle = self._oracle(sample.operation)
+            _best, best_time = oracle.best(sample.procs, sample.nbytes)
+            if best_time <= 0:
+                continue  # degenerate cell (m = 0 no-op): no regret defined
+            served_time = oracle.measure(
+                sample.procs, sample.nbytes,
+                sample.algorithm, sample.segment_size,
+            )
+            error = (served_time - best_time) / best_time
+            was_fired = detector.fired
+            detector.update(error)
+            metrics.drift_samples.inc(operation=sample.operation)
+            metrics.drift_error.set(
+                detector.mean_error(), operation=sample.operation
+            )
+            metrics.drift_cusum.set(detector.cusum, operation=sample.operation)
+            if detector.fired and not was_fired:
+                metrics.drift_triggers.inc(operation=sample.operation)
+        return len(samples)
+
+    def fired_operations(self) -> list[str]:
+        return sorted(
+            operation
+            for operation, detector in self.detectors.items()
+            if detector.fired
+        )
+
+    def step(self) -> dict:
+        """One loop iteration: observe, recalibrate if triggered."""
+        self.observe()
+        fired = self.fired_operations()
+        if fired:
+            self.recalibrate(fired)
+        return self.health()
+
+    def recalibrate(self, operations) -> bool:
+        """Rebuild ``operations`` on the reality spec and hot-reload.
+
+        Returns True when the rebuilt artifact is verified, saved and
+        *served*.  On any failure — calibration error, quality gate,
+        guideline refusal, packaging self-check, a reload that cannot
+        pick the file up — the previous artifact keeps serving, the
+        service flips to degraded, and the failure is recorded; a later
+        successful recalibration clears the condition.
+        """
+        operations = sorted(operations)
+        metrics = self.service.metrics
+        try:
+            rebuilt = rebuild_artifact(
+                self.artifact,
+                self._reality,
+                operations,
+                runner=self.runner,
+                strict=self.strict,
+                **self.calib_kwargs,
+            )
+            rebuilt.verify()
+            directory = self.service.registry.directory
+            if directory is None:
+                raise TuningError(
+                    "artifact registry has no directory to write rebuilds to"
+                )
+            rebuilt.save(Path(directory) / self.artifact_file)
+            self.service.reload()
+            serving = self.service.registry.lookup(
+                rebuilt.cluster, operations[0], rebuilt.fabric
+            )
+            if serving.content_hash() != rebuilt.content_hash():
+                raise TuningError(
+                    f"reload did not pick up rebuilt artifact "
+                    f"{rebuilt.artifact_id}: serving "
+                    f"{serving.artifact_id}"
+                )
+        except ReproError as error:
+            self.failed_recalibrations += 1
+            self.last_error = str(error)
+            for operation in operations:
+                metrics.recalibrations.inc(
+                    operation=operation, outcome="failed"
+                )
+            # The registry still serves last-known-good — say so the same
+            # way a corrupt-reload does, so probes and dashboards treat
+            # "cannot recalibrate away from a drifted model" as degraded.
+            self.service.degraded_reason = (
+                f"self-tuning: recalibration failed: {error}"
+            )
+            metrics.degraded.set(1.0)
+            return False
+        self.artifact = rebuilt
+        self.recalibrations += 1
+        self.last_error = None
+        for operation in operations:
+            metrics.recalibrations.inc(operation=operation, outcome="ok")
+            detector = self.detectors.get(operation)
+            if detector is not None:
+                detector.reset()
+        metrics.guideline_violations.set(
+            len(rebuilt.guidelines.get("violations", ()))
+        )
+        return True
+
+    # -- reporting ---------------------------------------------------------
+
+    def health(self) -> dict:
+        """The ``tuning`` block of ``/healthz``."""
+        health = {
+            "artifact": self.artifact.artifact_id,
+            "sampled": self.sampler.sampled,
+            "pending_samples": len(self.sampler),
+            "detectors": {
+                operation: self.detectors[operation].state()
+                for operation in sorted(self.detectors)
+            },
+            "recalibrations": self.recalibrations,
+            "failed_recalibrations": self.failed_recalibrations,
+        }
+        if self.last_error is not None:
+            health["last_error"] = self.last_error
+        return health
