@@ -17,7 +17,11 @@ Each entry has four measurement groups (see docs/PERFORMANCE.md):
    event-loop engine (``batch=False``, ``event_loop_cold_build_s``) and one
    through the batched grid simulator (``batch=True``,
    ``batched_cold_build_s``), asserting identical content hashes;
-4. **metadata** — CPU count, Python version, platform, timestamp — because
+4. **full-suite build** — the eight-collective artifact (bcast, reduce,
+   gather, barrier, allreduce, allgather, alltoall, scatter) built cold
+   against a fresh persistent cache and then rebuilt warm, asserting the
+   warm replay performs zero simulations and reproduces the content hash;
+5. **metadata** — CPU count, Python version, platform, timestamp — because
    the parallel speedup claim is only meaningful relative to the core
    count the run had.
 
@@ -269,6 +273,61 @@ def run_fabric_benchmark(full: bool, jobs: int) -> dict:
     }
 
 
+FULL_SUITE = (
+    "bcast", "reduce", "gather", "barrier",
+    "allreduce", "allgather", "alltoall", "scatter",
+)
+
+
+def run_full_suite_build_benchmark(full: bool, jobs: int) -> dict:
+    """Cold vs warm-cache build of the eight-collective artifact.
+
+    Cold: fresh persistent cache, every calibration simulated.  Warm: a
+    second build against the same cache directory, which must replay
+    entirely from disk (zero simulations) and reproduce the content hash
+    bit for bit.
+    """
+    from repro.service import build_artifact
+
+    spec, kwargs = build_workload(full)
+    kwargs = dict(kwargs, collectives=FULL_SUITE)
+    timings, hashes, sims = {}, {}, {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for label in ("cold", "warm"):
+            runner = ParallelRunner(jobs=jobs, cache=ResultCache(Path(tmp)))
+            start = time.perf_counter()
+            artifact = build_artifact(spec, runner=runner, seed=0, **kwargs)
+            timings[label] = time.perf_counter() - start
+            hashes[label] = artifact.content_hash()
+            sims[label] = runner.stats.simulations
+            runner.close()
+    if sims["warm"] != 0:
+        raise RuntimeError(
+            f"warm full-suite rebuild simulated {sims['warm']} jobs"
+        )
+    if hashes["warm"] != hashes["cold"]:
+        raise RuntimeError(
+            "warm full-suite rebuild diverged from the cold build: "
+            f"{hashes['warm']} != {hashes['cold']}"
+        )
+    return {
+        "workload": {
+            "cluster": spec.name,
+            "collectives": list(FULL_SUITE),
+            "procs": kwargs["procs"],
+            "scale": "full" if full else "quick",
+            "jobs": jobs,
+        },
+        "cold_build_s": timings["cold"],
+        "warm_build_s": timings["warm"],
+        "cold_simulations": sims["cold"],
+        "warm_simulations": sims["warm"],
+        "speedup_warm_vs_cold": timings["cold"] / timings["warm"],
+        "content_hash": hashes["cold"],
+        "content_hash_identical": True,
+    }
+
+
 def append_run(output: Path, run: dict) -> list:
     """Append ``run`` to the ``runs`` list of ``output``.
 
@@ -343,6 +402,11 @@ def main(argv=None) -> int:
     print(f"running flat-vs-fabric build (jobs={jobs})...")
     report["fabric_builds"] = run_fabric_benchmark(args.full, jobs)
 
+    print(f"running full-suite cold/warm build (jobs={jobs})...")
+    report["full_suite_build"] = run_full_suite_build_benchmark(
+        args.full, jobs
+    )
+
     runs = append_run(Path(args.output), report)
     print(f"appended run {len(runs)} to {args.output}")
     sel = report["selection_comparison"]
@@ -363,6 +427,13 @@ def main(argv=None) -> int:
         f"fabric build: flat {fabric['flat_cold_build_s']:.2f}s | "
         f"leaf-spine 2:1 {fabric['leaf_spine_2to1_cold_build_s']:.2f}s "
         f"({fabric['overhead_fabric_vs_flat']:.1f}x)"
+    )
+    suite = report["full_suite_build"]
+    print(
+        f"full suite ({len(suite['workload']['collectives'])} collectives): "
+        f"cold {suite['cold_build_s']:.2f}s "
+        f"({suite['cold_simulations']} simulations) | "
+        f"warm {suite['warm_build_s']:.2f}s (0 simulations, hash identical)"
     )
     return 0
 

@@ -1,8 +1,9 @@
 """Multi-collective service smoke: build, verify, serve, cross-check.
 
 The end-to-end drill for the per-collective calibration registry: build
-one artifact carrying several collectives (default ``bcast,reduce,
-barrier`` on the MINICLUSTER small grid), run the packaged
+one artifact carrying the full collective suite (default all eight —
+bcast, reduce, gather, barrier, allreduce, allgather, alltoall and
+scatter — on the MINICLUSTER small grid), run the packaged
 verification (schema, content hash, codegen/table bit-identity), start
 the HTTP server over it, then query every operation through ``POST
 /select`` at on-grid, off-grid and degenerate points and assert each
@@ -12,7 +13,7 @@ Exits non-zero on the first divergence.  Usage::
 
     PYTHONPATH=src python benchmarks/run_service_smoke.py
     PYTHONPATH=src python benchmarks/run_service_smoke.py \
-        --collectives bcast,reduce,gather,barrier --jobs 4
+        --collectives bcast,reduce,barrier --jobs 4
 """
 
 from __future__ import annotations
@@ -76,7 +77,11 @@ def post_select(port: int, operation: str, procs: int, nbytes: int):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--collectives", default="bcast,reduce,barrier")
+    parser.add_argument(
+        "--collectives",
+        default="bcast,reduce,gather,barrier,"
+                "allreduce,allgather,alltoall,scatter",
+    )
     parser.add_argument(
         "--jobs", type=int, default=0,
         help="workers for the artifact build (0 = all cores)",

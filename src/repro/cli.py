@@ -594,7 +594,8 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--cluster", required=True)
     build.add_argument("--output", required=True)
     build.add_argument("--collectives", default="bcast",
-                       help="comma-separated (bcast,reduce,gather,barrier)")
+                       help="comma-separated (bcast,reduce,gather,barrier,"
+                            "allreduce,allgather,alltoall,scatter)")
     build.add_argument("--procs", type=int, default=None,
                        help="calibration communicator size")
     build.add_argument("--gamma-max-procs", type=int, default=None,

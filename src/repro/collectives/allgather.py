@@ -21,7 +21,7 @@ TAG_ALLGATHER = 7_000
 def allgather_ring(comm: Communicator, nbytes: int) -> SimGen:
     """Ring allgather: P-1 steps, each forwarding one block."""
     size = comm.size
-    if size == 1:
+    if size == 1 or nbytes == 0:
         return
     rank = comm.rank
     right = (rank + 1) % size
@@ -40,7 +40,7 @@ def allgather_recursive_doubling(comm: Communicator, nbytes: int) -> SimGen:
     ring algorithm, mirroring Open MPI's guard.
     """
     size = comm.size
-    if size == 1:
+    if size == 1 or nbytes == 0:
         return
     if size & (size - 1):
         yield from allgather_ring(comm, nbytes)
@@ -67,7 +67,7 @@ def allgather_neighbor_exchange(comm: Communicator, nbytes: int) -> SimGen:
     as Open MPI does.
     """
     size = comm.size
-    if size == 1:
+    if size == 1 or nbytes == 0:
         return
     if size % 2:
         yield from allgather_ring(comm, nbytes)
@@ -93,7 +93,7 @@ def allgather_neighbor_exchange(comm: Communicator, nbytes: int) -> SimGen:
 def allgather_bruck(comm: Communicator, nbytes: int) -> SimGen:
     """Bruck allgather: ceil(log2 P) rounds, any communicator size."""
     size = comm.size
-    if size == 1:
+    if size == 1 or nbytes == 0:
         return
     rank = comm.rank
     distance = 1

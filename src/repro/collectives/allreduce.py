@@ -3,6 +3,13 @@
 Ports of ``coll_base_allreduce.c``: recursive doubling and the
 bandwidth-optimal ring (reduce-scatter phase followed by an allgather
 phase).  ``nbytes`` is the full vector size.
+
+Tag discipline: every tag used within one schedule is structurally
+distinct for *any* communicator size.  Recursive doubling reserves
+``TAG_ALLREDUCE`` for the surplus fold-in contribution, ``+1+r`` for
+round ``r`` and ``+1+rounds`` for the final-vector return; the ring
+offsets its allgather phase by the reduce-scatter phase's step count so
+the two phases never alias, however large ``P`` grows.
 """
 
 from __future__ import annotations
@@ -24,30 +31,36 @@ def allreduce_recursive_doubling(
     """Recursive doubling: log2 rounds of full-vector exchanges.
 
     Non-power-of-two sizes fold the surplus ranks into the nearest power of
-    two first (they contribute, then receive the result), as Open MPI does.
+    two first; the surplus ranks contribute their vector, sit out the
+    doubling rounds, and receive the *final* reduced vector back — never a
+    partial — exactly as Open MPI does.
     """
     size = comm.size
-    if size == 1:
+    if size == 1 or nbytes == 0:
         return
     rank = comm.rank
     base = 1
+    rounds = 0
     while base * 2 <= size:
         base *= 2
+        rounds += 1
     surplus = size - base
+    #: One tag past the last round tag — cannot alias any round for any P.
+    return_tag = TAG_ALLREDUCE + 1 + rounds
 
     if rank >= base:
         yield from comm.send(rank - base, nbytes, tag=TAG_ALLREDUCE)
-        yield from comm.recv(rank - base, tag=TAG_ALLREDUCE + 99)
+        yield from comm.recv(rank - base, tag=return_tag)
         return
     if rank < surplus:
         yield from comm.recv(rank + base, tag=TAG_ALLREDUCE)
         yield from comm.compute(nbytes * op_byte_time)
 
     distance = 1
-    round_index = 1
+    round_index = 0
     while distance < base:
         partner = rank ^ distance
-        tag = TAG_ALLREDUCE + round_index
+        tag = TAG_ALLREDUCE + 1 + round_index
         yield from comm.sendrecv(
             dest=partner, nbytes=nbytes, source=partner, sendtag=tag, recvtag=tag
         )
@@ -56,7 +69,7 @@ def allreduce_recursive_doubling(
         round_index += 1
 
     if rank < surplus:
-        yield from comm.send(rank + base, nbytes, tag=TAG_ALLREDUCE + 99)
+        yield from comm.send(rank + base, nbytes, tag=return_tag)
 
 
 def allreduce_ring(
@@ -69,7 +82,7 @@ def allreduce_ring(
     learning frameworks, present in Open MPI as ``allreduce_intra_ring``.
     """
     size = comm.size
-    if size == 1:
+    if size == 1 or nbytes == 0:
         return
     rank = comm.rank
     right = (rank + 1) % size
@@ -85,9 +98,11 @@ def allreduce_ring(
         )
         yield from comm.compute(chunk * op_byte_time)
 
-    # Phase 2: allgather of the reduced blocks.
+    # Phase 2: allgather of the reduced blocks.  Offsetting by phase 1's
+    # step count keeps the two phases' tags disjoint at any P (a fixed
+    # offset would alias once P-1 outgrew it).
     for step in range(size - 1):
-        tag = TAG_ALLREDUCE + 400 + step
+        tag = TAG_ALLREDUCE + 200 + (size - 1) + step
         yield from comm.sendrecv(
             dest=right, nbytes=chunk, source=left, sendtag=tag, recvtag=tag
         )

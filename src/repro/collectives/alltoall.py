@@ -5,6 +5,12 @@ Alltoall is the fourth operation studied by Pjevsivac-Grbovic et al. [8]
 Ports of ``coll_base_alltoall.c``: basic linear (all pairs at once),
 pairwise exchange (P-1 structured rounds) and Bruck's log-round algorithm
 for small messages.  ``nbytes`` is the per-pair block size.
+
+Tag discipline: linear posts everything on the bare ``TAG_ALLTOALL``
+(matching is by source), pairwise tags round ``s`` as ``+s`` with
+``s < P``, and Bruck offsets its rounds by the communicator size — so
+the three schedules' tag ranges stay disjoint for *any* ``P`` (a fixed
+``+100`` offset would alias pairwise rounds once ``P`` passed 100).
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ def alltoall_linear(comm: Communicator, nbytes: int) -> SimGen:
     contention.
     """
     size = comm.size
-    if size == 1:
+    if size == 1 or nbytes == 0:
         return
     rank = comm.rank
     requests = []
@@ -51,7 +57,7 @@ def alltoall_pairwise(comm: Communicator, nbytes: int) -> SimGen:
     Port of ``alltoall_intra_pairwise``.
     """
     size = comm.size
-    if size == 1:
+    if size == 1 or nbytes == 0:
         return
     rank = comm.rank
     for step in range(1, size):
@@ -72,7 +78,7 @@ def alltoall_bruck(comm: Communicator, nbytes: int) -> SimGen:
     messages: the small-message algorithm.
     """
     size = comm.size
-    if size == 1:
+    if size == 1 or nbytes == 0:
         return
     rank = comm.rank
     distance = 1
@@ -81,7 +87,9 @@ def alltoall_bruck(comm: Communicator, nbytes: int) -> SimGen:
         blocks = sum(1 for index in range(size) if index & distance)
         send_to = (rank + distance) % size
         recv_from = (rank - distance + size) % size
-        tag = TAG_ALLTOALL + 100 + round_index
+        # Offset by the communicator size: pairwise uses +1..+(P-1), so
+        # +P+round can never alias it, whatever P is.
+        tag = TAG_ALLTOALL + size + round_index
         yield from comm.sendrecv(
             dest=send_to,
             nbytes=blocks * nbytes,

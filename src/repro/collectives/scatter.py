@@ -21,7 +21,7 @@ TAG_SCATTER = 6_000
 
 def scatter_linear(comm: Communicator, root: int, nbytes: int) -> SimGen:
     """Basic linear scatter: P-1 direct sends from the root."""
-    if comm.size == 1:
+    if comm.size == 1 or nbytes == 0:
         return
     if comm.rank == root:
         requests = []
@@ -40,7 +40,7 @@ def scatter_binomial(comm: Communicator, root: int, nbytes: int) -> SimGen:
     The root sends ``subtree_size * nbytes`` to each child; interior nodes
     peel off their own block and forward the rest subtree by subtree.
     """
-    if comm.size == 1:
+    if comm.size == 1 or nbytes == 0:
         return
     tree = build_binomial_tree(comm.size, root)
     rank = comm.rank

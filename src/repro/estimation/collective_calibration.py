@@ -1,0 +1,373 @@
+"""Direct calibration of the whole-suite collectives (extension).
+
+One generic pipeline body serving allreduce, allgather, alltoall and
+scatter.  Like the gather calibration, none of these needs a composite
+experiment: every one of them either finishes on all ranks (allreduce,
+allgather, alltoall — globally timed) or delivers to the leaves
+(scatter — also globally timed, since the root's clock would miss the
+last delivery), so the in-context experiment of §4.2 is the operation
+itself.  The canonical system stays non-singular for the same reason as
+gather's: each model's ``c_α`` is constant in ``m`` while ``c_β`` grows
+with it, so the message-size sweep spreads the canonical ``x_i``.
+
+All four families use the ideal platform function — the serialisation
+their schedules suffer (NIC funnelling, synchronised rounds) is already
+part of the model forms, so there is no separate γ(P) degradation to
+calibrate.
+
+All measurements route through the execution subsystem: the whole
+schedule is prefetched as one parallel batch and the adaptive loops
+replay from the runner's memo, so a warm persistent cache rebuilds any
+of these calibrations with zero simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro import obs
+from repro.clusters.spec import ClusterSpec
+from repro.errors import EstimationError
+from repro.estimation.alphabeta import (
+    DEFAULT_SIZES,
+    RETRY_SEED_STRIDE,
+    AlphaBeta,
+    FitQuality,
+)
+from repro.estimation.regression import get_regressor, mad_screen
+from repro.estimation.statistics import SampleStats, adaptive_measure
+from repro.estimation.workflow import PlatformModel
+from repro.exec.job import SimJob
+from repro.exec.runner import ParallelRunner, default_runner
+from repro.models.allgather_models import DERIVED_ALLGATHER_MODELS
+from repro.models.allreduce_models import DERIVED_ALLREDUCE_MODELS
+from repro.models.alltoall_models import DERIVED_ALLTOALL_MODELS
+from repro.models.base import BcastModel
+from repro.models.gamma import GammaFunction
+from repro.models.hockney import HockneyParams
+from repro.models.scatter_models import DERIVED_SCATTER_MODELS
+
+__all__ = [
+    "OPERATION_PROFILES",
+    "collective_prefetch_jobs",
+    "estimate_collective_alpha_beta",
+    "calibrate_collective",
+]
+
+
+@dataclass(frozen=True)
+class OperationProfile:
+    """Everything that distinguishes one operation's direct calibration."""
+
+    operation: str
+    #: :class:`~repro.exec.job.SimJob` kind (same name as the operation).
+    kind: str
+    #: Timing policy of the experiment runs.
+    policy: str
+    #: Model family name registered in ``MODEL_FAMILIES``.
+    model_family: str
+    #: The family's model classes, keyed by algorithm name.
+    models: dict[str, type[BcastModel]]
+    #: Per-algorithm seed stride — distinct per operation so combined
+    #: builds never alias two operations' repetition streams.
+    seed_multiplier: int
+
+
+#: Direct-calibration profiles of the four whole-suite collectives.
+OPERATION_PROFILES: dict[str, OperationProfile] = {
+    profile.operation: profile
+    for profile in (
+        OperationProfile(
+            operation="allreduce",
+            kind="allreduce",
+            policy="global",
+            model_family="allreduce_derived",
+            models=DERIVED_ALLREDUCE_MODELS,
+            seed_multiplier=7_000_003,
+        ),
+        OperationProfile(
+            operation="allgather",
+            kind="allgather",
+            policy="global",
+            model_family="allgather_derived",
+            models=DERIVED_ALLGATHER_MODELS,
+            seed_multiplier=7_200_017,
+        ),
+        OperationProfile(
+            operation="alltoall",
+            kind="alltoall",
+            policy="global",
+            model_family="alltoall_derived",
+            models=DERIVED_ALLTOALL_MODELS,
+            seed_multiplier=7_400_011,
+        ),
+        OperationProfile(
+            operation="scatter",
+            kind="scatter",
+            policy="global",
+            model_family="scatter_derived",
+            models=DERIVED_SCATTER_MODELS,
+            seed_multiplier=7_600_003,
+        ),
+    )
+}
+
+
+def _profile(operation: str) -> OperationProfile:
+    try:
+        return OPERATION_PROFILES[operation]
+    except KeyError:
+        raise EstimationError(
+            f"no direct-calibration profile for {operation!r}; "
+            f"known: {', '.join(sorted(OPERATION_PROFILES))}"
+        ) from None
+
+
+def collective_prefetch_jobs(
+    spec: ClusterSpec,
+    operation: str,
+    algorithm: str,
+    *,
+    procs: int,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    seed: int = 0,
+    reps: int = 2,
+) -> list[SimJob]:
+    """The first ``reps`` repetitions of one algorithm's size sweep.
+
+    Enumerates exactly the seeds :func:`estimate_collective_alpha_beta`'s
+    adaptive loop will request, so prefetching these makes the loop
+    replay from the runner's memo.
+    """
+    profile = _profile(operation)
+    batch: list[SimJob] = []
+    for index, nbytes in enumerate(sizes):
+        base = seed + 104_729 * (index + 1)
+        for rep in range(reps):
+            batch.append(
+                SimJob(
+                    spec=spec,
+                    kind=profile.kind,
+                    procs=procs,
+                    algorithm=algorithm,
+                    nbytes=nbytes,
+                    seed=base + 7919 * rep,
+                    policy=profile.policy,
+                )
+            )
+    return batch
+
+
+def estimate_collective_alpha_beta(
+    spec: ClusterSpec,
+    operation: str,
+    model: BcastModel,
+    *,
+    procs: int | None = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    regressor: str = "huber",
+    precision: float = 0.025,
+    max_reps: int = 30,
+    seed: int = 0,
+    runner: ParallelRunner | None = None,
+    prefetch: bool = True,
+    screen_mad: float | None = None,
+    retry_budget: int = 0,
+) -> AlphaBeta:
+    """Per-algorithm α/β for one collective (§4.2 applied directly)."""
+    profile = _profile(operation)
+    if procs is None:
+        procs = max(2, spec.max_procs // 2)
+    if not 2 <= procs <= spec.max_procs:
+        raise EstimationError(
+            f"{spec.name}: procs={procs} outside 2..{spec.max_procs}"
+        )
+    if len(sizes) < 2:
+        raise EstimationError("need at least two message sizes to fit a line")
+    fit_fn = get_regressor(regressor)
+    runner = runner if runner is not None else default_runner()
+    if prefetch:
+        runner.prefetch(
+            collective_prefetch_jobs(
+                spec, operation, model.algorithm,
+                procs=procs, sizes=sizes, seed=seed,
+            )
+        )
+
+    memo_before = runner.stats.memo_hits
+    sims_before = runner.stats.simulations
+    with obs.span(
+        "estimate.alphabeta",
+        operation=operation,
+        algorithm=model.algorithm,
+        cluster=spec.name,
+        procs=procs,
+        sizes=len(sizes),
+    ) as ab_span:
+        xs: list[float] = []
+        ys: list[float] = []
+        stats: list[SampleStats] = []
+        retried = 0
+        for index, nbytes in enumerate(sizes):
+            coeffs = model.coefficients(procs, nbytes, 0)
+            if coeffs.c_alpha <= 0:
+                raise EstimationError(
+                    f"{model.algorithm}: degenerate experiment at m={nbytes}"
+                )
+
+            def measure_once(rep_seed: int, nbytes: int = nbytes) -> float:
+                return runner.run_one(
+                    SimJob(
+                        spec=spec,
+                        kind=profile.kind,
+                        procs=procs,
+                        algorithm=model.algorithm,
+                        nbytes=nbytes,
+                        seed=rep_seed,
+                        policy=profile.policy,
+                    )
+                )
+
+            base_seed = seed + 104_729 * (index + 1)
+            sample = adaptive_measure(
+                measure_once,
+                precision=precision,
+                max_reps=max_reps,
+                seed=base_seed,
+            )
+            attempt = 0
+            while not sample.converged and attempt < retry_budget:
+                attempt += 1
+                retried += 1
+                candidate = adaptive_measure(
+                    measure_once,
+                    precision=precision,
+                    max_reps=max_reps,
+                    seed=base_seed + RETRY_SEED_STRIDE * attempt,
+                )
+                if candidate.relative_precision < sample.relative_precision:
+                    sample = candidate
+            stats.append(sample)
+            xs.append(coeffs.c_beta / coeffs.c_alpha)
+            ys.append(sample.mean / coeffs.c_alpha)
+
+        if screen_mad is not None and len(xs) > 2:
+            kept = mad_screen(xs, ys, threshold=screen_mad)
+        else:
+            kept = list(range(len(xs)))
+        screened = len(xs) - len(kept)
+        fit = fit_fn([xs[i] for i in kept], [ys[i] for i in kept])
+        mean_abs_y = sum(abs(ys[i]) for i in kept) / len(kept)
+        quality = FitQuality(
+            points=len(xs),
+            screened=screened,
+            fitted=len(kept),
+            max_abs_residual=float(fit.max_abs_residual),
+            relative_residual=float(
+                fit.max_abs_residual / mean_abs_y if mean_abs_y > 0 else 0.0
+            ),
+            converged=sum(1 for s in stats if s.converged),
+            retried=retried,
+            mean_relative_precision=float(
+                sum(s.relative_precision for s in stats) / len(stats)
+            ),
+        )
+        ab_span.set_attrs(
+            memo_hits=runner.stats.memo_hits - memo_before,
+            simulations=runner.stats.simulations - sims_before,
+            retried=retried,
+        )
+        return AlphaBeta(
+            algorithm=model.algorithm,
+            params=HockneyParams(
+                alpha=max(fit.intercept, 0.0), beta=max(fit.slope, 0.0)
+            ),
+            fit=fit,
+            points=tuple(zip(xs, ys)),
+            sizes=tuple(sizes),
+            stats=tuple(stats),
+            quality=quality,
+        )
+
+
+def calibrate_collective(
+    spec: ClusterSpec,
+    operation: str,
+    *,
+    procs: int | None = None,
+    algorithms: Sequence[str] | None = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    regressor: str = "huber",
+    precision: float = 0.025,
+    max_reps: int = 30,
+    seed: int = 0,
+    runner: ParallelRunner | None = None,
+    screen_mad: float | None = None,
+    retry_budget: int = 0,
+) -> tuple[PlatformModel, dict[str, AlphaBeta]]:
+    """Full direct calibration of ``operation`` over a size sweep.
+
+    Returns a :class:`PlatformModel` with the operation's derived model
+    family, ready for
+    :class:`~repro.selection.model_based.ModelBasedSelector`.
+    """
+    profile = _profile(operation)
+    if algorithms is None:
+        algorithms = sorted(profile.models)
+    ab_procs = procs if procs is not None else max(2, spec.max_procs // 2)
+
+    with obs.span(
+        "calibrate.platform",
+        cluster=spec.name,
+        estimation="collective",
+        model_family=profile.model_family,
+        algorithms=",".join(algorithms),
+    ):
+        runner = runner if runner is not None else default_runner()
+        batch: list[SimJob] = []
+        for index, name in enumerate(algorithms):
+            batch += collective_prefetch_jobs(
+                spec,
+                operation,
+                name,
+                procs=ab_procs,
+                sizes=sizes,
+                seed=seed + profile.seed_multiplier * (index + 1),
+            )
+        with obs.span(
+            "calibrate.prefetch", jobs=len(batch), batched=runner.batch
+        ):
+            runner.prefetch(batch)
+
+        gamma = GammaFunction.ideal()
+        estimates: dict[str, AlphaBeta] = {}
+        parameters: dict[str, HockneyParams] = {}
+        for index, name in enumerate(algorithms):
+            model = profile.models[name](gamma)
+            estimate = estimate_collective_alpha_beta(
+                spec,
+                operation,
+                model,
+                procs=procs,
+                sizes=sizes,
+                regressor=regressor,
+                precision=precision,
+                max_reps=max_reps,
+                seed=seed + profile.seed_multiplier * (index + 1),
+                runner=runner,
+                prefetch=False,
+                screen_mad=screen_mad,
+                retry_budget=retry_budget,
+            )
+            estimates[name] = estimate
+            parameters[name] = estimate.params
+
+        platform = PlatformModel(
+            cluster=spec.name,
+            segment_size=0,
+            gamma=gamma,
+            parameters=parameters,
+            model_family=profile.model_family,
+        )
+        return platform, estimates

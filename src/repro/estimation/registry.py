@@ -16,8 +16,11 @@ build, silently dropped).  Anything outside both sets is an error — a
 misspelled or genuinely unsupported kwarg must never be discarded.
 
 Built-in pipelines: ``bcast`` (:func:`calibrate_platform`), ``reduce``
-(:func:`calibrate_reduce`), ``gather`` (:func:`calibrate_gather`) and
-``barrier`` (:func:`calibrate_barrier_with_quality`).  All of them route
+(:func:`calibrate_reduce`), ``gather`` (:func:`calibrate_gather`),
+``barrier`` (:func:`calibrate_barrier_with_quality`), and the four
+whole-suite collectives — ``allreduce``, ``allgather``, ``alltoall`` and
+``scatter`` — sharing one direct-calibration body
+(:func:`calibrate_collective`).  All of them route
 every simulation through the :class:`~repro.exec.runner.ParallelRunner`
 handed to :meth:`CalibrationPipeline.calibrate`, prefetching their whole
 experiment schedule up front — so builds parallelise and a warm
@@ -247,6 +250,26 @@ def _calibrate_gather(
     )
 
 
+def _make_collective_calibrator(operation: str):
+    """A registry ``fn`` bound to one whole-suite collective."""
+
+    def _calibrate(
+        spec: ClusterSpec, *, runner: ParallelRunner | None = None, **kwargs
+    ) -> CalibrationOutcome:
+        from repro.estimation.collective_calibration import (
+            calibrate_collective,
+        )
+
+        platform, estimates = calibrate_collective(
+            spec, operation, runner=runner, **kwargs
+        )
+        return CalibrationOutcome(
+            platform=platform, quality=_quality_of(estimates)
+        )
+
+    return _calibrate
+
+
 def _calibrate_barrier(
     spec: ClusterSpec, *, runner: ParallelRunner | None = None, **kwargs
 ) -> CalibrationOutcome:
@@ -328,3 +351,25 @@ register_pipeline(
         size_independent=True,
     )
 )
+
+for _operation in ("allreduce", "allgather", "alltoall", "scatter"):
+    register_pipeline(
+        CalibrationPipeline(
+            operation=_operation,
+            fn=_make_collective_calibrator(_operation),
+            accepts=frozenset(
+                {
+                    "procs", "algorithms", "sizes", "regressor", "precision",
+                    "max_reps", "seed", "screen_mad", "retry_budget",
+                }
+            ),
+            # γ, segmentation and fabric model constants only parameterise
+            # sibling pipelines: these families use the ideal platform
+            # function and are unsegmented, with no topology-aware variant
+            # yet (same rationale as the gather pipeline).
+            tolerates=frozenset(
+                {"gamma_max_procs", "segment_size", "model_params"}
+            ),
+        )
+    )
+del _operation

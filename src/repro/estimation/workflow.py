@@ -53,9 +53,13 @@ from repro.models.base import BcastModel
 from repro.models.derived import DERIVED_BCAST_MODELS
 from repro.models.gamma import GammaFunction
 from repro.models.hockney import HockneyParams
+from repro.models.allgather_models import DERIVED_ALLGATHER_MODELS
+from repro.models.allreduce_models import DERIVED_ALLREDUCE_MODELS
+from repro.models.alltoall_models import DERIVED_ALLTOALL_MODELS
 from repro.models.barrier_models import DERIVED_BARRIER_MODELS
 from repro.models.gather_models import DERIVED_GATHER_MODELS
 from repro.models.reduce_models import DERIVED_REDUCE_MODELS
+from repro.models.scatter_models import DERIVED_SCATTER_MODELS
 from repro.models.traditional import TRADITIONAL_BCAST_MODELS
 
 MODEL_FAMILIES = {
@@ -64,6 +68,10 @@ MODEL_FAMILIES = {
     "reduce_derived": DERIVED_REDUCE_MODELS,
     "gather_derived": DERIVED_GATHER_MODELS,
     "barrier_derived": DERIVED_BARRIER_MODELS,
+    "allreduce_derived": DERIVED_ALLREDUCE_MODELS,
+    "allgather_derived": DERIVED_ALLGATHER_MODELS,
+    "alltoall_derived": DERIVED_ALLTOALL_MODELS,
+    "scatter_derived": DERIVED_SCATTER_MODELS,
 }
 
 #: Which collective operation each model family describes.
@@ -73,6 +81,10 @@ FAMILY_OPERATION = {
     "reduce_derived": "reduce",
     "gather_derived": "gather",
     "barrier_derived": "barrier",
+    "allreduce_derived": "allreduce",
+    "allgather_derived": "allgather",
+    "alltoall_derived": "alltoall",
+    "scatter_derived": "scatter",
 }
 
 ESTIMATION_METHODS = ("collective", "p2p")

@@ -25,6 +25,10 @@ kind                      measurement
 ``reduce``                :func:`repro.measure.time_reduce`
 ``reduce_then_scatter``   :func:`repro.measure.time_reduce_then_scatter`
 ``barrier``               :func:`repro.measure.time_barrier`
+``scatter``               :func:`repro.measure.time_scatter`
+``allreduce``             :func:`repro.measure.time_allreduce`
+``allgather``             :func:`repro.measure.time_allgather`
+``alltoall``              :func:`repro.measure.time_alltoall`
 ``p2p_roundtrip``         :func:`repro.measure.time_p2p_roundtrip`
 ========================  ==================================================
 """
@@ -48,6 +52,10 @@ JOB_KINDS = (
     "reduce",
     "reduce_then_scatter",
     "barrier",
+    "scatter",
+    "allreduce",
+    "allgather",
+    "alltoall",
     "p2p_roundtrip",
 )
 
@@ -211,6 +219,17 @@ def execute_job(job: SimJob) -> float:
             job.spec,
             job.algorithm,
             job.procs,
+            root=job.root,
+            seed=job.seed,
+            policy=job.policy,
+        )
+    if job.kind in ("scatter", "allreduce", "allgather", "alltoall"):
+        timer = getattr(measure, f"time_{job.kind}")
+        return timer(
+            job.spec,
+            job.algorithm,
+            job.procs,
+            job.nbytes,
             root=job.root,
             seed=job.seed,
             policy=job.policy,

@@ -24,6 +24,9 @@ from repro.collectives.barrier import (
     DEFAULT_BARRIER,
     BarrierAlgorithm,
 )
+from repro.collectives.allgather import ALLGATHER_ALGORITHMS
+from repro.collectives.allreduce import ALLREDUCE_ALGORITHMS
+from repro.collectives.alltoall import ALLTOALL_ALGORITHMS
 from repro.collectives.bcast import BCAST_ALGORITHMS, BcastAlgorithm
 from repro.collectives.gather import GATHER_ALGORITHMS, GatherAlgorithm
 from repro.collectives.reduce import REDUCE_ALGORITHMS
@@ -264,6 +267,89 @@ def time_gather(
 
     def program(comm: Communicator) -> SimGen:
         yield from algorithm(comm, root, nbytes)
+
+    return run_timed(spec, program, procs, root=root, seed=seed, policy=policy)
+
+
+def time_scatter(
+    spec: ClusterSpec,
+    algorithm: str,
+    procs: int,
+    nbytes: int,
+    *,
+    root: int = 0,
+    seed: int = 0,
+    policy: str = "global",
+) -> float:
+    """Time one scatter of ``nbytes`` per rank from the root.
+
+    Global-timed by default: unlike gather, the operation *ends* on the
+    leaves, so the root's clock would miss the last delivery.
+    """
+    entry = SCATTER_ALGORITHMS[algorithm]
+
+    def program(comm: Communicator) -> SimGen:
+        yield from entry(comm, root, nbytes)
+
+    return run_timed(spec, program, procs, root=root, seed=seed, policy=policy)
+
+
+# -- symmetric collectives (every rank starts and finishes) -------------------
+
+
+def time_allreduce(
+    spec: ClusterSpec,
+    algorithm: str,
+    procs: int,
+    nbytes: int,
+    *,
+    root: int = 0,
+    seed: int = 0,
+    policy: str = "global",
+) -> float:
+    """Time one allreduce of an ``nbytes`` full vector (global completion)."""
+    entry = ALLREDUCE_ALGORITHMS[algorithm]
+
+    def program(comm: Communicator) -> SimGen:
+        yield from entry(comm, nbytes)
+
+    return run_timed(spec, program, procs, root=root, seed=seed, policy=policy)
+
+
+def time_allgather(
+    spec: ClusterSpec,
+    algorithm: str,
+    procs: int,
+    nbytes: int,
+    *,
+    root: int = 0,
+    seed: int = 0,
+    policy: str = "global",
+) -> float:
+    """Time one allgather of ``nbytes`` per rank (global completion)."""
+    entry = ALLGATHER_ALGORITHMS[algorithm]
+
+    def program(comm: Communicator) -> SimGen:
+        yield from entry(comm, nbytes)
+
+    return run_timed(spec, program, procs, root=root, seed=seed, policy=policy)
+
+
+def time_alltoall(
+    spec: ClusterSpec,
+    algorithm: str,
+    procs: int,
+    nbytes: int,
+    *,
+    root: int = 0,
+    seed: int = 0,
+    policy: str = "global",
+) -> float:
+    """Time one alltoall of ``nbytes`` per pair (global completion)."""
+    entry = ALLTOALL_ALGORITHMS[algorithm]
+
+    def program(comm: Communicator) -> SimGen:
+        yield from entry(comm, nbytes)
 
     return run_timed(spec, program, procs, root=root, seed=seed, policy=policy)
 

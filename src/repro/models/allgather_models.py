@@ -1,0 +1,105 @@
+"""Models of the allgather algorithms.
+
+``nbytes`` is the per-rank contribution size.  Every algorithm moves the
+same ``(P-1)·m`` bytes through each rank's NIC — they differ only in how
+many latency-bearing rounds that traffic is packed into, which is exactly
+what the ``c_α`` coefficient captures:
+
+* ring: ``P-1`` single-block steps — ``T = (P-1)·α + (P-1)·m·β``;
+* recursive doubling: ``log2 P`` rounds with doubling payloads on
+  power-of-two communicators — ``T = log2(P)·α + (P-1)·m·β``; any other
+  size falls back to the ring (the model mirrors the simulator's guard);
+* neighbor exchange: ``P/2`` rounds (one single-block, the rest
+  two-block) on even communicators — ``T = (P/2)·α + (P-1)·m·β``; odd
+  sizes fall back to the ring;
+* Bruck: ``ceil(log2 P)`` rounds of bundled blocks totalling ``P-1``
+  blocks on any communicator — ``T = ceil(log2 P)·α + (P-1)·m·β``.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+from repro.models.base import BcastModel, LinearCoefficients
+
+
+def _ring_coefficients(procs: int, nbytes: int) -> LinearCoefficients:
+    peers = float(procs - 1)
+    return LinearCoefficients(peers, peers * nbytes)
+
+
+class _AllgatherModel(BcastModel):
+    """Allgathers are unsegmented: the segment size is ignored."""
+
+
+class RingAllgatherModel(_AllgatherModel):
+    """Ring allgather: P-1 single-block forwarding steps."""
+
+    algorithm = "ring"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int = 0
+    ) -> LinearCoefficients:
+        del segment_size
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        return _ring_coefficients(procs, nbytes)
+
+
+class RecursiveDoublingAllgatherModel(_AllgatherModel):
+    """Recursive doubling; non-power-of-two sizes take the ring form."""
+
+    algorithm = "recursive_doubling"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int = 0
+    ) -> LinearCoefficients:
+        del segment_size
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        if procs & (procs - 1):
+            return _ring_coefficients(procs, nbytes)
+        return LinearCoefficients(float(log2(procs)), (procs - 1) * float(nbytes))
+
+
+class NeighborExchangeAllgatherModel(_AllgatherModel):
+    """Neighbor exchange; odd sizes take the ring form."""
+
+    algorithm = "neighbor_exchange"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int = 0
+    ) -> LinearCoefficients:
+        del segment_size
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        if procs % 2:
+            return _ring_coefficients(procs, nbytes)
+        return LinearCoefficients(procs / 2.0, (procs - 1) * float(nbytes))
+
+
+class BruckAllgatherModel(_AllgatherModel):
+    """Bruck allgather: log rounds on any communicator size."""
+
+    algorithm = "bruck"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int = 0
+    ) -> LinearCoefficients:
+        del segment_size
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        rounds = float(ceil(log2(procs)))
+        return LinearCoefficients(rounds, (procs - 1) * float(nbytes))
+
+
+#: Derived allgather models keyed by the algorithm they describe.
+DERIVED_ALLGATHER_MODELS: dict[str, type[BcastModel]] = {
+    model.algorithm: model
+    for model in (
+        RingAllgatherModel,
+        RecursiveDoublingAllgatherModel,
+        NeighborExchangeAllgatherModel,
+        BruckAllgatherModel,
+    )
+}

@@ -1,0 +1,70 @@
+"""Models of the allreduce algorithms.
+
+Allreduce is composite: both shipped algorithms are built from simpler
+collective phases, and their models add the phases' coefficient forms
+(the same linearity in α and β that lets Eq. 7's composite experiment
+collapse into one equation).  ``nbytes`` is the full vector size.
+
+Model forms:
+
+* recursive doubling: ``log2(base)`` full-vector exchange rounds over the
+  power-of-two core ``base = 2^floor(log2 P)``; a non-power-of-two
+  communicator folds its surplus ranks in first and hands them the final
+  vector afterwards, adding two full-vector hops to the critical path —
+  ``T = (r + 2·[surplus]) · (α + m·β)`` with ``r = log2 base``;
+* ring: a reduce-scatter phase and an allgather phase of ``P-1`` steps
+  each, every step moving one ``floor(m/P)``-byte chunk —
+  ``T = 2(P-1)·α + 2(P-1)·chunk·β``, the bandwidth-optimal schedule.
+"""
+
+from __future__ import annotations
+
+from repro.models.base import BcastModel, LinearCoefficients
+
+
+class _AllreduceModel(BcastModel):
+    """Allreduces are unsegmented: the segment size is ignored."""
+
+
+class RecursiveDoublingAllreduceModel(_AllreduceModel):
+    """Recursive doubling with non-power-of-two surplus fold-in."""
+
+    algorithm = "recursive_doubling"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int = 0
+    ) -> LinearCoefficients:
+        del segment_size
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        base = 1
+        rounds = 0
+        while base * 2 <= procs:
+            base *= 2
+            rounds += 1
+        hops = rounds + (2 if procs > base else 0)
+        return LinearCoefficients(float(hops), float(hops) * nbytes)
+
+
+class RingAllreduceModel(_AllreduceModel):
+    """Ring allreduce: reduce-scatter phase + allgather phase."""
+
+    algorithm = "ring"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int = 0
+    ) -> LinearCoefficients:
+        del segment_size
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        steps = 2.0 * (procs - 1)
+        # Mirror the simulator's integer chunking exactly.
+        chunk = max(1, nbytes // procs)
+        return LinearCoefficients(steps, steps * chunk)
+
+
+#: Derived allreduce models keyed by the algorithm they describe.
+DERIVED_ALLREDUCE_MODELS: dict[str, type[BcastModel]] = {
+    model.algorithm: model
+    for model in (RecursiveDoublingAllreduceModel, RingAllreduceModel)
+}

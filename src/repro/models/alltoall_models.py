@@ -1,0 +1,85 @@
+"""Models of the alltoall algorithms.
+
+``nbytes`` is the per-pair block size.  Alltoall is single-port bound:
+each rank must egress and ingest ``(P-1)·m`` bytes whatever the schedule,
+so — as with allgather — the algorithms differ in their latency terms and
+in how much extra traffic Bruck's block bundling pays:
+
+* basic linear: all ``P-1`` sends and receives posted at once; the NIC
+  still serialises the ``P-1`` message overheads —
+  ``T = (P-1)·α + (P-1)·m·β``, with the fitted α absorbing the overlap
+  the concurrent posting buys;
+* pairwise exchange: ``P-1`` structured single-block rounds —
+  ``T = (P-1)·α + (P-1)·m·β``, the same form fitted on its own
+  measurements (synchronised rounds fit a larger effective α);
+* Bruck: ``ceil(log2 P)`` rounds, round ``k`` bundling
+  ``#{i < P : i & 2^k}`` blocks — fewer latencies but up to
+  ``~(P/2)·log2(P)·m`` bytes moved, the small-message trade.
+"""
+
+from __future__ import annotations
+
+from repro.models.base import BcastModel, LinearCoefficients
+
+
+class _AlltoallModel(BcastModel):
+    """Alltoalls are unsegmented: the segment size is ignored."""
+
+
+class LinearAlltoallModel(_AlltoallModel):
+    """Basic linear alltoall: everything posted at once."""
+
+    algorithm = "linear"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int = 0
+    ) -> LinearCoefficients:
+        del segment_size
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        peers = float(procs - 1)
+        return LinearCoefficients(peers, peers * nbytes)
+
+
+class PairwiseAlltoallModel(_AlltoallModel):
+    """Pairwise exchange: P-1 synchronised single-block rounds."""
+
+    algorithm = "pairwise"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int = 0
+    ) -> LinearCoefficients:
+        del segment_size
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        peers = float(procs - 1)
+        return LinearCoefficients(peers, peers * nbytes)
+
+
+class BruckAlltoallModel(_AlltoallModel):
+    """Bruck alltoall: log rounds of bundled blocks."""
+
+    algorithm = "bruck"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int = 0
+    ) -> LinearCoefficients:
+        del segment_size
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        # Mirror the simulator's round structure exactly.
+        rounds = 0
+        blocks = 0
+        distance = 1
+        while distance < procs:
+            blocks += sum(1 for index in range(procs) if index & distance)
+            distance *= 2
+            rounds += 1
+        return LinearCoefficients(float(rounds), float(blocks) * nbytes)
+
+
+#: Derived alltoall models keyed by the algorithm they describe.
+DERIVED_ALLTOALL_MODELS: dict[str, type[BcastModel]] = {
+    model.algorithm: model
+    for model in (LinearAlltoallModel, PairwiseAlltoallModel, BruckAlltoallModel)
+}

@@ -1,0 +1,60 @@
+"""Models of the scatter algorithms.
+
+``nbytes`` is the per-rank block size.  Scatter is the mirror image of
+gather — the root's egress NIC must emit ``(P-1)·m`` bytes either way —
+so the coefficient forms mirror :mod:`repro.models.gather_models`:
+
+* linear: the root pushes ``P-1`` direct messages of ``m`` bytes through
+  its single NIC, ``T = (P-1)·(α + m·β)``;
+* binomial: the root sends whole-subtree blocks down the binomial tree.
+  The critical path is ``ceil(log2 P)`` store-and-forward hops, while
+  the payload — subtree blocks summing to ``(P-1)·m`` bytes — still
+  leaves through the root's NIC, so ``T = ceil(log2 P)·α + (P-1)·m·β``.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+from repro.models.base import BcastModel, LinearCoefficients
+
+
+class _ScatterModel(BcastModel):
+    """Scatters are unsegmented: the segment size is ignored."""
+
+
+class LinearScatterModel(_ScatterModel):
+    """Linear scatter: P-1 direct root sends."""
+
+    algorithm = "linear"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int = 0
+    ) -> LinearCoefficients:
+        del segment_size
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        peers = float(procs - 1)
+        return LinearCoefficients(peers, peers * nbytes)
+
+
+class BinomialScatterModel(_ScatterModel):
+    """Binomial-tree scatter: log hops, root-NIC-bound payload."""
+
+    algorithm = "binomial"
+
+    def coefficients(
+        self, procs: int, nbytes: int, segment_size: int = 0
+    ) -> LinearCoefficients:
+        del segment_size
+        if procs < 2:
+            return LinearCoefficients(0.0, 0.0)
+        stages = float(ceil(log2(procs)))
+        return LinearCoefficients(stages, (procs - 1) * float(nbytes))
+
+
+#: Derived scatter models keyed by the algorithm they describe.
+DERIVED_SCATTER_MODELS: dict[str, type[BcastModel]] = {
+    model.algorithm: model
+    for model in (LinearScatterModel, BinomialScatterModel)
+}

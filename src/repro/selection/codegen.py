@@ -58,6 +58,28 @@ C_OPERATION_ALGORITHM_IDS: dict[str, dict[str, int]] = {
         "recursive_doubling": 3,
         "bruck": 4,
     },
+    # Open MPI's coll_tuned allreduce enumeration (basic_linear=1,
+    # nonoverlapping=2 are not modelled).
+    "allreduce": {
+        "recursive_doubling": 3,
+        "ring": 4,
+    },
+    "allgather": {
+        "linear": 1,
+        "bruck": 2,
+        "recursive_doubling": 3,
+        "ring": 4,
+        "neighbor_exchange": 5,
+    },
+    "alltoall": {
+        "linear": 1,
+        "pairwise": 2,
+        "bruck": 3,
+    },
+    "scatter": {
+        "linear": 1,
+        "binomial": 2,
+    },
 }
 
 

@@ -160,12 +160,129 @@ def ompi_barrier_decision(communicator_size: int, message_size: int = 0) -> Sele
     return Selection("bruck", 0, operation="barrier")
 
 
+#: Message-size threshold of the fixed allreduce decision.
+ALLREDUCE_SMALL_MESSAGE_SIZE = 10240
+
+
+def ompi_allreduce_decision(
+    communicator_size: int, message_size: int
+) -> Selection:
+    """The Open MPI 3.1 fixed decision for ``MPI_Allreduce``.
+
+    Port of ``ompi_coll_tuned_allreduce_intra_dec_fixed`` restricted to
+    the commutative-operation branch (the only one our simulators model):
+    recursive doubling below 10 KiB, the bandwidth-optimal ring above.
+    ``message_size`` is the full vector size.
+    """
+    if communicator_size < 1:
+        raise SelectionError(f"invalid communicator size {communicator_size}")
+    if message_size < 0:
+        raise SelectionError(f"negative message size {message_size}")
+
+    if message_size < ALLREDUCE_SMALL_MESSAGE_SIZE:
+        return Selection("recursive_doubling", 0, operation="allreduce")
+    return Selection("ring", 0, operation="allreduce")
+
+
+#: Total-gathered-size threshold of the fixed allgather decision.
+ALLGATHER_SMALL_TOTAL_SIZE = 50000
+
+
+def ompi_allgather_decision(
+    communicator_size: int, message_size: int
+) -> Selection:
+    """The Open MPI 3.1 fixed decision for ``MPI_Allgather``.
+
+    Port of ``ompi_coll_tuned_allgather_intra_dec_fixed`` ("MX 2Gb
+    results from the Grig cluster"): below 50 KB of *total* gathered data
+    — ``message_size`` here is the per-rank block, so the total is
+    ``P·m`` — recursive doubling on power-of-two communicators and Bruck
+    otherwise; above it, neighbor exchange on even communicators and the
+    ring otherwise.
+    """
+    if communicator_size < 1:
+        raise SelectionError(f"invalid communicator size {communicator_size}")
+    if message_size < 0:
+        raise SelectionError(f"negative message size {message_size}")
+
+    total_size = communicator_size * message_size
+    if total_size < ALLGATHER_SMALL_TOTAL_SIZE:
+        if communicator_size & (communicator_size - 1) == 0:
+            return Selection("recursive_doubling", 0, operation="allgather")
+        return Selection("bruck", 0, operation="allgather")
+    if communicator_size % 2 == 0:
+        return Selection("neighbor_exchange", 0, operation="allgather")
+    return Selection("ring", 0, operation="allgather")
+
+
+#: Block-size and communicator thresholds of the fixed alltoall decision.
+ALLTOALL_SMALL_BLOCK_SIZE = 200
+ALLTOALL_INTERMEDIATE_BLOCK_SIZE = 3000
+ALLTOALL_SMALL_COMM_SIZE = 12
+
+
+def ompi_alltoall_decision(
+    communicator_size: int, message_size: int
+) -> Selection:
+    """The Open MPI 3.1 fixed decision for ``MPI_Alltoall``.
+
+    Port of ``ompi_coll_tuned_alltoall_intra_dec_fixed``: Bruck for tiny
+    blocks on larger communicators, basic linear for small blocks, the
+    pairwise exchange for everything else.  ``message_size`` is the
+    per-pair block size.
+    """
+    if communicator_size < 1:
+        raise SelectionError(f"invalid communicator size {communicator_size}")
+    if message_size < 0:
+        raise SelectionError(f"negative message size {message_size}")
+
+    if (
+        message_size < ALLTOALL_SMALL_BLOCK_SIZE
+        and communicator_size > ALLTOALL_SMALL_COMM_SIZE
+    ):
+        return Selection("bruck", 0, operation="alltoall")
+    if message_size < ALLTOALL_INTERMEDIATE_BLOCK_SIZE:
+        return Selection("linear", 0, operation="alltoall")
+    return Selection("pairwise", 0, operation="alltoall")
+
+
+#: Block-size and communicator thresholds of the fixed scatter decision.
+SCATTER_SMALL_BLOCK_SIZE = 300
+SCATTER_SMALL_COMM_SIZE = 10
+
+
+def ompi_scatter_decision(
+    communicator_size: int, message_size: int
+) -> Selection:
+    """The Open MPI 3.1 fixed decision for ``MPI_Scatter``.
+
+    Port of ``ompi_coll_tuned_scatter_intra_dec_fixed``: binomial for
+    small blocks on larger communicators, basic linear otherwise.
+    ``message_size`` is the per-rank block size.
+    """
+    if communicator_size < 1:
+        raise SelectionError(f"invalid communicator size {communicator_size}")
+    if message_size < 0:
+        raise SelectionError(f"negative message size {message_size}")
+
+    if (
+        communicator_size > SCATTER_SMALL_COMM_SIZE
+        and message_size < SCATTER_SMALL_BLOCK_SIZE
+    ):
+        return Selection("binomial", 0, operation="scatter")
+    return Selection("linear", 0, operation="scatter")
+
+
 #: Fixed decision functions by operation.
 FIXED_DECISIONS = {
     "bcast": ompi_bcast_decision,
     "reduce": ompi_reduce_decision,
     "gather": ompi_gather_decision,
     "barrier": ompi_barrier_decision,
+    "allreduce": ompi_allreduce_decision,
+    "allgather": ompi_allgather_decision,
+    "alltoall": ompi_alltoall_decision,
+    "scatter": ompi_scatter_decision,
 }
 
 
@@ -173,8 +290,9 @@ class OmpiFixedSelector:
     """Selector interface over the fixed decision functions.
 
     ``operation`` picks the decision function: ``"bcast"`` (the paper's
-    baseline), ``"reduce"``, ``"gather"`` or ``"barrier"`` (the
-    future-work extensions).
+    baseline) or any of the future-work extensions — ``"reduce"``,
+    ``"gather"``, ``"barrier"``, ``"allreduce"``, ``"allgather"``,
+    ``"alltoall"``, ``"scatter"``.
     """
 
     name = "ompi_fixed"

@@ -92,6 +92,10 @@ ORACLE_JOB_KINDS = {
     "reduce": "reduce",
     "gather": "gather",
     "barrier": "barrier",
+    "allreduce": "allreduce",
+    "allgather": "allgather",
+    "alltoall": "alltoall",
+    "scatter": "scatter",
 }
 
 #: Operations whose algorithms take a segment size.

@@ -4,7 +4,8 @@ Hunold and Carpen-Amarie's "Tuning MPI Collectives by Verifying
 Performance Guidelines" observes that a well-tuned MPI library satisfies
 machine-checkable *self-consistency invariants*: a collective must not be
 slower than a combination of other collectives that implements it
-(``bcast(m) <= scatter(m) + allgather(m)``), must not get faster when
+(``bcast(m) <= scatter(ceil(m/P)) + allgather(ceil(m/P))`` under this
+artifact's per-rank-block size convention), must not get faster when
 asked to move more data (monotony), and must not beat itself when the
 payload is split (split-robustness).  A violated guideline is not noise —
 it is a concrete calibration or selection bug, pinpointed to an
@@ -22,10 +23,11 @@ decision grid.  Three families ship built in:
 * **monotony / split-robustness** — per-operation sanity of the
   predicted times along the size axis;
 * **mock-up guidelines** — Hunold's cross-collective inequalities
-  (``bcast <= scatter + allgather`` and friends).  A guideline whose
-  operand collectives are not in the artifact is reported as *skipped*,
-  not silently dropped, so the catalogue is ready for the full
-  collective suite while staying honest about coverage today.
+  (``bcast <= scatter + allgather`` and friends), with each operand's
+  message size converted to that operation's own convention.  A
+  guideline whose operand collectives are not in the artifact is
+  reported as *skipped*, not silently dropped — a full eight-collective
+  build checks all five.
 
 The resulting :class:`GuidelineReport` is stamped into the artifact's
 unhashed ``guidelines`` section by :func:`repro.service.artifact.
@@ -287,24 +289,52 @@ def _check_split_robustness(artifact, slack: float) -> list[GuidelineViolation]:
     return violations
 
 
+@dataclass(frozen=True)
+class MockupTerm:
+    """One right-hand operand of a cross-collective mock-up inequality.
+
+    ``size(procs, nbytes)`` maps the lhs cell to the operand's message
+    size — necessary because the artifact's size conventions differ per
+    operation (bcast/reduce carry the full vector, gather/scatter/
+    allgather a per-rank block, alltoall a per-pair block), so a sound
+    mock-up must convert between them (``bcast(m) <=
+    scatter(ceil(m/P)) + allgather(ceil(m/P))``, not ``scatter(m)``).
+    ``count(procs)`` is how many sequential invocations
+    the mock-up issues (``alltoall(m) <= P * scatter(m)``: every rank
+    scatters its row in turn).
+    """
+
+    operation: str
+    size: Callable[[int, int], int] = lambda procs, nbytes: nbytes
+    count: Callable[[int], int] = lambda procs: 1
+
+
 def _mockup_check(
-    lhs_op: str, rhs_ops: Sequence[str]
+    lhs_op: str, terms: Sequence[MockupTerm], description: str
 ) -> Callable[[object, float], list[GuidelineViolation]]:
-    """A cross-collective mock-up inequality: lhs(m) <= sum(rhs_i(m)).
+    """A mock-up inequality: lhs(m) <= sum(count_i * rhs_i(size_i(m))).
 
     Evaluated on the lhs operation's grid; the rhs operations answer via
-    their own tables' floor lookup, exactly as a client composing the
-    mock-up from served decisions would.
+    their own tables' floor lookup at the *converted* operand size,
+    exactly as a client composing the mock-up from served decisions
+    would.
     """
-    name = f"{lhs_op}_le_{'_plus_'.join(rhs_ops)}"
+    name = f"{lhs_op}_le_{'_plus_'.join(t.operation for t in terms)}"
 
     def check(artifact, slack: float) -> list[GuidelineViolation]:
         violations: list[GuidelineViolation] = []
         lhs_entry = artifact.entries[lhs_op]
-        rhs_entries = [artifact.entries[op] for op in rhs_ops]
         for procs, nbytes in _grid(lhs_entry):
             lhs = _cell_time(lhs_entry, procs, nbytes)
-            rhs = sum(_cell_time(e, procs, nbytes) for e in rhs_entries)
+            rhs = sum(
+                term.count(procs)
+                * _cell_time(
+                    artifact.entries[term.operation],
+                    procs,
+                    term.size(procs, nbytes),
+                )
+                for term in terms
+            )
             if rhs <= 0:
                 continue
             if lhs > rhs * (1.0 + slack):
@@ -317,7 +347,7 @@ def _mockup_check(
                         lhs=lhs,
                         rhs=rhs,
                         margin=lhs / rhs - 1.0,
-                        detail=f"{lhs_op}(m) > {' + '.join(rhs_ops)}",
+                        detail=description,
                     )
                 )
         return violations
@@ -376,26 +406,57 @@ register_guideline(
         check=_check_split_robustness,
     )
 )
-#: Hunold's cross-collective mock-up inequalities.  Operand sets beyond
-#: the currently calibrated collectives are catalogued anyway: artifacts
-#: without them report the guideline as skipped, and the day the registry
-#: grows scatter/allgather/allreduce pipelines (the ROADMAP's collective-
-#: suite item) these start verifying with no further change here.
-for _lhs, _rhs in (
-    ("bcast", ("scatter", "allgather")),
-    ("reduce", ("reduce_scatter", "gather")),
-    ("scatter", ("bcast",)),
-    ("gather", ("allgather",)),
-    ("reduce", ("allreduce",)),
+def _per_rank_block(procs: int, nbytes: int) -> int:
+    """The lhs full vector split into per-rank blocks: ``ceil(m / P)``."""
+    return -(-nbytes // procs)
+
+
+#: Hunold's cross-collective mock-up inequalities, stated for this
+#: artifact's size conventions (bcast/reduce/allreduce size the full
+#: vector; gather/scatter/allgather a per-rank block; alltoall a
+#: per-pair block).  Every registered collective has a pipeline since the
+#: whole-suite registry landed, so a full eight-collective build checks
+#: all five; narrower artifacts report the inapplicable ones as skipped,
+#: not silently dropped.
+for _lhs, _terms, _description in (
+    (
+        "bcast",
+        (
+            MockupTerm("scatter", size=_per_rank_block),
+            MockupTerm("allgather", size=_per_rank_block),
+        ),
+        "bcast(m) <= scatter(ceil(m/P)) + allgather(ceil(m/P))",
+    ),
+    (
+        "scatter",
+        (MockupTerm("alltoall"),),
+        "scatter(m) <= alltoall(m)",
+    ),
+    (
+        "gather",
+        (MockupTerm("allgather"),),
+        "gather(m) <= allgather(m)",
+    ),
+    (
+        "reduce",
+        (MockupTerm("allreduce"),),
+        "reduce(m) <= allreduce(m)",
+    ),
+    (
+        "alltoall",
+        (MockupTerm("scatter", count=lambda procs: procs),),
+        "alltoall(m) <= P * scatter(m)",
+    ),
 ):
     register_guideline(
         Guideline(
-            name=f"{_lhs}_le_{'_plus_'.join(_rhs)}",
-            description=f"{_lhs}(m) <= {' + '.join(f'{op}(m)' for op in _rhs)}",
-            requires=frozenset({_lhs, *_rhs}),
-            check=_mockup_check(_lhs, _rhs),
+            name=f"{_lhs}_le_{'_plus_'.join(t.operation for t in _terms)}",
+            description=_description,
+            requires=frozenset({_lhs, *(t.operation for t in _terms)}),
+            check=_mockup_check(_lhs, _terms, _description),
         )
     )
+del _lhs, _terms, _description
 
 
 def _count_cells(artifact, names: Sequence[str]) -> int:

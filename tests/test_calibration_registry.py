@@ -45,19 +45,24 @@ IMPOSSIBLE = QualityThresholds(
 )
 
 
+#: Every built-in pipeline: the original four plus the whole suite.
+ALL_PIPELINES = (
+    "bcast", "reduce", "gather", "barrier",
+    "allreduce", "allgather", "alltoall", "scatter",
+)
+
+
 class TestRegistryListing:
     def test_builtin_collectives_registered(self):
-        assert {"bcast", "reduce", "gather", "barrier"} <= set(
-            registered_collectives()
-        )
+        assert set(ALL_PIPELINES) <= set(registered_collectives())
 
     def test_unknown_operation_names_registered_pipelines(self):
         with pytest.raises(ArtifactError, match="no calibration pipeline"):
-            get_pipeline("allreduce")
+            get_pipeline("reduce_scatter")
 
     def test_build_artifact_rejects_unregistered_collective(self):
         with pytest.raises(ArtifactError, match="no calibration pipeline"):
-            build_artifact(MINICLUSTER, collectives=("alltoall",))
+            build_artifact(MINICLUSTER, collectives=("reduce_scatter",))
 
 
 class TestKwargContract:
@@ -88,7 +93,7 @@ class TestKwargContract:
         assert seen == {}  # validation happens before any work
 
     def test_builtin_pipelines_reject_unknown_kwargs(self):
-        for operation in ("bcast", "reduce", "gather", "barrier"):
+        for operation in ALL_PIPELINES:
             with pytest.raises(ArtifactError, match="does not support"):
                 get_pipeline(operation).calibrate(MINICLUSTER, bogus_knob=1)
 
@@ -130,9 +135,7 @@ class TestGammaMaxProcsForwarding:
 
 
 class TestWarmCacheRebuild:
-    @pytest.mark.parametrize(
-        "operation", ("bcast", "reduce", "gather", "barrier")
-    )
+    @pytest.mark.parametrize("operation", ALL_PIPELINES)
     def test_rebuild_from_warm_cache_runs_zero_simulations(
         self, operation, tmp_path
     ):
@@ -150,9 +153,54 @@ class TestWarmCacheRebuild:
         assert second.platform.parameters == first.platform.parameters
         assert second.platform.gamma.table == first.platform.gamma.table
 
+    def test_full_suite_rebuild_is_simulation_free_and_bit_identical(
+        self, tmp_path
+    ):
+        """The acceptance headline: eight collectives, one warm replay.
+
+        A second full-suite build against the same persistent cache must
+        run zero simulations and reproduce the exact content hash.
+        """
+        build_kwargs = dict(
+            collectives=ALL_PIPELINES,
+            proc_points=(4, 8),
+            size_points=(8 * KiB, 64 * KiB),
+            **CALIB_KWARGS,
+        )
+        cold = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+        first = build_artifact(MINICLUSTER, runner=cold, **build_kwargs)
+        assert cold.stats.simulations > 0
+        cold.close()
+
+        warm = ParallelRunner(jobs=1, cache=ResultCache(tmp_path))
+        second = build_artifact(MINICLUSTER, runner=warm, **build_kwargs)
+        assert warm.stats.simulations == 0
+        warm.close()
+
+        assert set(first.operations) == set(ALL_PIPELINES)
+        assert second.artifact_id == first.artifact_id
+
+        # With every operand collective present, the five cross-collective
+        # mock-up guidelines flip from skipped to actually checked.
+        assert first.guidelines["ok"] is True
+        assert first.guidelines["skipped"] == {}
+        assert {
+            "bcast_le_scatter_plus_allgather",
+            "scatter_le_alltoall",
+            "gather_le_allgather",
+            "reduce_le_allreduce",
+            "alltoall_le_scatter",
+        } <= set(first.guidelines["checked"])
+
 
 class TestStrictGate:
-    @pytest.mark.parametrize("operation", ("reduce", "gather", "barrier"))
+    @pytest.mark.parametrize(
+        "operation",
+        (
+            "reduce", "gather", "barrier",
+            "allreduce", "allgather", "alltoall", "scatter",
+        ),
+    )
     def test_strict_build_gates_every_pipeline(self, operation):
         # Regression: --strict used to gate only the broadcast calibration;
         # every pipeline's quality report now feeds the same gate.
@@ -171,7 +219,7 @@ class TestStrictGate:
             )
 
     def test_every_calibrating_pipeline_reports_quality(self):
-        for operation in ("bcast", "reduce", "gather", "barrier"):
+        for operation in ALL_PIPELINES:
             outcome = get_pipeline(operation).calibrate(
                 MINICLUSTER, **CALIB_KWARGS
             )

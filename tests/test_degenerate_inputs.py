@@ -182,3 +182,119 @@ class TestTraceIds:
             post_select(server.port, 4, 64 * KiB)[2] for _ in range(5)
         }
         assert len(ids) == 5
+
+
+# -- m = 0 no-op convention for the whole-suite collectives ------------------
+
+WHOLE_SUITE = ("allreduce", "allgather", "alltoall", "scatter")
+
+
+@pytest.fixture(scope="module")
+def suite_artifact():
+    return build_artifact(
+        MINICLUSTER,
+        collectives=WHOLE_SUITE,
+        proc_points=GRID_PROCS,
+        size_points=GRID_SIZES,
+        procs=6,
+        sizes=(8 * KiB, 64 * KiB, 512 * KiB),
+        max_reps=3,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def suite_server(suite_artifact, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("whole-suite-artifacts")
+    suite_artifact.save(directory / "minicluster.json")
+    service = SelectionService(ArtifactRegistry(directory), cache_size=64)
+    with ServiceThread(service) as handle:
+        yield handle
+
+
+def post_select_operation(port, operation, procs, nbytes):
+    conn = HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request(
+            "POST",
+            "/select",
+            json.dumps(
+                {
+                    "cluster": "minicluster",
+                    "operation": operation,
+                    "procs": procs,
+                    "nbytes": nbytes,
+                }
+            ),
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class TestWholeSuiteZeroBytes:
+    """m = 0 is a no-op end to end for allreduce/allgather/alltoall/scatter.
+
+    Regression for the PR 4 convention the whole-suite modules originally
+    missed: their generators used to send zero-byte messages and pay full
+    latency at m = 0.  Now all four layers agree — empty schedule (the
+    simulator measures exactly 0.0), zero model prediction, a clamped but
+    well-defined table answer, and the served decision matching it.
+    """
+
+    @pytest.mark.parametrize("operation", WHOLE_SUITE)
+    def test_simulator_measures_exactly_zero(self, operation):
+        from repro import measure
+        from repro.collectives.registry import algorithm_names
+
+        timer = getattr(measure, f"time_{operation}")
+        for algorithm in algorithm_names(operation):
+            for procs in (2, 5, 8):
+                assert timer(MINICLUSTER, algorithm, procs, 0) == 0.0
+
+    @pytest.mark.parametrize("operation", WHOLE_SUITE)
+    def test_single_rank_is_also_a_noop(self, operation):
+        from repro import measure
+        from repro.collectives.registry import algorithm_names
+
+        timer = getattr(measure, f"time_{operation}")
+        for algorithm in algorithm_names(operation):
+            assert timer(MINICLUSTER, algorithm, 1, 64 * KiB) == 0.0
+
+    @pytest.mark.parametrize("operation", WHOLE_SUITE)
+    def test_models_predict_zero(self, suite_artifact, operation):
+        platform = suite_artifact.entries[operation].platform
+        for procs in (2, 8, 16):
+            predictions = platform.predict_all(procs, 0)
+            assert predictions and all(
+                time == 0.0 for time in predictions.values()
+            )
+
+    @pytest.mark.parametrize("operation", WHOLE_SUITE)
+    @pytest.mark.parametrize("procs,nbytes", ((1, 0), (8, 0), (2, 1)))
+    def test_four_layer_agreement_at_degenerate_points(
+        self, suite_artifact, suite_server, operation, procs, nbytes
+    ):
+        table = suite_artifact.entries[operation].table
+        selection = table.select(procs, nbytes)
+        expected = (selection.algorithm, selection.segment_size)
+        compiled = suite_artifact.entries[operation].compile()
+        assert compiled(procs, nbytes) == expected
+        offline = suite_artifact.select(operation, procs, nbytes)
+        assert (offline.algorithm, offline.segment_size) == expected
+        status, data = post_select_operation(
+            suite_server.port, operation, procs, nbytes
+        )
+        assert status == 200
+        assert (data["algorithm"], data["segment_size"]) == expected
+        assert data.get("clamped", False) is True
+
+    @pytest.mark.parametrize("operation", WHOLE_SUITE)
+    def test_segment_sizes_are_zero_everywhere(self, suite_artifact, operation):
+        table = suite_artifact.entries[operation].table
+        assert all(
+            choice.segment_size == 0
+            for row in table.choices
+            for choice in row
+        )

@@ -93,7 +93,7 @@ class TestSimJob:
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(SimulationError, match="unknown job kind"):
-            SimJob(spec=MINICLUSTER, kind="allreduce", procs=4)
+            SimJob(spec=MINICLUSTER, kind="alltoallw", procs=4)
 
     def test_execute_matches_direct_measurement(self):
         job = bcast_job()

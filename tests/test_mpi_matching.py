@@ -1,4 +1,6 @@
-"""Tests for the tag-matching engine in isolation."""
+"""Tests for the tag-matching engine, and schedule-level tag discipline."""
+
+import pytest
 
 from repro.mpi.matching import (
     ANY_SOURCE,
@@ -98,3 +100,131 @@ class TestEngineQueues:
         engine.arrive(make_envelope(src=4), now=1.0)
         assert not specific_log  # source 4 does not match recv for source 5
         assert len(engine.unexpected) == 1
+
+
+# -- schedule-level tag discipline -------------------------------------------
+
+
+class ScheduleRecorder:
+    """Fake communicator that records a rank's schedule without running it.
+
+    Drives the collective generators exactly as the engine would (the
+    comm methods are generators), but each operation just logs its
+    ``(peer, tag)`` pair.  Sends and receives are buffered, so recording
+    one rank never blocks on another.
+    """
+
+    def __init__(self, rank, size):
+        self.rank = rank
+        self.size = size
+        self.sends = []  # (dest, tag)
+        self.recvs = []  # (source, tag)
+
+    def _noop(self):
+        return
+        yield  # pragma: no cover - generator marker
+
+    def send(self, dest, nbytes, tag=0):
+        self.sends.append((dest, tag))
+        return self._noop()
+
+    def isend(self, dest, nbytes, tag=0):
+        self.sends.append((dest, tag))
+        return self._noop()
+
+    def recv(self, source=ANY_SOURCE, tag=ANY_TAG):
+        self.recvs.append((source, tag))
+        return self._noop()
+
+    def irecv(self, source=ANY_SOURCE, tag=ANY_TAG):
+        self.recvs.append((source, tag))
+        return self._noop()
+
+    def sendrecv(self, dest, nbytes, source, sendtag=0, recvtag=ANY_TAG):
+        self.sends.append((dest, sendtag))
+        self.recvs.append((source, recvtag))
+        return self._noop()
+
+    def waitall(self, requests):
+        return self._noop()
+
+    def compute(self, seconds):
+        return self._noop()
+
+
+def record_schedules(generator, size):
+    """Every rank's recorded schedule for one collective call."""
+    recorders = [ScheduleRecorder(rank, size) for rank in range(size)]
+    for recorder in recorders:
+        for _ in generator(recorder):
+            pass
+    return recorders
+
+
+def whole_suite_schedules(size, nbytes=4096):
+    """(label, per-rank recorders) for every whole-suite algorithm."""
+    from repro.collectives.allgather import ALLGATHER_ALGORITHMS
+    from repro.collectives.allreduce import ALLREDUCE_ALGORITHMS
+    from repro.collectives.alltoall import ALLTOALL_ALGORITHMS
+    from repro.collectives.scatter import SCATTER_ALGORITHMS
+
+    for operation, catalogue in (
+        ("allreduce", ALLREDUCE_ALGORITHMS),
+        ("allgather", ALLGATHER_ALGORITHMS),
+        ("alltoall", ALLTOALL_ALGORITHMS),
+    ):
+        for name, algorithm in catalogue.items():
+            yield (
+                f"{operation}.{name}",
+                record_schedules(lambda c, a=algorithm: a(c, nbytes), size),
+            )
+    for name, algorithm in SCATTER_ALGORITHMS.items():
+        yield (
+            f"scatter.{name}",
+            record_schedules(lambda c, a=algorithm: a(c, 0, nbytes), size),
+        )
+
+
+class TestScheduleTagDiscipline:
+    """No (peer, tag) collision inside any whole-suite schedule.
+
+    Two same-tag sends to one destination (or two same-tag receives from
+    one source) posted by the same rank rely on FIFO non-overtaking to
+    stay ordered — a latent matching hazard that composite algorithms
+    (ring allreduce's two phases, Bruck vs pairwise alltoall rounds) hit
+    once their round counts outgrow a fixed tag offset.  P = 129 and 256
+    exceed every fixed offset in the tag layout (the +100/+200/+300
+    allgather round bases and the ring's former +200 phase gap), so an
+    aliasing regression fails here before it can corrupt a simulation.
+    """
+
+    @pytest.mark.parametrize("size", (2, 3, 4, 5, 7, 8, 16, 129, 256))
+    def test_no_peer_tag_collision_within_any_rank(self, size):
+        for label, recorders in whole_suite_schedules(size):
+            for recorder in recorders:
+                for direction, ops in (
+                    ("send", recorder.sends),
+                    ("recv", recorder.recvs),
+                ):
+                    seen = set()
+                    for peer, tag in ops:
+                        assert (peer, tag) not in seen, (
+                            f"{label}: rank {recorder.rank} {direction}s "
+                            f"(peer={peer}, tag={tag}) twice at P={size}"
+                        )
+                        seen.add((peer, tag))
+
+    @pytest.mark.parametrize("size", (2, 3, 5, 8, 129))
+    def test_every_send_has_exactly_one_matching_recv(self, size):
+        for label, recorders in whole_suite_schedules(size):
+            sends = sorted(
+                (recorder.rank, dest, tag)
+                for recorder in recorders
+                for dest, tag in recorder.sends
+            )
+            recvs = sorted(
+                (source, recorder.rank, tag)
+                for recorder in recorders
+                for source, tag in recorder.recvs
+            )
+            assert sends == recvs, f"{label}: unmatched traffic at P={size}"

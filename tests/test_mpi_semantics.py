@@ -205,3 +205,128 @@ class TestManyOutstandingRequests:
         send_done, recv_done = run(world, body)
         assert recv_done >= send_done
         assert world.quiescent()
+
+
+# -- reduction dataflow (contribution tracking) ------------------------------
+
+
+class ContributionComm:
+    """Fake communicator carrying *contribution sets* instead of bytes.
+
+    Each rank starts holding only its own contribution; a send ships the
+    sender's current set (captured at send time, as a real buffered send
+    copies the buffer), and a receive unions the shipped set in.  Running
+    an allreduce schedule through this executor proves its dataflow: the
+    operation is correct iff every rank ends with every rank's
+    contribution — a surplus rank handed back a *partial* vector by a
+    broken non-power-of-two fold-in ends with a strict subset.
+    """
+
+    def __init__(self, rank, size):
+        self.rank = rank
+        self.size = size
+        self.data = frozenset({rank})
+
+    def send(self, dest, nbytes, tag=0):
+        got = yield ("send", self.rank, dest, tag, self.data)
+        assert got is None
+
+    def recv(self, source=ANY_SOURCE, tag=ANY_TAG):
+        got = yield ("recv", source, self.rank, tag, None)
+        self.data |= got
+
+    def sendrecv(self, dest, nbytes, source, sendtag=0, recvtag=ANY_TAG):
+        # Both payloads are the *pre-exchange* sets: the send is captured
+        # before the concurrently received set is merged in.
+        yield ("send", self.rank, dest, sendtag, self.data)
+        got = yield ("recv", source, self.rank, recvtag, None)
+        self.data |= got
+
+    def compute(self, seconds):
+        return
+        yield  # pragma: no cover - generator marker
+
+
+def run_dataflow(generator, size):
+    """Execute one collective's dataflow; returns each rank's final set.
+
+    Buffered-send semantics: a send deposits its payload into a mailbox
+    keyed ``(source, dest, tag)`` and completes immediately; a receive
+    blocks until the matching deposit exists.  Round-robin stepping with
+    a no-progress check, so a mismatched schedule fails as a deadlock
+    instead of hanging the test.
+    """
+    comms = [ContributionComm(rank, size) for rank in range(size)]
+    programs = [generator(comm) for comm in comms]
+    mailbox = {}
+    blocked = [None] * size  # rank -> pending recv key, or None
+    inbox = [None] * size    # value to resume the rank's generator with
+    live = set(range(size))
+    while live:
+        progressed = False
+        for rank in sorted(live):
+            while True:
+                if blocked[rank] is not None:
+                    queue = mailbox.get(blocked[rank])
+                    if not queue:
+                        break
+                    inbox[rank] = queue.pop(0)
+                    blocked[rank] = None
+                    progressed = True
+                try:
+                    op = programs[rank].send(inbox[rank])
+                except StopIteration:
+                    live.discard(rank)
+                    progressed = True
+                    break
+                inbox[rank] = None
+                kind, source, dest, tag, payload = op
+                if kind == "send":
+                    mailbox.setdefault((source, dest, tag), []).append(payload)
+                    progressed = True
+                else:
+                    blocked[rank] = (source, dest, tag)
+        if not progressed:
+            raise AssertionError(
+                f"dataflow deadlock: ranks {sorted(live)} blocked on "
+                f"{[blocked[r] for r in sorted(live)]}"
+            )
+    return [set(comm.data) for comm in comms]
+
+
+class TestAllreduceDataflow:
+    """Open MPI semantics: every rank ends with the *final* vector."""
+
+    @pytest.mark.parametrize("size", (3, 5, 6, 7))
+    def test_recursive_doubling_non_pow2_fold_in_is_complete(self, size):
+        from repro.collectives.allreduce import allreduce_recursive_doubling
+
+        everyone = set(range(size))
+        final = run_dataflow(
+            lambda comm: allreduce_recursive_doubling(comm, 4096), size
+        )
+        base = 1
+        while base * 2 <= size:
+            base *= 2
+        for rank, data in enumerate(final):
+            assert data == everyone, (
+                f"P={size}: rank {rank} "
+                f"({'surplus' if rank >= base else 'base'}) finished with "
+                f"contributions {sorted(data)}, not all of 0..{size - 1}"
+            )
+
+    @pytest.mark.parametrize("size", (2, 4, 8))
+    def test_recursive_doubling_power_of_two(self, size):
+        from repro.collectives.allreduce import allreduce_recursive_doubling
+
+        final = run_dataflow(
+            lambda comm: allreduce_recursive_doubling(comm, 4096), size
+        )
+        assert all(data == set(range(size)) for data in final)
+
+    @pytest.mark.parametrize("size", (2, 3, 4, 5, 8))
+    def test_ring_delivers_every_contribution(self, size):
+        from repro.collectives.allreduce import allreduce_ring
+
+        final = run_dataflow(lambda comm: allreduce_ring(comm, 4096), size)
+        assert all(data == set(range(size)) for data in final)

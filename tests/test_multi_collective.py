@@ -1,7 +1,8 @@
 """Four-layer agreement for the non-broadcast collectives.
 
-Mirror of :mod:`tests.test_degenerate_inputs` for reduce, gather and
-barrier: the same ``(operation, P, m)`` query must get the same answer
+Mirror of :mod:`tests.test_degenerate_inputs` for reduce, gather,
+barrier and the whole-suite collectives (allreduce, allgather, alltoall,
+scatter): the same ``(operation, P, m)`` query must get the same answer
 from the :class:`DecisionTable`, the compiled Python decision function,
 the generated C source (interpreted by a small evaluator), and ``POST
 /select`` on a live server — including at the degenerate corners.  Also
@@ -31,7 +32,10 @@ from repro.units import KiB, MiB, log_spaced_sizes
 GRID_PROCS = tuple(range(2, 17, 2))
 GRID_SIZES = tuple(log_spaced_sizes(8 * KiB, 1 * MiB, 6))
 
-OPERATIONS = ("reduce", "gather", "barrier")
+OPERATIONS = (
+    "reduce", "gather", "barrier",
+    "allreduce", "allgather", "alltoall", "scatter",
+)
 
 #: The degenerate sweep: below / on / far above the decision grid.
 POINTS = (
@@ -183,7 +187,10 @@ class TestFourLayerAgreement:
 
 class TestZeroByteConvention:
     def test_data_moving_models_are_noops_at_zero_bytes(self, artifact):
-        for operation in ("reduce", "gather"):
+        for operation in (
+            "reduce", "gather",
+            "allreduce", "allgather", "alltoall", "scatter",
+        ):
             platform = artifact.entries[operation].platform
             predictions = platform.predict_all(8, 0)
             assert predictions and all(

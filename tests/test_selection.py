@@ -219,7 +219,7 @@ class TestOmpiReduceDecision:
         selector = OmpiFixedSelector(operation="reduce")
         assert selector.select(100, 8 * KiB).operation == "reduce"
         with pytest.raises(SelectionError):
-            OmpiFixedSelector(operation="alltoall")
+            OmpiFixedSelector(operation="reduce_scatter")
 
     def test_invalid_inputs_rejected(self):
         from repro.selection.ompi_fixed import ompi_reduce_decision

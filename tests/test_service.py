@@ -130,7 +130,7 @@ class TestArtifact:
 
     def test_unknown_collective_needs_platform(self):
         with pytest.raises(ArtifactError, match="no calibration pipeline"):
-            build_artifact(MINICLUSTER, collectives=("allgather",))
+            build_artifact(MINICLUSTER, collectives=("reduce_scatter",))
 
 
 class TestRegistry:
