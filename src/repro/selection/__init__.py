@@ -22,6 +22,7 @@ from repro.selection.codegen import (
     generate_python,
 )
 from repro.selection.decision_table import DecisionTable, build_decision_table
+from repro.selection.flat_table import FlatDecisionTable
 from repro.selection.model_based import ModelBasedSelector
 from repro.selection.ompi_fixed import (
     OmpiFixedSelector,
@@ -35,6 +36,7 @@ from repro.selection.oracle import MeasuredOracle, Selection
 __all__ = [
     "C_OPERATION_ALGORITHM_IDS",
     "DecisionTable",
+    "FlatDecisionTable",
     "MeasuredOracle",
     "ModelBasedSelector",
     "OmpiFixedSelector",

@@ -28,7 +28,7 @@ from repro.service.artifact import (
     default_proc_points,
     load_artifact,
 )
-from repro.service.metrics import ServiceMetrics
+from repro.service.metrics import ServiceMetrics, merge_metrics_texts
 from repro.service.server import (
     HttpServer,
     LruCache,
@@ -36,6 +36,12 @@ from repro.service.server import (
     SelectionService,
     ServiceThread,
     serve,
+)
+from repro.service.shard import (
+    ShardSupervisor,
+    WorkerHandle,
+    reuseport_socket,
+    serve_sharded,
 )
 
 __all__ = [
@@ -49,8 +55,13 @@ __all__ = [
     "SelectionService",
     "ServiceMetrics",
     "ServiceThread",
+    "ShardSupervisor",
+    "WorkerHandle",
     "build_artifact",
     "default_proc_points",
     "load_artifact",
+    "merge_metrics_texts",
+    "reuseport_socket",
     "serve",
+    "serve_sharded",
 ]

@@ -48,6 +48,7 @@ from repro.estimation.workflow import (
 from repro.exec.runner import ParallelRunner, default_runner
 from repro.selection.codegen import generate_python
 from repro.selection.decision_table import DecisionTable, build_decision_table
+from repro.selection.flat_table import FlatDecisionTable
 from repro.selection.model_based import ModelBasedSelector
 from repro.units import KiB, MiB, log_spaced_sizes
 
@@ -136,6 +137,7 @@ class SelectionArtifact:
     #: artifact never changes its content hash.
     guidelines: dict = field(default_factory=dict, compare=False)
     _hash: list = field(default_factory=list, compare=False, repr=False)
+    _flat: list = field(default_factory=list, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.entries:
@@ -185,6 +187,24 @@ class SelectionArtifact:
     def select(self, operation: str, procs: int, nbytes: int):
         """Table lookup for one query (the server's hot path)."""
         return self.lookup(operation, procs, nbytes)[0]
+
+    def flat_tables(self) -> dict[str, FlatDecisionTable]:
+        """Per-operation :class:`FlatDecisionTable` views (memoised).
+
+        Compiled once per loaded artifact — the same list-cell trick as
+        the content hash keeps the dataclass frozen — so the serving
+        layer gets flat-array lookups without recompiling per request.
+        The flat view is derived purely from the decision tables; it can
+        never disagree with :meth:`lookup`.
+        """
+        if not self._flat:
+            self._flat.append({
+                operation: FlatDecisionTable.from_table(
+                    entry.table, operation=operation
+                )
+                for operation, entry in self.entries.items()
+            })
+        return self._flat[0]
 
     def lookup(self, operation: str, procs: int, nbytes: int):
         """Table lookup plus the below-grid clamp indicator.
@@ -597,6 +617,12 @@ class ArtifactRegistry:
         #: Files currently served from their last-known-good copy, mapped
         #: to the error that made the on-disk version unloadable.
         self.degraded: dict[str, str] = {}
+        #: Bumped on every reindex (rescan, add).  Caches keyed on
+        #: registry content — the service's LRU and its compiled flat
+        #: tables — compare this to detect *any* swap path, including
+        #: ones that bypass :meth:`SelectionService.reload` (a
+        #: ``SelfTuner.recalibrate`` hot reload, a direct ``rescan()``).
+        self.generation = 0
         self._by_query: dict[tuple[str, str, str], SelectionArtifact] = {}
         if self.directory is not None:
             self.rescan()
@@ -639,6 +665,7 @@ class ArtifactRegistry:
             for operation in artifact.operations:
                 index[(artifact.cluster, artifact.fabric, operation)] = artifact
         self._by_query = index
+        self.generation += 1
 
     def __len__(self) -> int:
         return len(self.artifacts)

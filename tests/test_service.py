@@ -592,3 +592,122 @@ class TestRequestLimits:
             status, data = client.request("POST", "/select", QUERY)
             assert status == 200 and "algorithm" in data
             client.close()
+
+
+class TestMalformedContentLength:
+    """Bugfix: a malformed or negative ``Content-Length`` used to be
+    swallowed by a broad ``ValueError`` handler and silently dropped the
+    connection; it must be a typed 400 counted against ``(read)`` like
+    the historical 413 path."""
+
+    @pytest.mark.parametrize("value,fragment", [
+        ("nope", "malformed Content-Length"),
+        ("12x", "malformed Content-Length"),
+        ("-5", "negative Content-Length"),
+    ])
+    def test_bad_content_length_is_typed_400(
+        self, fragile_setup, value, fragment
+    ):
+        import socket
+
+        service, _path = fragile_setup
+        with ServiceThread(service) as handle:
+            raw = socket.create_connection(
+                ("127.0.0.1", handle.port), timeout=10
+            )
+            try:
+                raw.sendall(
+                    b"POST /select HTTP/1.1\r\nHost: t\r\n"
+                    + f"Content-Length: {value}\r\n\r\n".encode()
+                )
+                response = raw.recv(65536).decode()
+                assert response.startswith("HTTP/1.1 400 ")
+                assert "bad_request" in response
+                assert fragment in response
+                raw.settimeout(5)
+                assert raw.recv(1024) == b""  # read errors close the socket
+            finally:
+                raw.close()
+            client = Client(handle.port)
+            status, text = client.request("GET", "/metrics")
+            client.close()
+            assert status == 200
+            assert (
+                'repro_requests_total{endpoint="(read)",status="400"} 1'
+                in text
+            )
+
+
+class TestCacheAliasing:
+    """Bugfix: ``handle_select`` must hand out fresh dicts — the batched
+    path used to embed the LRU cache's own entries, so a caller mutating
+    its response corrupted every later answer for that query."""
+
+    @pytest.fixture()
+    def service(self, artifact):
+        registry = ArtifactRegistry()
+        registry.add(artifact)
+        return SelectionService(registry, cache_size=64)
+
+    def test_single_result_mutation_does_not_poison_cache(self, service):
+        query = dict(QUERY, operation="bcast")
+        first = service.handle_select(dict(query))
+        algorithm = first["algorithm"]
+        segment = first["segment_size"]
+        first["algorithm"] = "poisoned"
+        first["segment_size"] = -1
+        second = service.handle_select(dict(query))
+        assert second["algorithm"] == algorithm
+        assert second["segment_size"] == segment
+
+    def test_batch_results_are_fresh_copies(self, service):
+        query = dict(QUERY, operation="bcast")
+        batch = {"queries": [dict(query), dict(query)]}
+        results = service.handle_select(batch)["results"]
+        algorithm = results[0]["algorithm"]
+        assert results[0] is not results[1]
+        results[0]["algorithm"] = "poisoned"
+        results[1]["segment_size"] = -1
+        # Neither the single path (warm LRU) nor a repeat batch sees it.
+        assert service.handle_select(dict(query))["algorithm"] == algorithm
+        again = service.handle_select(
+            {"queries": [dict(query)]}
+        )["results"][0]
+        assert again["algorithm"] == algorithm
+        assert again["segment_size"] != -1
+
+
+class TestRegistrySwapInvalidation:
+    """Bugfix audit: any registry mutation must invalidate warm LRU
+    entries even when nobody calls ``service.reload()`` — the registry
+    generation counter covers direct ``rescan()`` callers."""
+
+    def test_rescan_without_reload_serves_fresh_artifact(
+        self, artifact, mini_platform, tmp_path
+    ):
+        old = tmp_path / "a.json"
+        artifact.save(old)
+        registry = ArtifactRegistry(tmp_path)
+        service = SelectionService(registry, cache_size=64)
+        query = dict(QUERY, operation="bcast")
+        warm = service.handle_select(dict(query))
+        assert warm["artifact"] == artifact.artifact_id
+        # Swap the directory contents and rescan the registry directly,
+        # bypassing service.reload() — the served answer must still
+        # come from the new artifact, never the warm cache entry.
+        coarse = build_artifact(
+            MINICLUSTER,
+            proc_points=(2, 8),
+            size_points=(8 * KiB, 1 * MiB),
+            platforms={"bcast": mini_platform},
+        )
+        assert coarse.artifact_id != artifact.artifact_id
+        old.unlink()
+        coarse.save(tmp_path / "b.json")
+        registry.rescan()
+        served = service.handle_select(dict(query))
+        assert served["artifact"] == coarse.artifact_id
+        batch = service.handle_select(
+            {"queries": [dict(query)]}
+        )["results"][0]
+        assert batch["artifact"] == coarse.artifact_id

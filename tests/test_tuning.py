@@ -721,3 +721,41 @@ class TestStrictBuildGate:
                 )
         finally:
             unregister_guideline("_test_always_violated")
+
+
+class TestRecalibrateCacheInvalidation:
+    """Bugfix audit: a hot reload during recalibration must also flush
+    the service's LRU query cache — a warm entry from the previous
+    artifact must never be served after the swap."""
+
+    def test_recalibrate_evicts_warm_lru_entries(
+        self, live_service, cache_dir, clean_artifact, monkeypatch
+    ):
+        service, _handle, artifact = live_service
+        query = {
+            "cluster": "minicluster", "operation": "bcast",
+            "procs": 8, "nbytes": SIZES[0],
+        }
+        warm = service.handle_select(dict(query))
+        assert warm["artifact"] == artifact.artifact_id
+        # Second hit comes from the LRU; still the old artifact.
+        assert service.handle_select(dict(query))["artifact"] == (
+            artifact.artifact_id
+        )
+
+        rebuilt = build_artifact(
+            MINICLUSTER,
+            collectives=("bcast",),
+            proc_points=(8,),
+            size_points=SIZES[:2],
+            platforms={"bcast": clean_artifact.entries["bcast"].platform},
+        )
+        assert rebuilt.artifact_id != artifact.artifact_id
+        monkeypatch.setattr(
+            "repro.tuning.tuner.rebuild_artifact",
+            lambda *args, **kwargs: rebuilt,
+        )
+        with make_tuner(service, artifact, cache_dir) as tuner:
+            assert tuner.recalibrate(["bcast"]) is True
+        served = service.handle_select(dict(query))
+        assert served["artifact"] == rebuilt.artifact_id
